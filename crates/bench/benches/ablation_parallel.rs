@@ -1,0 +1,48 @@
+//! Ablation A5: sequential vs multi-threaded Monte-Carlo sampling.
+//!
+//! The paper's Python implementation is sequential; the Rust AFPRAS can
+//! split the m directions across threads (deterministic per-thread RNG
+//! streams). The speedup matters at the Figure-1 high-precision end
+//! (ε = 0.01 ⇒ m = 10,000 per candidate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qarith_constraints::{Atom, ConstraintOp, Polynomial, QfFormula, Var};
+use qarith_core::afpras::{estimate_nu, AfprasOptions, SampleCount};
+
+/// A moderately expensive formula: 64-disjunct DNF over 8 variables with
+/// quadratic atoms.
+fn workload() -> QfFormula {
+    let z = |i: u32| Polynomial::var(Var(i));
+    QfFormula::or((0..64i64).map(|k| {
+        let i = (k % 8) as u32;
+        let j = ((k + 3) % 8) as u32;
+        QfFormula::and([
+            QfFormula::atom(Atom::new(
+                z(i).checked_mul(&z(i)).unwrap().checked_sub(&z(j)).unwrap(),
+                ConstraintOp::Lt,
+            )),
+            QfFormula::atom(Atom::new(z(j).checked_sub(&z(i)).unwrap(), ConstraintOp::Gt)),
+        ])
+    }))
+}
+
+fn parallel(c: &mut Criterion) {
+    let phi = workload();
+    let mut group = c.benchmark_group("ablation_parallel");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let opts = AfprasOptions {
+            epsilon: 0.01,
+            samples: SampleCount::Paper,
+            threads,
+            ..AfprasOptions::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| estimate_nu(&phi, &opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, parallel);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Ablation A3: sample-count policies for the additive scheme.
+//!
+//! The paper's §8 uses `m ≥ ε⁻²` for confidence 3/4; the Hoeffding-exact
+//! count for (ε, δ) is `m = ⌈ln(2/δ)/(2ε²)⌉`. At δ = 1/4 Hoeffding draws
+//! ≈ 1.04× the paper's count; at δ = 0.01 ≈ 2.65×. Accuracy-per-sample
+//! comparisons live in the `ablations` binary; this bench tracks the time
+//! cost of each policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qarith_constraints::{Atom, ConstraintOp, Polynomial, QfFormula, Var};
+use qarith_core::afpras::{estimate_nu, AfprasOptions, SampleCount};
+
+fn wedge() -> QfFormula {
+    let z = |i: u32| Polynomial::var(Var(i));
+    QfFormula::and([
+        QfFormula::atom(Atom::new(z(0), ConstraintOp::Ge)),
+        QfFormula::atom(Atom::new(
+            Polynomial::constant(qarith_numeric::Rational::new(7, 10))
+                .checked_mul(&z(1))
+                .unwrap()
+                .checked_sub(&z(0))
+                .unwrap(),
+            ConstraintOp::Ge,
+        )),
+    ])
+}
+
+fn sample_count_policies(c: &mut Criterion) {
+    let phi = wedge();
+    let mut group = c.benchmark_group("ablation_samplecount");
+    for eps in [0.05, 0.02] {
+        for (label, policy, delta) in [
+            ("paper_eps2", SampleCount::Paper, 0.25),
+            ("hoeffding_d25", SampleCount::Hoeffding, 0.25),
+            ("hoeffding_d01", SampleCount::Hoeffding, 0.01),
+        ] {
+            let opts = AfprasOptions { epsilon: eps, delta, samples: policy, ..AfprasOptions::default() };
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("eps_{eps}")),
+                &opts,
+                |b, opts| b.iter(|| estimate_nu(&phi, opts).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sample_count_policies);
+criterion_main!(benches);

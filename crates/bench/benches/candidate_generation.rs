@@ -1,0 +1,44 @@
+//! Ablation A6: cost of the "Postgres side" — candidate generation by
+//! the CQ executor as the database grows.
+//!
+//! Figure 1 measures only the Monte-Carlo phase; this bench tracks the
+//! other half of the pipeline (hash-index construction + join
+//! enumeration under candidate-counting LIMIT 25) at three database
+//! scales, for the Competitive Advantage query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qarith_datagen::sales::{sales_catalog, sales_database, SalesScale, COMPETITIVE_ADVANTAGE_SQL};
+use qarith_engine::cq::{self, CqOptions};
+
+fn candidate_generation(c: &mut Criterion) {
+    let catalog = sales_catalog();
+    let lowered = qarith_sql::compile(COMPETITIVE_ADVANTAGE_SQL, &catalog).unwrap();
+    let mut group = c.benchmark_group("candidate_generation");
+    group.sample_size(10);
+    for (label, scale) in [
+        ("tiny_200", SalesScale::tiny()),
+        ("small_2k", SalesScale::small()),
+        (
+            "mid_20k",
+            SalesScale {
+                products: 10_000,
+                orders: 9_000,
+                markets: 1_000,
+                segments: 1_000,
+                null_rate: 0.02,
+                market_null_rate: 0.25,
+            },
+        ),
+    ] {
+        let db = sales_database(&scale, 2020);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &db, |b, db| {
+            b.iter(|| {
+                cq::execute(&lowered.query, db, &CqOptions::with_candidate_limit(25)).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, candidate_generation);
+criterion_main!(benches);

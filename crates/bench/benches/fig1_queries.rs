@@ -1,0 +1,30 @@
+//! Criterion version of Figure 1 (reduced grid).
+//!
+//! The `fig1` binary regenerates the full 19-point sweep at the paper's
+//! scale; this bench tracks the same measurement — Monte-Carlo time per
+//! query per ε — at the `small` scale with a 3-point ε grid so it can run
+//! on every `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qarith_bench::Fig1Harness;
+use qarith_datagen::sales::SalesScale;
+
+fn fig1(c: &mut Criterion) {
+    let harness = Fig1Harness::new(&SalesScale::small(), 2020);
+    let mut group = c.benchmark_group("fig1");
+    for (qi, q) in harness.queries.iter().enumerate() {
+        for eps in [0.1, 0.05, 0.02] {
+            group.bench_with_input(
+                BenchmarkId::new(q.name.replace(' ', "_"), format!("eps_{eps}")),
+                &eps,
+                |b, &eps| {
+                    b.iter(|| harness.run_epsilon(qi, eps, 99));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig1);
+criterion_main!(benches);

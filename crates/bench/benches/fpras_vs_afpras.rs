@@ -1,0 +1,40 @@
+//! Ablation A2: the Theorem 7.1 multiplicative FPRAS vs the Theorem 8.1
+//! additive scheme on CQ(+,<) workloads (where both apply).
+//!
+//! The AFPRAS evaluates each direction in O(|φ|); the FPRAS pays for LP
+//! interior points, hit-and-run mixing, and union multiplicity counting.
+//! The paper chose the additive scheme for its implementation (§8: "more
+//! natural to implement"); this bench quantifies that choice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qarith_constraints::{Atom, ConstraintOp, Polynomial, QfFormula, Var};
+use qarith_core::afpras::{self, AfprasOptions};
+use qarith_core::fpras::{self, FprasOptions};
+
+/// A union of two disjoint n-dimensional cones (each an orthant slice).
+fn cone_union(n: u32) -> QfFormula {
+    let z = |i: u32| Polynomial::var(Var(i));
+    let pos = QfFormula::and((0..n).map(|i| QfFormula::atom(Atom::new(z(i), ConstraintOp::Gt))));
+    let neg = QfFormula::and((0..n).map(|i| QfFormula::atom(Atom::new(z(i), ConstraintOp::Lt))));
+    QfFormula::or([pos, neg])
+}
+
+fn fpras_vs_afpras(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fpras_vs_afpras");
+    group.sample_size(10);
+    for n in [2u32, 4, 6] {
+        let phi = cone_union(n);
+        let a_opts = AfprasOptions { epsilon: 0.05, ..AfprasOptions::default() };
+        group.bench_with_input(BenchmarkId::new("afpras", n), &n, |b, _| {
+            b.iter(|| afpras::estimate_nu(&phi, &a_opts).unwrap())
+        });
+        let f_opts = FprasOptions { epsilon: 0.1, ..FprasOptions::default() };
+        group.bench_with_input(BenchmarkId::new("fpras", n), &n, |b, _| {
+            b.iter(|| fpras::estimate_nu(&phi, &f_opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fpras_vs_afpras);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Ablation A4: data-complexity scaling of the additive scheme.
+//!
+//! Theorem 8.1 promises time polynomial in |D| and 1/ε. The per-direction
+//! cost is linear in the (deduplicated) formula; this bench scales the
+//! ground formula along two axes: number of variables (nulls) and number
+//! of disjuncts (derivations per candidate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qarith_constraints::{Atom, ConstraintOp, Polynomial, QfFormula, Var};
+use qarith_core::afpras::{estimate_nu, AfprasOptions, SampleCount};
+
+/// Chain formula over n variables: z0 < z1 < … < z_{n−1}.
+fn chain(n: u32) -> QfFormula {
+    let z = |i: u32| Polynomial::var(Var(i));
+    QfFormula::and(
+        (0..n - 1)
+            .map(|i| QfFormula::atom(Atom::new(z(i).checked_sub(&z(i + 1)).unwrap(), ConstraintOp::Lt))),
+    )
+}
+
+/// DNF with d disjuncts over 4 variables (mimics a candidate with d
+/// derivations).
+fn dnf(d: i64) -> QfFormula {
+    let z = |i: u32| Polynomial::var(Var(i));
+    QfFormula::or((0..d).map(|k| {
+        QfFormula::and([
+            QfFormula::atom(Atom::new(
+                z(0).checked_sub(&Polynomial::constant(qarith_numeric::Rational::from_int(k)))
+                    .unwrap(),
+                ConstraintOp::Gt,
+            )),
+            QfFormula::atom(Atom::new(
+                z((k % 4) as u32).checked_sub(&z(((k + 1) % 4) as u32)).unwrap(),
+                ConstraintOp::Lt,
+            )),
+        ])
+    }))
+}
+
+fn scaling(c: &mut Criterion) {
+    let opts =
+        AfprasOptions { epsilon: 0.05, samples: SampleCount::Paper, ..AfprasOptions::default() };
+
+    let mut group = c.benchmark_group("scaling_variables");
+    for n in [2u32, 4, 8, 16, 32] {
+        let phi = chain(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| estimate_nu(&phi, &opts).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("scaling_disjuncts");
+    for d in [1i64, 8, 64, 256] {
+        let phi = dnf(d);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| estimate_nu(&phi, &opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scaling);
+criterion_main!(benches);

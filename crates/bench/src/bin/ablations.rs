@@ -1,0 +1,145 @@
+//! Accuracy-side ablation tables (the timing side lives in the criterion
+//! benches). Prints the measurements recorded in EXPERIMENTS.md:
+//!
+//! * **V2** — the Proposition 6.1 arctangent family: exact arc values vs
+//!   AFPRAS estimates;
+//! * **A2** — FPRAS vs AFPRAS vs exact on CQ(+,<) cone unions;
+//! * **A3** — empirical additive error of the paper's `m = ε⁻²` sample
+//!   count vs the Hoeffding count, against exact order-fragment values.
+//!
+//! ```text
+//! cargo run -p qarith-bench --release --bin ablations
+//! ```
+
+use qarith_constraints::{Atom, ConstraintOp, Polynomial, QfFormula, Var};
+use qarith_core::afpras::{self, AfprasOptions, SampleCount};
+use qarith_core::exact;
+use qarith_core::fpras::{self, FprasOptions};
+use qarith_numeric::Rational;
+
+fn z(i: u32) -> Polynomial {
+    Polynomial::var(Var(i))
+}
+
+fn atom(p: Polynomial, op: ConstraintOp) -> QfFormula {
+    QfFormula::atom(Atom::new(p, op))
+}
+
+fn main() {
+    proposition_6_1_table();
+    fpras_accuracy_table();
+    sample_count_error_table();
+}
+
+/// V2: μ = (arctan(α) + π/2)/2π for the wedge x ≥ 0 ∧ y ≤ α·x.
+fn proposition_6_1_table() {
+    println!("== V2: Proposition 6.1 arctangent family ==");
+    println!("wedge: z0 ≥ 0 ∧ z1 ≤ α·z0; closed form (arctan α + π/2)/2π");
+    println!("{:>6}  {:>12}  {:>12}  {:>12}", "α", "closed form", "exact arcs", "AFPRAS ε=.01");
+    let opts = AfprasOptions { epsilon: 0.01, ..AfprasOptions::default() };
+    for alpha in [-3.0f64, -1.0, -0.5, 0.0, 0.5, 1.0, 3.0] {
+        let a = Polynomial::constant(Rational::parse_decimal(&alpha.to_string()).unwrap());
+        let phi = QfFormula::and([
+            atom(z(0), ConstraintOp::Ge),
+            atom(z(1).checked_sub(&a.checked_mul(&z(0)).unwrap()).unwrap(), ConstraintOp::Le),
+        ]);
+        let closed = (alpha.atan() + std::f64::consts::FRAC_PI_2) / std::f64::consts::TAU;
+        let arcs = exact::arcs2d::exact_arc_measure(&phi);
+        let sampled = afpras::estimate_nu(&phi, &opts).unwrap().estimate;
+        println!("{alpha:>6}  {closed:>12.6}  {arcs:>12.6}  {sampled:>12.6}");
+    }
+    println!();
+}
+
+/// A2: both approximation schemes against exact values on cone unions.
+fn fpras_accuracy_table() {
+    println!("== A2: FPRAS (Thm 7.1) vs AFPRAS (Thm 8.1) on CQ(+,<) cones ==");
+    println!("{:<28}  {:>8}  {:>10}  {:>10}", "workload", "exact", "FPRAS", "AFPRAS");
+    let workloads: Vec<(&str, QfFormula, f64)> = vec![
+        (
+            "halfplane z0<z1",
+            atom(z(0).checked_sub(&z(1)).unwrap(), ConstraintOp::Lt),
+            0.5,
+        ),
+        (
+            "quadrant (2D)",
+            QfFormula::and([atom(z(0), ConstraintOp::Lt), atom(z(1), ConstraintOp::Lt)]),
+            0.25,
+        ),
+        (
+            "two disjoint quadrants",
+            QfFormula::or([
+                QfFormula::and([atom(z(0), ConstraintOp::Lt), atom(z(1), ConstraintOp::Lt)]),
+                QfFormula::and([atom(z(0), ConstraintOp::Gt), atom(z(1), ConstraintOp::Gt)]),
+            ]),
+            0.5,
+        ),
+        (
+            "octant (3D)",
+            QfFormula::and([
+                atom(z(0), ConstraintOp::Lt),
+                atom(z(1), ConstraintOp::Lt),
+                atom(z(2), ConstraintOp::Lt),
+            ]),
+            0.125,
+        ),
+        (
+            "overlapping halfplanes",
+            QfFormula::or([atom(z(0), ConstraintOp::Lt), atom(z(1), ConstraintOp::Lt)]),
+            0.75,
+        ),
+    ];
+    let f_opts = FprasOptions { epsilon: 0.05, ..FprasOptions::default() };
+    let a_opts = AfprasOptions { epsilon: 0.01, ..AfprasOptions::default() };
+    for (name, phi, expected) in workloads {
+        let f = fpras::estimate_nu(&phi, &f_opts).unwrap().estimate;
+        let a = afpras::estimate_nu(&phi, &a_opts).unwrap().estimate;
+        println!("{name:<28}  {expected:>8.4}  {f:>10.4}  {a:>10.4}");
+    }
+    println!();
+}
+
+/// A3: empirical |error| of the two sample-count policies over 50 seeds,
+/// against the exact order-fragment value.
+fn sample_count_error_table() {
+    println!("== A3: additive error vs sample-count policy (50 seeds) ==");
+    // ν = 1/6 exactly: the chain z0 < z1 < z2.
+    let phi = QfFormula::and([
+        atom(z(0).checked_sub(&z(1)).unwrap(), ConstraintOp::Lt),
+        atom(z(1).checked_sub(&z(2)).unwrap(), ConstraintOp::Lt),
+    ]);
+    let truth = exact::order::exact_order_measure(&phi).unwrap().to_f64();
+    println!("workload: z0<z1<z2, exact ν = {truth:.6}");
+    println!(
+        "{:>6}  {:>22}  {:>9}  {:>10}  {:>10}",
+        "ε", "policy", "m", "mean|err|", "max|err|"
+    );
+    for eps in [0.1, 0.05, 0.02] {
+        for (label, policy, delta) in [
+            ("paper m=eps^-2", SampleCount::Paper, 0.25),
+            ("hoeffding d=0.25", SampleCount::Hoeffding, 0.25),
+            ("hoeffding d=0.01", SampleCount::Hoeffding, 0.01),
+        ] {
+            let mut opts =
+                AfprasOptions { epsilon: eps, delta, samples: policy, ..AfprasOptions::default() };
+            let m = opts.sample_count();
+            let mut sum = 0.0f64;
+            let mut max = 0.0f64;
+            let runs = 50;
+            for seed in 0..runs {
+                opts.seed = 1000 + seed;
+                let est = afpras::estimate_nu(&phi, &opts).unwrap().estimate;
+                let err = (est - truth).abs();
+                sum += err;
+                if err > max {
+                    max = err;
+                }
+            }
+            println!(
+                "{eps:>6}  {label:>22}  {m:>9}  {:>10.5}  {max:>10.5}",
+                sum / runs as f64
+            );
+        }
+    }
+    println!();
+}

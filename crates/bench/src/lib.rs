@@ -1,0 +1,194 @@
+//! Shared harness for the paper's evaluation (§9, Figure 1) and the
+//! ablation studies listed in DESIGN.md.
+//!
+//! The paper's pipeline was: Postgres evaluates the SQL query naively and
+//! emits candidate tuples plus compact constraint formulas; a
+//! Python/NumPy program then runs the Theorem 8.1 Monte-Carlo phase per
+//! candidate, for error levels ε ∈ {0.010, 0.015, …, 0.100}. Figure 1
+//! plots the Monte-Carlo time against ε for three decision-support
+//! queries.
+//!
+//! [`Fig1Harness`] reproduces that split: candidate generation (our CQ
+//! executor) happens once per query; [`Fig1Harness::run_epsilon`] times
+//! only the approximation phase, exactly like the paper's y-axis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+use qarith_core::afpras::{estimate_nu_compiled, AfprasOptions, SampleCount};
+use qarith_core::CertaintyEstimate;
+use qarith_datagen::sales::{paper_queries, sales_catalog, sales_database, SalesScale};
+use qarith_engine::cq::{self, CandidateAnswer, CqOptions};
+use qarith_types::Database;
+
+pub use qarith_constraints::asymptotic::CompiledFormula;
+
+/// The ε grid of Figure 1: 0.010 to 0.100 in steps of 0.005 (19 points),
+/// descending like the paper's x-axis (ε·10³ from 100 down to 10).
+pub fn figure1_epsilons() -> Vec<f64> {
+    (0..19).map(|i| 0.100 - 0.005 * i as f64).collect()
+}
+
+/// One query of the §9 workload, prepared for measurement.
+pub struct PreparedQuery {
+    /// Display name ("Competitive Advantage", …).
+    pub name: &'static str,
+    /// The SQL text.
+    pub sql: &'static str,
+    /// Candidates produced by the executor under `LIMIT` semantics.
+    pub candidates: Vec<CandidateAnswer>,
+    /// Compiled ground formulas for the *uncertain* candidates (the
+    /// certain ones need no sampling, as in the paper's implementation).
+    pub compiled: Vec<CompiledFormula>,
+    /// Time spent producing candidates (the "Postgres side").
+    pub candidate_time: Duration,
+}
+
+/// The Figure 1 harness: a generated sales database plus the three
+/// prepared queries.
+pub struct Fig1Harness {
+    /// The database.
+    pub db: Database,
+    /// Prepared queries, in the paper's order.
+    pub queries: Vec<PreparedQuery>,
+}
+
+/// One measured point of Figure 1.
+#[derive(Debug, Clone)]
+pub struct Fig1Point {
+    /// Error level.
+    pub epsilon: f64,
+    /// Monte-Carlo samples drawn per uncertain candidate.
+    pub samples_per_candidate: usize,
+    /// Total wall-clock time of the approximation phase.
+    pub time: Duration,
+    /// The certainty estimates (one per candidate, certain ones = 1).
+    pub estimates: Vec<CertaintyEstimate>,
+}
+
+impl Fig1Harness {
+    /// Builds the database at the given scale/seed and prepares the three
+    /// §9 queries.
+    pub fn new(scale: &SalesScale, seed: u64) -> Fig1Harness {
+        let db = sales_database(scale, seed);
+        let catalog = sales_catalog();
+        let mut queries = Vec::with_capacity(3);
+        for (name, sql) in paper_queries() {
+            let lowered = qarith_sql::compile(sql, &catalog).expect("paper queries compile");
+            // Candidate-counting LIMIT: the analyst sees 25 *distinct*
+            // results (nested-loop row order would otherwise fill the
+            // window with duplicates of the first result).
+            let opts = CqOptions::with_candidate_limit(lowered.limit.unwrap_or(25));
+            let started = Instant::now();
+            let candidates =
+                cq::execute(&lowered.query, &db, &opts).expect("paper queries execute");
+            let candidate_time = started.elapsed();
+            let compiled = candidates
+                .iter()
+                .filter(|c| !c.certain)
+                .map(|c| CompiledFormula::compile(&c.formula))
+                .collect();
+            queries.push(PreparedQuery { name, sql, candidates, compiled, candidate_time });
+        }
+        Fig1Harness { db, queries }
+    }
+
+    /// Runs the approximation phase of one query at one ε, timing it.
+    ///
+    /// Matches the paper's implementation: `m = ⌈ε⁻²⌉` directions
+    /// (their §8 prescription), partial-vector sampling, no exact-method
+    /// shortcuts.
+    pub fn run_epsilon(&self, query_idx: usize, epsilon: f64, seed: u64) -> Fig1Point {
+        let q = &self.queries[query_idx];
+        let opts = AfprasOptions {
+            epsilon,
+            samples: SampleCount::Paper,
+            seed,
+            ..AfprasOptions::default()
+        };
+        let started = Instant::now();
+        let mut estimates = Vec::with_capacity(q.candidates.len());
+        let mut compiled_iter = q.compiled.iter();
+        for cand in &q.candidates {
+            if cand.certain {
+                estimates.push(CertaintyEstimate::exact_rational(
+                    qarith_numeric::Rational::ONE,
+                    0,
+                ));
+            } else {
+                let compiled = compiled_iter.next().expect("one compiled per uncertain");
+                let out = estimate_nu_compiled(compiled, &opts);
+                estimates.push(CertaintyEstimate {
+                    value: out.estimate,
+                    exact: None,
+                    method: qarith_core::Method::Afpras,
+                    epsilon: Some(epsilon),
+                    delta: Some(opts.delta),
+                    samples: out.samples,
+                    dimension: out.dimension,
+                });
+            }
+        }
+        Fig1Point {
+            epsilon,
+            samples_per_candidate: opts.sample_count(),
+            time: started.elapsed(),
+            estimates,
+        }
+    }
+
+    /// Number of uncertain candidates for a query (the ones that cost
+    /// Monte-Carlo time).
+    pub fn uncertain_count(&self, query_idx: usize) -> usize {
+        self.queries[query_idx].compiled.len()
+    }
+}
+
+/// Formats a duration in seconds with millisecond resolution (the
+/// paper's y-axis unit).
+pub fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_grid_matches_figure_1() {
+        let eps = figure1_epsilons();
+        assert_eq!(eps.len(), 19);
+        assert!((eps[0] - 0.100).abs() < 1e-12);
+        assert!((eps[18] - 0.010).abs() < 1e-12);
+        // Strictly descending in steps of 0.005.
+        for w in eps.windows(2) {
+            assert!((w[0] - w[1] - 0.005).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn harness_runs_at_tiny_scale() {
+        let harness = Fig1Harness::new(&SalesScale::tiny(), 11);
+        assert_eq!(harness.queries.len(), 3);
+        for (i, q) in harness.queries.iter().enumerate() {
+            assert!(!q.candidates.is_empty(), "{} returned no candidates", q.name);
+            let point = harness.run_epsilon(i, 0.1, 1);
+            assert_eq!(point.samples_per_candidate, 100);
+            assert_eq!(point.estimates.len(), q.candidates.len());
+            for e in &point.estimates {
+                assert!((0.0..=1.0).contains(&e.value));
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_epsilon_draws_more_samples() {
+        let harness = Fig1Harness::new(&SalesScale::tiny(), 13);
+        let coarse = harness.run_epsilon(0, 0.1, 1);
+        let fine = harness.run_epsilon(0, 0.01, 1);
+        assert_eq!(coarse.samples_per_candidate, 100);
+        assert_eq!(fine.samples_per_candidate, 10_000);
+    }
+}

@@ -1,0 +1,426 @@
+//! Asymptotic truth along directions (Lemmas 8.2–8.4 of the paper).
+//!
+//! For a quantifier-free formula `φ(z̄)` over ⟨ℝ,+,·,<⟩ and a direction
+//! `a ∈ ℝⁿ`, define `f_{φ,a}(k) = [φ(k·a)]`. Lemma 8.2 shows the limit of
+//! `f_{φ,a}(k)` as `k → ∞` exists (each atom's polynomial, restricted to a
+//! ray, has finitely many sign changes); Lemma 8.4 shows the limit is
+//! computable in polynomial time: substitute `z_i := k·a_i`, group each
+//! atom by degree in `k`, and read the eventual sign off the
+//! highest-degree group with a nonzero value.
+//!
+//! This module provides both a direct evaluator over [`QfFormula`] and a
+//! [`CompiledFormula`] representation for the Monte-Carlo hot loop of the
+//! additive scheme (Theorem 8.1): atoms are deduplicated, coefficients are
+//! lowered to `f64`, variables are remapped to dense coordinates (which
+//! also implements the paper's §9 *partial sampling* optimization — only
+//! coordinates that actually occur in `φ` need to be sampled), and each
+//! direction is evaluated with short-circuiting and per-atom memoization.
+
+use std::collections::HashMap;
+
+use crate::atom::{Atom, ConstraintOp};
+use crate::formula::QfFormula;
+use crate::polynomial::Polynomial;
+use crate::var::Var;
+
+/// The sign of `p(k·a)` for all sufficiently large `k`.
+///
+/// `p(k·a) = Σ_d c_d(a)·k^d` where `c_d(a)` is the degree-`d` homogeneous
+/// component of `p` evaluated at `a`. The eventual sign is the sign of the
+/// highest-degree nonzero `c_d(a)`; if all vanish, the restriction to the
+/// ray is identically zero and the sign is `0`.
+pub fn limit_sign_along(p: &Polynomial, dir: &[f64]) -> i32 {
+    if p.is_zero() {
+        return 0;
+    }
+    let max_d = p.degree();
+    for d in (0..=max_d).rev() {
+        let comp = p.homogeneous_component(d);
+        if comp.is_zero() {
+            continue;
+        }
+        let v = comp.eval_f64(dir);
+        if v > 0.0 {
+            return 1;
+        }
+        if v < 0.0 {
+            return -1;
+        }
+        // A nonzero component can still vanish at this particular
+        // direction (a measure-zero event for sampled directions); the
+        // next lower degree then dominates.
+    }
+    0
+}
+
+/// `lim_{k→∞} [a ⋈ 0 at k·dir]` for a single atom (Lemma 8.4).
+pub fn atom_limit_truth(a: &Atom, dir: &[f64]) -> bool {
+    a.op().holds(limit_sign_along(a.poly(), dir))
+}
+
+/// `lim_{k→∞} f_{φ,dir}(k)` for a formula (Lemma 8.2 guarantees the limit
+/// exists; this computes it without taking limits numerically).
+pub fn formula_limit_truth(f: &QfFormula, dir: &[f64]) -> bool {
+    match f {
+        QfFormula::True => true,
+        QfFormula::False => false,
+        QfFormula::Atom(a) => atom_limit_truth(a, dir),
+        QfFormula::Not(inner) => !formula_limit_truth(inner, dir),
+        QfFormula::And(parts) => parts.iter().all(|p| formula_limit_truth(p, dir)),
+        QfFormula::Or(parts) => parts.iter().any(|p| formula_limit_truth(p, dir)),
+    }
+}
+
+/// `f_{φ,a}(k)`: evaluates `φ` at the scaled point `k·dir`. Used in tests
+/// to confirm that [`formula_limit_truth`] agrees with large finite `k`.
+pub fn eval_at_scaled(f: &QfFormula, dir: &[f64], k: f64) -> bool {
+    let point: Vec<f64> = dir.iter().map(|&x| x * k).collect();
+    f.eval_f64(&point)
+}
+
+/// A monomial lowered for fast evaluation: `(coefficient, [(dense var
+/// index, exponent)])`.
+type LoweredTerm = (f64, Box<[(u32, u32)]>);
+
+/// An atom lowered for the Monte-Carlo hot loop: homogeneous components in
+/// *descending* degree order, each a list of lowered terms.
+struct CompiledAtom {
+    op: ConstraintOp,
+    /// Invariant: components are symbolically nonzero and sorted by
+    /// strictly descending degree.
+    components: Vec<Vec<LoweredTerm>>,
+}
+
+impl CompiledAtom {
+    fn limit_truth(&self, dir: &[f64]) -> bool {
+        let mut sign = 0i32;
+        for comp in &self.components {
+            let mut acc = 0.0f64;
+            for (coeff, factors) in comp {
+                let mut term = *coeff;
+                for &(v, e) in factors.iter() {
+                    // Exponents in ground formulas are tiny (≤ 3 in
+                    // practice); powi is the right tool.
+                    term *= dir[v as usize].powi(e as i32);
+                }
+                acc += term;
+            }
+            if acc > 0.0 {
+                sign = 1;
+                break;
+            }
+            if acc < 0.0 {
+                sign = -1;
+                break;
+            }
+        }
+        self.op.holds(sign)
+    }
+}
+
+/// Boolean skeleton over deduplicated atom ids.
+enum Node {
+    True,
+    False,
+    Atom(u32),
+    And(Vec<Node>),
+    Or(Vec<Node>),
+}
+
+/// A formula compiled for repeated asymptotic evaluation.
+///
+/// Construction performs, once:
+///
+/// * NNF conversion (negations absorbed into atoms);
+/// * atom deduplication — ground formulas repeat the same comparison for
+///   many database tuples, and each unique atom is evaluated at most once
+///   per direction;
+/// * homogeneous-component extraction per atom (descending degree);
+/// * variable densification: the original [`Var`]s are remapped onto
+///   `0..dim()`, so direction vectors only carry coordinates that matter
+///   (the §9 partial-sampling optimization).
+///
+/// Per direction, call [`CompiledFormula::limit_truth`] with a scratch
+/// memo from [`CompiledFormula::new_memo`].
+pub struct CompiledFormula {
+    atoms: Vec<CompiledAtom>,
+    root: Node,
+    /// `vars[i]` is the original variable for dense coordinate `i`.
+    vars: Vec<Var>,
+}
+
+impl CompiledFormula {
+    /// Compiles a formula. The input need not be in NNF.
+    pub fn compile(f: &QfFormula) -> CompiledFormula {
+        let nnf = f.nnf();
+        // Dense variable order: sorted original ids, for determinism.
+        let vars: Vec<Var> = nnf.vars().into_iter().collect();
+        let dense: HashMap<Var, u32> =
+            vars.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
+
+        let mut atoms: Vec<CompiledAtom> = Vec::new();
+        let mut ids: HashMap<Atom, u32> = HashMap::new();
+        let root = Self::build(&nnf, &dense, &mut atoms, &mut ids);
+        CompiledFormula { atoms, root, vars }
+    }
+
+    fn build(
+        f: &QfFormula,
+        dense: &HashMap<Var, u32>,
+        atoms: &mut Vec<CompiledAtom>,
+        ids: &mut HashMap<Atom, u32>,
+    ) -> Node {
+        match f {
+            QfFormula::True => Node::True,
+            QfFormula::False => Node::False,
+            QfFormula::Not(_) => unreachable!("compile runs on NNF input"),
+            QfFormula::Atom(a) => {
+                let id = *ids.entry(a.clone()).or_insert_with(|| {
+                    atoms.push(Self::lower_atom(a, dense));
+                    (atoms.len() - 1) as u32
+                });
+                Node::Atom(id)
+            }
+            QfFormula::And(parts) => {
+                Node::And(parts.iter().map(|p| Self::build(p, dense, atoms, ids)).collect())
+            }
+            QfFormula::Or(parts) => {
+                Node::Or(parts.iter().map(|p| Self::build(p, dense, atoms, ids)).collect())
+            }
+        }
+    }
+
+    fn lower_atom(a: &Atom, dense: &HashMap<Var, u32>) -> CompiledAtom {
+        let p = a.poly();
+        let mut components: Vec<Vec<LoweredTerm>> = Vec::new();
+        for d in (0..=p.degree()).rev() {
+            let comp = p.homogeneous_component(d);
+            if comp.is_zero() {
+                continue;
+            }
+            let terms: Vec<LoweredTerm> = comp
+                .terms()
+                .map(|(m, c)| {
+                    let factors: Box<[(u32, u32)]> = m
+                        .factors()
+                        .iter()
+                        .map(|&(v, e)| (dense[&v], e))
+                        .collect();
+                    (c.to_f64(), factors)
+                })
+                .collect();
+            components.push(terms);
+        }
+        CompiledAtom { op: a.op(), components }
+    }
+
+    /// Dimension of the dense direction space (number of distinct
+    /// variables in the formula).
+    pub fn dim(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// The original variable ids, in dense-coordinate order.
+    pub fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+
+    /// Number of deduplicated atoms.
+    pub fn atom_count(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Allocates a scratch memo for [`CompiledFormula::limit_truth`].
+    pub fn new_memo(&self) -> Vec<i8> {
+        vec![-1; self.atoms.len()]
+    }
+
+    /// The asymptotic truth of the formula along `dir` (dense
+    /// coordinates, length [`CompiledFormula::dim`]).
+    ///
+    /// `memo` must come from [`CompiledFormula::new_memo`]; it is reset
+    /// internally, so one allocation serves all directions.
+    pub fn limit_truth(&self, dir: &[f64], memo: &mut [i8]) -> bool {
+        debug_assert_eq!(dir.len(), self.vars.len());
+        debug_assert_eq!(memo.len(), self.atoms.len());
+        memo.fill(-1);
+        self.eval_node(&self.root, dir, memo)
+    }
+
+    fn eval_node(&self, node: &Node, dir: &[f64], memo: &mut [i8]) -> bool {
+        match node {
+            Node::True => true,
+            Node::False => false,
+            Node::Atom(id) => {
+                let i = *id as usize;
+                match memo[i] {
+                    0 => false,
+                    1 => true,
+                    _ => {
+                        let t = self.atoms[i].limit_truth(dir);
+                        memo[i] = t as i8;
+                        t
+                    }
+                }
+            }
+            Node::And(parts) => parts.iter().all(|p| self.eval_node(p, dir, memo)),
+            Node::Or(parts) => parts.iter().any(|p| self.eval_node(p, dir, memo)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qarith_numeric::Rational;
+
+    fn z(i: u32) -> Polynomial {
+        Polynomial::var(Var(i))
+    }
+
+    fn c(n: i64) -> Polynomial {
+        Polynomial::constant(Rational::from_int(n))
+    }
+
+    fn atom(p: Polynomial, op: ConstraintOp) -> QfFormula {
+        QfFormula::atom(Atom::new(p, op))
+    }
+
+    #[test]
+    fn limit_sign_leading_term_dominates() {
+        // p = z0² − 1000·z1: along (1, 1) the quadratic term wins.
+        let p = z(0) * z(0) - c(1000) * z(1);
+        assert_eq!(limit_sign_along(&p, &[1.0, 1.0]), 1);
+        // Along (0, 1) the quadratic component vanishes; −1000·z1 decides.
+        assert_eq!(limit_sign_along(&p, &[0.0, 1.0]), -1);
+        // Along (0, 0): constant zero.
+        assert_eq!(limit_sign_along(&p, &[0.0, 0.0]), 0);
+    }
+
+    #[test]
+    fn limit_sign_constant_polynomials() {
+        assert_eq!(limit_sign_along(&c(5), &[1.0]), 1);
+        assert_eq!(limit_sign_along(&c(-5), &[1.0]), -1);
+        assert_eq!(limit_sign_along(&Polynomial::zero(), &[1.0]), 0);
+    }
+
+    #[test]
+    fn constants_ignored_asymptotically() {
+        // z0 − 10⁶ > 0: along any positive direction eventually true.
+        let p = z(0) - c(1_000_000);
+        assert_eq!(limit_sign_along(&p, &[0.001]), 1);
+        assert_eq!(limit_sign_along(&p, &[-0.001]), -1);
+    }
+
+    #[test]
+    fn equality_atoms_need_identically_zero_rays() {
+        let eq = Atom::new(z(0) - z(1), ConstraintOp::Eq);
+        assert!(atom_limit_truth(&eq, &[1.0, 1.0])); // on the diagonal: 0 ≡ 0
+        assert!(!atom_limit_truth(&eq, &[1.0, 2.0]));
+        let ne = eq.negated();
+        assert!(!atom_limit_truth(&ne, &[1.0, 1.0]));
+        assert!(atom_limit_truth(&ne, &[1.0, 2.0]));
+    }
+
+    #[test]
+    fn limit_matches_large_k_evaluation() {
+        // The intro-example constraint: z1 ≥ 0 ∧ z0 ≥ 8 ∧ 0.7·z1 ≥ z0.
+        let point7 = Polynomial::constant(Rational::new(7, 10));
+        let f = QfFormula::and([
+            atom(z(1), ConstraintOp::Ge),
+            atom(z(0) - c(8), ConstraintOp::Ge),
+            atom(point7 * z(1) - z(0), ConstraintOp::Ge),
+        ]);
+        let dirs = [
+            [0.5f64, 1.0],
+            [1.0, 1.0],
+            [0.1, 0.9],
+            [-0.3, 0.7],
+            [0.6, 0.65],
+            [0.0, 1.0],
+        ];
+        for dir in dirs {
+            let expected = eval_at_scaled(&f, &dir, 1e9);
+            assert_eq!(
+                formula_limit_truth(&f, &dir),
+                expected,
+                "direction {dir:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_matches_interpreter() {
+        let f = QfFormula::or([
+            QfFormula::and([
+                atom(z(0) * z(0) - z(1), ConstraintOp::Lt),
+                atom(z(2) + z(0), ConstraintOp::Gt),
+            ]),
+            atom(z(1) - c(3) * z(2), ConstraintOp::Le).negated(),
+        ]);
+        let compiled = CompiledFormula::compile(&f);
+        assert_eq!(compiled.dim(), 3);
+        let mut memo = compiled.new_memo();
+        let dirs = [
+            [0.3, 0.2, 0.1],
+            [-0.5, 0.5, 0.5],
+            [1.0, -1.0, 0.0],
+            [0.0, 0.0, 1.0],
+            [0.7, 0.7, -0.7],
+        ];
+        for dir in dirs {
+            assert_eq!(
+                compiled.limit_truth(&dir, &mut memo),
+                formula_limit_truth(&f, &dir),
+                "direction {dir:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_densifies_sparse_vars() {
+        // Formula over z5 and z100 compiles to a 2-dimensional direction
+        // space — the §9 partial-sampling optimization.
+        let f = QfFormula::and([
+            atom(z(5), ConstraintOp::Gt),
+            atom(z(100) - z(5), ConstraintOp::Gt),
+        ]);
+        let compiled = CompiledFormula::compile(&f);
+        assert_eq!(compiled.dim(), 2);
+        assert_eq!(compiled.vars(), &[Var(5), Var(100)]);
+        let mut memo = compiled.new_memo();
+        assert!(compiled.limit_truth(&[1.0, 2.0], &mut memo));
+        assert!(!compiled.limit_truth(&[2.0, 1.0], &mut memo));
+    }
+
+    #[test]
+    fn compiled_dedups_repeated_atoms() {
+        let a = atom(z(0), ConstraintOp::Gt);
+        let f = QfFormula::or([
+            QfFormula::and([a.clone(), atom(z(1), ConstraintOp::Gt)]),
+            QfFormula::and([a.clone(), atom(z(1), ConstraintOp::Lt)]),
+        ]);
+        let compiled = CompiledFormula::compile(&f);
+        assert_eq!(compiled.atom_count(), 3, "z0>0 appears once after dedup");
+    }
+
+    #[test]
+    fn compiled_handles_constants() {
+        let t = CompiledFormula::compile(&QfFormula::True);
+        assert!(t.limit_truth(&[], &mut t.new_memo()));
+        let f = CompiledFormula::compile(&QfFormula::False);
+        assert!(!f.limit_truth(&[], &mut f.new_memo()));
+    }
+
+    #[test]
+    fn lemma_8_2_monotone_stabilization() {
+        // f_{φ,a}(k) must stabilize: check a formula whose truth flips at
+        // finite k but settles.  φ: (z0 − 5)·(z0 − 10) > 0 along a = (1).
+        let p = (z(0) - c(5)) * (z(0) - c(10));
+        let f = atom(p, ConstraintOp::Gt);
+        // k = 7: (2)(−3) < 0 → false; k large: true.
+        assert!(!eval_at_scaled(&f, &[1.0], 7.0));
+        assert!(eval_at_scaled(&f, &[1.0], 100.0));
+        assert!(formula_limit_truth(&f, &[1.0]));
+    }
+}

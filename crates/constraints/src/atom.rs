@@ -1,0 +1,250 @@
+use std::fmt;
+
+use qarith_numeric::{NumericError, Rational};
+
+use crate::linear::LinearExpr;
+use crate::polynomial::Polynomial;
+
+/// Comparison operators against zero.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ConstraintOp {
+    /// `p < 0`
+    Lt,
+    /// `p ≤ 0`
+    Le,
+    /// `p = 0`
+    Eq,
+    /// `p ≠ 0`
+    Ne,
+    /// `p > 0`
+    Gt,
+    /// `p ≥ 0`
+    Ge,
+}
+
+impl ConstraintOp {
+    /// Whether the comparison holds for a value with the given sign
+    /// (`-1`, `0`, `1`).
+    ///
+    /// This single function also decides *asymptotic* truth (Lemma 8.4):
+    /// along a direction, a univariate polynomial either diverges with the
+    /// sign of its leading nonzero coefficient or is identically zero
+    /// (sign 0) — in both cases the eventual truth of `p ⋈ 0` is
+    /// `holds(sign)`.
+    pub fn holds(self, sign: i32) -> bool {
+        match self {
+            ConstraintOp::Lt => sign < 0,
+            ConstraintOp::Le => sign <= 0,
+            ConstraintOp::Eq => sign == 0,
+            ConstraintOp::Ne => sign != 0,
+            ConstraintOp::Gt => sign > 0,
+            ConstraintOp::Ge => sign >= 0,
+        }
+    }
+
+    /// The complement operator: `¬(p ⋈ 0)` is `p ⋈′ 0`.
+    pub fn negated(self) -> ConstraintOp {
+        match self {
+            ConstraintOp::Lt => ConstraintOp::Ge,
+            ConstraintOp::Le => ConstraintOp::Gt,
+            ConstraintOp::Eq => ConstraintOp::Ne,
+            ConstraintOp::Ne => ConstraintOp::Eq,
+            ConstraintOp::Gt => ConstraintOp::Le,
+            ConstraintOp::Ge => ConstraintOp::Lt,
+        }
+    }
+
+    /// The operator with both sides of the comparison flipped
+    /// (`p ⋈ 0` ⇔ `-p flipped(⋈) 0`).
+    pub fn flipped(self) -> ConstraintOp {
+        match self {
+            ConstraintOp::Lt => ConstraintOp::Gt,
+            ConstraintOp::Le => ConstraintOp::Ge,
+            ConstraintOp::Gt => ConstraintOp::Lt,
+            ConstraintOp::Ge => ConstraintOp::Le,
+            ConstraintOp::Eq => ConstraintOp::Eq,
+            ConstraintOp::Ne => ConstraintOp::Ne,
+        }
+    }
+
+    /// `true` for the operators that define topologically open sets
+    /// (`<`, `>`, `≠`). Open atoms are what the FPRAS cone machinery
+    /// expects; closed atoms differ from their open interiors by
+    /// measure-zero sets.
+    pub fn is_strict(self) -> bool {
+        matches!(self, ConstraintOp::Lt | ConstraintOp::Gt | ConstraintOp::Ne)
+    }
+}
+
+impl fmt::Display for ConstraintOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ConstraintOp::Lt => "<",
+            ConstraintOp::Le => "<=",
+            ConstraintOp::Eq => "=",
+            ConstraintOp::Ne => "!=",
+            ConstraintOp::Gt => ">",
+            ConstraintOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A polynomial constraint `p(z̄) ⋈ 0`.
+///
+/// The grounding translation normalizes every comparison `t ⋈ t′` between
+/// numerical terms into this "polynomial versus zero" form (`t − t′ ⋈ 0`).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    poly: Polynomial,
+    op: ConstraintOp,
+}
+
+impl Atom {
+    /// Creates the atom `poly ⋈ 0`.
+    pub fn new(poly: Polynomial, op: ConstraintOp) -> Atom {
+        Atom { poly, op }
+    }
+
+    /// The atom `lhs ⋈ rhs` as `lhs − rhs ⋈ 0`.
+    pub fn compare(lhs: &Polynomial, op: ConstraintOp, rhs: &Polynomial) -> Result<Atom, NumericError> {
+        Ok(Atom { poly: lhs.checked_sub(rhs)?, op })
+    }
+
+    /// The left-hand polynomial.
+    pub fn poly(&self) -> &Polynomial {
+        &self.poly
+    }
+
+    /// The comparison operator.
+    pub fn op(&self) -> ConstraintOp {
+        self.op
+    }
+
+    /// Logical negation (complement operator on the same polynomial).
+    pub fn negated(&self) -> Atom {
+        Atom { poly: self.poly.clone(), op: self.op.negated() }
+    }
+
+    /// If the polynomial is constant, the atom's truth value.
+    pub fn as_constant(&self) -> Option<bool> {
+        self.poly.as_constant().map(|c| self.op.holds(c.signum()))
+    }
+
+    /// Evaluates at an `f64` point indexed by
+    /// [`Var::index`](crate::Var::index).
+    pub fn eval_f64(&self, point: &[f64]) -> bool {
+        let v = self.poly.eval_f64(point);
+        self.op.holds(if v < 0.0 {
+            -1
+        } else if v > 0.0 {
+            1
+        } else {
+            0
+        })
+    }
+
+    /// Exact evaluation at a rational point.
+    pub fn eval_rational(&self, point: &[Rational]) -> Result<bool, NumericError> {
+        Ok(self.op.holds(self.poly.eval_rational(point)?.signum()))
+    }
+
+    /// If the atom is linear (degree ≤ 1), its affine form.
+    pub fn as_linear(&self) -> Option<LinearExpr> {
+        self.poly.as_linear()
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} 0", self.poly, self.op)
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::var::Var;
+
+    fn z(i: u32) -> Polynomial {
+        Polynomial::var(Var(i))
+    }
+
+    #[test]
+    fn holds_truth_table() {
+        use ConstraintOp::*;
+        for (op, neg, zero, pos) in [
+            (Lt, true, false, false),
+            (Le, true, true, false),
+            (Eq, false, true, false),
+            (Ne, true, false, true),
+            (Gt, false, false, true),
+            (Ge, false, true, true),
+        ] {
+            assert_eq!(op.holds(-1), neg, "{op} at -1");
+            assert_eq!(op.holds(0), zero, "{op} at 0");
+            assert_eq!(op.holds(1), pos, "{op} at 1");
+        }
+    }
+
+    #[test]
+    fn negation_complements_everywhere() {
+        use ConstraintOp::*;
+        for op in [Lt, Le, Eq, Ne, Gt, Ge] {
+            for sign in [-1, 0, 1] {
+                assert_eq!(op.holds(sign), !op.negated().holds(sign));
+            }
+        }
+    }
+
+    #[test]
+    fn flip_mirrors_sign() {
+        use ConstraintOp::*;
+        for op in [Lt, Le, Eq, Ne, Gt, Ge] {
+            for sign in [-1, 0, 1] {
+                assert_eq!(op.holds(sign), op.flipped().holds(-sign));
+            }
+        }
+    }
+
+    #[test]
+    fn compare_normalizes_to_zero() {
+        // z0 < z1  ⇝  z0 − z1 < 0
+        let a = Atom::compare(&z(0), ConstraintOp::Lt, &z(1)).unwrap();
+        assert!(a.eval_f64(&[1.0, 2.0]));
+        assert!(!a.eval_f64(&[2.0, 1.0]));
+        assert!(!a.eval_f64(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn constant_atoms() {
+        let t = Atom::new(Polynomial::constant(Rational::from_int(-1)), ConstraintOp::Lt);
+        assert_eq!(t.as_constant(), Some(true));
+        let f = Atom::new(Polynomial::zero(), ConstraintOp::Ne);
+        assert_eq!(f.as_constant(), Some(false));
+        let open = Atom::new(z(0), ConstraintOp::Lt);
+        assert_eq!(open.as_constant(), None);
+    }
+
+    #[test]
+    fn rational_eval_is_exact() {
+        // 3·z0 − 1 = 0 at z0 = 1/3 — f64 would wobble, rationals do not.
+        let p = Polynomial::constant(Rational::from_int(3)) * z(0)
+            - Polynomial::one();
+        let a = Atom::new(p, ConstraintOp::Eq);
+        assert!(a.eval_rational(&[Rational::new(1, 3)]).unwrap());
+        assert!(!a.eval_rational(&[Rational::new(1, 2)]).unwrap());
+    }
+
+    #[test]
+    fn display() {
+        let a = Atom::compare(&z(0), ConstraintOp::Le, &z(1)).unwrap();
+        assert_eq!(a.to_string(), "z0 - z1 <= 0");
+    }
+}

@@ -1,0 +1,62 @@
+use std::fmt;
+
+use qarith_numeric::NumericError;
+
+/// Errors from formula manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormulaError {
+    /// DNF conversion exceeded the configured size budget.
+    ///
+    /// DNF size can be exponential in formula size; callers that need a DNF
+    /// (the Theorem 7.1 FPRAS) set an explicit budget and fall back to the
+    /// additive scheme when it is exceeded.
+    DnfBlowup {
+        /// Number of conjunctions produced before giving up.
+        reached: usize,
+        /// The configured budget.
+        limit: usize,
+    },
+    /// Exact rational arithmetic failed (overflow/division by zero).
+    Numeric(NumericError),
+}
+
+impl fmt::Display for FormulaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormulaError::DnfBlowup { reached, limit } => write!(
+                f,
+                "DNF conversion exceeded its size budget ({reached} > {limit} disjuncts)"
+            ),
+            FormulaError::Numeric(e) => write!(f, "numeric error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FormulaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FormulaError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericError> for FormulaError {
+    fn from(e: NumericError) -> Self {
+        FormulaError::Numeric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e = FormulaError::DnfBlowup { reached: 2048, limit: 1024 };
+        assert!(e.to_string().contains("2048"));
+        let e: FormulaError = NumericError::DivisionByZero.into();
+        assert!(matches!(e, FormulaError::Numeric(_)));
+        assert!(e.to_string().contains("division by zero"));
+    }
+}

@@ -1,0 +1,186 @@
+use std::fmt;
+
+use qarith_numeric::Rational;
+
+use crate::var::Var;
+
+/// An affine form `Σ cᵢ·zᵢ + c₀` over ℚ.
+///
+/// Extracted from degree-≤1 [`Polynomial`](crate::Polynomial)s. The
+/// Theorem 7.1 FPRAS turns each CQ(+,<) disjunct into an intersection of
+/// halfspaces `LinearExpr ⋈ 0`; [`LinearExpr::dense_coeffs`] exports the
+/// coefficient vector in the dense `f64` layout the geometry crate expects.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct LinearExpr {
+    /// Sorted by variable, no zero coefficients.
+    coeffs: Vec<(Var, Rational)>,
+    constant: Rational,
+}
+
+impl LinearExpr {
+    /// Builds an affine form; merges duplicate variables, drops zeros.
+    pub fn new(coeffs: impl IntoIterator<Item = (Var, Rational)>, constant: Rational) -> Self {
+        let mut v: Vec<(Var, Rational)> = Vec::new();
+        for (var, c) in coeffs {
+            v.push((var, c));
+        }
+        v.sort_by_key(|&(var, _)| var);
+        let mut merged: Vec<(Var, Rational)> = Vec::with_capacity(v.len());
+        for (var, c) in v {
+            match merged.last_mut() {
+                Some((last, acc)) if *last == var => *acc += c,
+                _ => merged.push((var, c)),
+            }
+        }
+        merged.retain(|(_, c)| !c.is_zero());
+        LinearExpr { coeffs: merged, constant }
+    }
+
+    /// The constant (affine) term.
+    pub fn constant(&self) -> Rational {
+        self.constant
+    }
+
+    /// Coefficient of `v` (zero if absent).
+    pub fn coeff(&self, v: Var) -> Rational {
+        self.coeffs
+            .binary_search_by_key(&v, |&(var, _)| var)
+            .map(|i| self.coeffs[i].1)
+            .unwrap_or(Rational::ZERO)
+    }
+
+    /// The nonzero `(variable, coefficient)` pairs, sorted by variable.
+    pub fn coeffs(&self) -> &[(Var, Rational)] {
+        &self.coeffs
+    }
+
+    /// `true` iff the linear part is empty (the form is a constant).
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// The homogeneous part (constant dropped) — `c·z̄ < c₀` becomes
+    /// `c·z̄ < 0` in the FPRAS reduction.
+    pub fn homogenized(&self) -> LinearExpr {
+        LinearExpr { coeffs: self.coeffs.clone(), constant: Rational::ZERO }
+    }
+
+    /// Exports the coefficients as a dense `f64` vector of length `dim`
+    /// using `index_of` to map variables to coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_of` maps a variable outside `0..dim`.
+    pub fn dense_coeffs(&self, dim: usize, mut index_of: impl FnMut(Var) -> usize) -> Vec<f64> {
+        let mut out = vec![0.0; dim];
+        for &(v, c) in &self.coeffs {
+            let i = index_of(v);
+            assert!(i < dim, "variable {v} mapped out of range ({i} >= {dim})");
+            out[i] += c.to_f64();
+        }
+        out
+    }
+
+    /// Evaluates at an `f64` point indexed by [`Var::index`].
+    pub fn eval_f64(&self, point: &[f64]) -> f64 {
+        let mut acc = self.constant.to_f64();
+        for &(v, c) in &self.coeffs {
+            acc += c.to_f64() * point[v.index()];
+        }
+        acc
+    }
+}
+
+impl fmt::Display for LinearExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for &(v, c) in &self.coeffs {
+            if first {
+                if c.signum() < 0 {
+                    write!(f, "-")?;
+                }
+                first = false;
+            } else if c.signum() < 0 {
+                write!(f, " - ")?;
+            } else {
+                write!(f, " + ")?;
+            }
+            let mag = c.abs();
+            if mag == Rational::ONE {
+                write!(f, "{v}")?;
+            } else {
+                write!(f, "{mag}*{v}")?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if !self.constant.is_zero() {
+            if self.constant.signum() < 0 {
+                write!(f, " - {}", self.constant.abs())?;
+            } else {
+                write!(f, " + {}", self.constant)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for LinearExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64) -> Rational {
+        Rational::from_int(n)
+    }
+
+    #[test]
+    fn merging_and_zero_dropping() {
+        let e = LinearExpr::new(
+            vec![(Var(1), r(2)), (Var(0), r(3)), (Var(1), r(-2))],
+            r(5),
+        );
+        assert_eq!(e.coeff(Var(0)), r(3));
+        assert_eq!(e.coeff(Var(1)), r(0));
+        assert_eq!(e.coeffs().len(), 1);
+        assert_eq!(e.constant(), r(5));
+    }
+
+    #[test]
+    fn homogenization_drops_constant() {
+        let e = LinearExpr::new(vec![(Var(0), r(2))], r(7));
+        let h = e.homogenized();
+        assert_eq!(h.constant(), Rational::ZERO);
+        assert_eq!(h.coeff(Var(0)), r(2));
+    }
+
+    #[test]
+    fn dense_export() {
+        let e = LinearExpr::new(vec![(Var(2), r(1)), (Var(5), r(-2))], r(0));
+        let dense = e.dense_coeffs(3, |v| match v.0 {
+            2 => 0,
+            5 => 2,
+            _ => panic!(),
+        });
+        assert_eq!(dense, vec![1.0, 0.0, -2.0]);
+    }
+
+    #[test]
+    fn evaluation() {
+        let e = LinearExpr::new(vec![(Var(0), r(2)), (Var(1), r(-1))], r(3));
+        assert_eq!(e.eval_f64(&[1.0, 4.0]), 1.0);
+        assert!(LinearExpr::new(vec![], r(4)).is_constant());
+    }
+
+    #[test]
+    fn display() {
+        let e = LinearExpr::new(vec![(Var(0), r(-1)), (Var(1), r(2))], r(-3));
+        assert_eq!(e.to_string(), "-z0 + 2*z1 - 3");
+        assert_eq!(LinearExpr::new(vec![], r(7)).to_string(), "7");
+    }
+}

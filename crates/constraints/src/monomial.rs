@@ -1,0 +1,210 @@
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::var::Var;
+
+/// A monomial: a product of variable powers, e.g. `z0² · z2`.
+///
+/// Stored as a sorted list of `(variable, exponent)` pairs with strictly
+/// positive exponents and strictly increasing variables — a canonical form,
+/// so structural equality coincides with mathematical equality. The empty
+/// monomial is the constant `1`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Monomial {
+    /// Sorted by variable; exponents ≥ 1.
+    factors: Box<[(Var, u32)]>,
+}
+
+impl Monomial {
+    /// The unit monomial (constant `1`).
+    pub fn unit() -> Monomial {
+        Monomial { factors: Box::new([]) }
+    }
+
+    /// A single variable to the first power.
+    pub fn var(v: Var) -> Monomial {
+        Monomial { factors: Box::new([(v, 1)]) }
+    }
+
+    /// Builds a monomial from arbitrary `(var, exp)` pairs: merges repeats,
+    /// drops zero exponents, sorts.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Var, u32)>) -> Monomial {
+        let mut v: Vec<(Var, u32)> = Vec::new();
+        for (var, exp) in pairs {
+            if exp == 0 {
+                continue;
+            }
+            v.push((var, exp));
+        }
+        v.sort_by_key(|&(var, _)| var);
+        let mut merged: Vec<(Var, u32)> = Vec::with_capacity(v.len());
+        for (var, exp) in v {
+            match merged.last_mut() {
+                Some((last, e)) if *last == var => *e += exp,
+                _ => merged.push((var, exp)),
+            }
+        }
+        Monomial { factors: merged.into_boxed_slice() }
+    }
+
+    /// `true` for the constant-1 monomial.
+    pub fn is_unit(&self) -> bool {
+        self.factors.is_empty()
+    }
+
+    /// Total degree (sum of exponents).
+    pub fn degree(&self) -> u32 {
+        self.factors.iter().map(|&(_, e)| e).sum()
+    }
+
+    /// The `(variable, exponent)` factors, sorted by variable.
+    pub fn factors(&self) -> &[(Var, u32)] {
+        &self.factors
+    }
+
+    /// Iterator over the variables occurring in this monomial.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.factors.iter().map(|&(v, _)| v)
+    }
+
+    /// Product of two monomials (exponents add).
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        let mut out: Vec<(Var, u32)> = Vec::with_capacity(self.factors.len() + other.factors.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.factors.len() && j < other.factors.len() {
+            let (va, ea) = self.factors[i];
+            let (vb, eb) = other.factors[j];
+            match va.cmp(&vb) {
+                Ordering::Less => {
+                    out.push((va, ea));
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    out.push((vb, eb));
+                    j += 1;
+                }
+                Ordering::Equal => {
+                    out.push((va, ea + eb));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.factors[i..]);
+        out.extend_from_slice(&other.factors[j..]);
+        Monomial { factors: out.into_boxed_slice() }
+    }
+
+    /// Evaluates at a point given as a slice indexed by [`Var::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point is shorter than the largest variable index.
+    pub fn eval_f64(&self, point: &[f64]) -> f64 {
+        let mut acc = 1.0;
+        for &(v, e) in self.factors.iter() {
+            acc *= point[v.index()].powi(e as i32);
+        }
+        acc
+    }
+}
+
+/// Graded lexicographic order: first by total degree, then lexicographically
+/// by factors. This puts higher-degree monomials later, which keeps
+/// [`Polynomial`](crate::Polynomial) term maps grouped by degree.
+impl Ord for Monomial {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.degree()
+            .cmp(&other.degree())
+            .then_with(|| self.factors.cmp(&other.factors))
+    }
+}
+
+impl PartialOrd for Monomial {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_unit() {
+            return write!(f, "1");
+        }
+        for (i, &(v, e)) in self.factors.iter().enumerate() {
+            if i > 0 {
+                write!(f, "*")?;
+            }
+            if e == 1 {
+                write!(f, "{v}")?;
+            } else {
+                write!(f, "{v}^{e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pairs: &[(u32, u32)]) -> Monomial {
+        Monomial::from_pairs(pairs.iter().map(|&(v, e)| (Var(v), e)))
+    }
+
+    #[test]
+    fn canonical_form() {
+        assert_eq!(m(&[(1, 2), (0, 1)]), m(&[(0, 1), (1, 2)]));
+        assert_eq!(m(&[(0, 1), (0, 1)]), m(&[(0, 2)]));
+        assert_eq!(m(&[(0, 0)]), Monomial::unit());
+        assert!(m(&[]).is_unit());
+    }
+
+    #[test]
+    fn degree_and_vars() {
+        let mono = m(&[(0, 2), (3, 1)]);
+        assert_eq!(mono.degree(), 3);
+        let vars: Vec<Var> = mono.vars().collect();
+        assert_eq!(vars, vec![Var(0), Var(3)]);
+    }
+
+    #[test]
+    fn multiplication_merges_exponents() {
+        let a = m(&[(0, 1), (2, 1)]);
+        let b = m(&[(0, 2), (1, 1)]);
+        assert_eq!(a.mul(&b), m(&[(0, 3), (1, 1), (2, 1)]));
+        assert_eq!(a.mul(&Monomial::unit()), a);
+        assert_eq!(Monomial::unit().mul(&a), a);
+    }
+
+    #[test]
+    fn graded_lex_ordering() {
+        // degree first …
+        assert!(m(&[(5, 1)]) < m(&[(0, 2)]));
+        // … then lexicographic within a degree.
+        assert!(m(&[(0, 1), (1, 1)]) < m(&[(0, 2)]));
+        assert!(Monomial::unit() < m(&[(0, 1)]));
+    }
+
+    #[test]
+    fn eval_at_point() {
+        let mono = m(&[(0, 2), (1, 1)]);
+        assert_eq!(mono.eval_f64(&[2.0, 3.0]), 12.0);
+        assert_eq!(Monomial::unit().eval_f64(&[]), 1.0);
+        assert_eq!(m(&[(1, 3)]).eval_f64(&[0.0, -2.0]), -8.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(m(&[(0, 1)]).to_string(), "z0");
+        assert_eq!(m(&[(0, 2), (1, 1)]).to_string(), "z0^2*z1");
+        assert_eq!(Monomial::unit().to_string(), "1");
+    }
+}

@@ -1,0 +1,482 @@
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+use qarith_numeric::{NumericError, Rational};
+
+use crate::linear::LinearExpr;
+use crate::monomial::Monomial;
+use crate::var::Var;
+
+/// A multivariate polynomial over ℚ in canonical form.
+///
+/// The term map never contains zero coefficients, so:
+///
+/// * `p.is_zero()` ⇔ `p` is the zero polynomial (mathematically);
+/// * a homogeneous component is the zero polynomial iff it has no terms.
+///
+/// Both properties are load-bearing for the asymptotic analysis of
+/// Lemma 8.4: the limit of `p(k·a)` is read off the highest-degree
+/// component that is not *identically* zero, which canonical form makes a
+/// purely syntactic check.
+///
+/// ```
+/// use qarith_constraints::{Polynomial, Var};
+/// use qarith_numeric::Rational;
+///
+/// // (z0 + z1)² − z0² − 2·z0·z1 − z1²  ≡  0
+/// let z0 = Polynomial::var(Var(0));
+/// let z1 = Polynomial::var(Var(1));
+/// let sq = (z0.clone() + z1.clone()).checked_mul(&(z0.clone() + z1.clone())).unwrap();
+/// let expanded = z0.clone() * z0.clone()
+///     + Polynomial::constant(Rational::from_int(2)) * z0 * z1.clone()
+///     + z1.clone() * z1;
+/// assert!((sq - expanded).is_zero());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Polynomial {
+    /// Canonical: no zero coefficients. Graded-lex key order groups terms
+    /// by total degree.
+    terms: BTreeMap<Monomial, Rational>,
+}
+
+impl Polynomial {
+    /// The zero polynomial.
+    pub fn zero() -> Polynomial {
+        Polynomial { terms: BTreeMap::new() }
+    }
+
+    /// The constant polynomial `1`.
+    pub fn one() -> Polynomial {
+        Polynomial::constant(Rational::ONE)
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: Rational) -> Polynomial {
+        let mut terms = BTreeMap::new();
+        if !c.is_zero() {
+            terms.insert(Monomial::unit(), c);
+        }
+        Polynomial { terms }
+    }
+
+    /// The polynomial `v`.
+    pub fn var(v: Var) -> Polynomial {
+        let mut terms = BTreeMap::new();
+        terms.insert(Monomial::var(v), Rational::ONE);
+        Polynomial { terms }
+    }
+
+    /// Builds a polynomial from raw `(monomial, coefficient)` pairs,
+    /// summing duplicates and dropping zeros.
+    pub fn from_terms(
+        pairs: impl IntoIterator<Item = (Monomial, Rational)>,
+    ) -> Result<Polynomial, NumericError> {
+        let mut p = Polynomial::zero();
+        for (m, c) in pairs {
+            p.add_term(m, c)?;
+        }
+        Ok(p)
+    }
+
+    /// Adds `c · m` in place.
+    pub fn add_term(&mut self, m: Monomial, c: Rational) -> Result<(), NumericError> {
+        if c.is_zero() {
+            return Ok(());
+        }
+        match self.terms.entry(m) {
+            Entry::Vacant(e) => {
+                e.insert(c);
+            }
+            Entry::Occupied(mut e) => {
+                let sum = e.get().checked_add(&c)?;
+                if sum.is_zero() {
+                    e.remove();
+                } else {
+                    *e.get_mut() = sum;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` iff this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// If the polynomial is a constant (including zero), returns it.
+    pub fn as_constant(&self) -> Option<Rational> {
+        match self.terms.len() {
+            0 => Some(Rational::ZERO),
+            1 => {
+                let (m, c) = self.terms.iter().next().unwrap();
+                m.is_unit().then_some(*c)
+            }
+            _ => None,
+        }
+    }
+
+    /// Total degree; `0` for constants and for the zero polynomial.
+    pub fn degree(&self) -> u32 {
+        // Graded-lex order ⇒ the last key has maximal degree.
+        self.terms.keys().next_back().map_or(0, Monomial::degree)
+    }
+
+    /// The canonical `(monomial, coefficient)` pairs in graded-lex order.
+    pub fn terms(&self) -> impl Iterator<Item = (&Monomial, &Rational)> {
+        self.terms.iter()
+    }
+
+    /// Number of terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Coefficient of a monomial (zero if absent).
+    pub fn coeff(&self, m: &Monomial) -> Rational {
+        self.terms.get(m).copied().unwrap_or(Rational::ZERO)
+    }
+
+    /// The set of variables occurring with nonzero coefficient.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        for m in self.terms.keys() {
+            out.extend(m.vars());
+        }
+        out
+    }
+
+    /// Checked addition.
+    pub fn checked_add(&self, rhs: &Polynomial) -> Result<Polynomial, NumericError> {
+        let mut out = self.clone();
+        for (m, c) in rhs.terms.iter() {
+            out.add_term(m.clone(), *c)?;
+        }
+        Ok(out)
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(&self, rhs: &Polynomial) -> Result<Polynomial, NumericError> {
+        let mut out = self.clone();
+        for (m, c) in rhs.terms.iter() {
+            out.add_term(m.clone(), c.checked_neg()?)?;
+        }
+        Ok(out)
+    }
+
+    /// Checked multiplication (term-by-term convolution).
+    pub fn checked_mul(&self, rhs: &Polynomial) -> Result<Polynomial, NumericError> {
+        let mut out = Polynomial::zero();
+        for (ma, ca) in self.terms.iter() {
+            for (mb, cb) in rhs.terms.iter() {
+                out.add_term(ma.mul(mb), ca.checked_mul(cb)?)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Checked scaling by a rational.
+    pub fn checked_scale(&self, c: &Rational) -> Result<Polynomial, NumericError> {
+        if c.is_zero() {
+            return Ok(Polynomial::zero());
+        }
+        let mut out = Polynomial::zero();
+        for (m, k) in self.terms.iter() {
+            out.terms.insert(m.clone(), k.checked_mul(c)?);
+        }
+        Ok(out)
+    }
+
+    /// Negation.
+    pub fn negated(&self) -> Polynomial {
+        let mut out = Polynomial::zero();
+        for (m, c) in self.terms.iter() {
+            out.terms.insert(m.clone(), -*c);
+        }
+        out
+    }
+
+    /// Checked exponentiation by a small non-negative integer.
+    pub fn checked_pow(&self, exp: u32) -> Result<Polynomial, NumericError> {
+        let mut acc = Polynomial::one();
+        for _ in 0..exp {
+            acc = acc.checked_mul(self)?;
+        }
+        Ok(acc)
+    }
+
+    /// The degree-`d` homogeneous component.
+    pub fn homogeneous_component(&self, d: u32) -> Polynomial {
+        Polynomial {
+            terms: self
+                .terms
+                .iter()
+                .filter(|(m, _)| m.degree() == d)
+                .map(|(m, c)| (m.clone(), *c))
+                .collect(),
+        }
+    }
+
+    /// Drops the constant term — the homogenization `p̃` used by the
+    /// Theorem 7.1 FPRAS (for *linear* `p`, replacing `c·z̄ < c′` by
+    /// `c·z̄ < 0`).
+    pub fn without_constant_term(&self) -> Polynomial {
+        let mut out = self.clone();
+        out.terms.remove(&Monomial::unit());
+        out
+    }
+
+    /// Substitutes a constant for a variable.
+    pub fn substitute(&self, v: Var, value: &Rational) -> Result<Polynomial, NumericError> {
+        let mut out = Polynomial::zero();
+        for (m, c) in self.terms.iter() {
+            let mut coeff = *c;
+            let mut rest: Vec<(Var, u32)> = Vec::with_capacity(m.factors().len());
+            for &(mv, e) in m.factors() {
+                if mv == v {
+                    coeff = coeff.checked_mul(&value.checked_pow(e)?)?;
+                } else {
+                    rest.push((mv, e));
+                }
+            }
+            out.add_term(Monomial::from_pairs(rest), coeff)?;
+        }
+        Ok(out)
+    }
+
+    /// Renames variables via `f` (used when remapping null ids to dense
+    /// formula variables).
+    pub fn map_vars(&self, mut f: impl FnMut(Var) -> Var) -> Polynomial {
+        let mut out = Polynomial::zero();
+        for (m, c) in self.terms.iter() {
+            let renamed =
+                Monomial::from_pairs(m.factors().iter().map(|&(v, e)| (f(v), e)));
+            out.add_term(renamed, *c).expect("renaming cannot overflow");
+        }
+        out
+    }
+
+    /// Evaluates at a point (slice indexed by [`Var::index`]) in `f64`.
+    pub fn eval_f64(&self, point: &[f64]) -> f64 {
+        self.terms
+            .iter()
+            .map(|(m, c)| c.to_f64() * m.eval_f64(point))
+            .sum()
+    }
+
+    /// Evaluates exactly at a rational point (slice indexed by
+    /// [`Var::index`]).
+    pub fn eval_rational(&self, point: &[Rational]) -> Result<Rational, NumericError> {
+        let mut acc = Rational::ZERO;
+        for (m, c) in self.terms.iter() {
+            let mut term = *c;
+            for &(v, e) in m.factors() {
+                term = term.checked_mul(&point[v.index()].checked_pow(e)?)?;
+            }
+            acc = acc.checked_add(&term)?;
+        }
+        Ok(acc)
+    }
+
+    /// If `p` has degree ≤ 1, returns it as an affine form.
+    pub fn as_linear(&self) -> Option<LinearExpr> {
+        if self.degree() > 1 {
+            return None;
+        }
+        let mut constant = Rational::ZERO;
+        let mut coeffs = Vec::with_capacity(self.terms.len());
+        for (m, c) in self.terms.iter() {
+            if m.is_unit() {
+                constant = *c;
+            } else {
+                let &(v, e) = &m.factors()[0];
+                debug_assert_eq!(e, 1);
+                coeffs.push((v, *c));
+            }
+        }
+        Some(LinearExpr::new(coeffs, constant))
+    }
+}
+
+macro_rules! poly_binop {
+    ($trait:ident, $method:ident, $checked:ident) => {
+        impl $trait for Polynomial {
+            type Output = Polynomial;
+            fn $method(self, rhs: Polynomial) -> Polynomial {
+                self.$checked(&rhs).expect("polynomial arithmetic overflow")
+            }
+        }
+        impl $trait<&Polynomial> for &Polynomial {
+            type Output = Polynomial;
+            fn $method(self, rhs: &Polynomial) -> Polynomial {
+                self.$checked(rhs).expect("polynomial arithmetic overflow")
+            }
+        }
+    };
+}
+
+poly_binop!(Add, add, checked_add);
+poly_binop!(Sub, sub, checked_sub);
+poly_binop!(Mul, mul, checked_mul);
+
+impl Neg for Polynomial {
+    type Output = Polynomial;
+    fn neg(self) -> Polynomial {
+        self.negated()
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        for (i, (m, c)) in self.terms.iter().enumerate() {
+            let neg = c.signum() < 0;
+            let mag = c.abs();
+            if i == 0 {
+                if neg {
+                    write!(f, "-")?;
+                }
+            } else if neg {
+                write!(f, " - ")?;
+            } else {
+                write!(f, " + ")?;
+            }
+            if m.is_unit() {
+                write!(f, "{mag}")?;
+            } else if mag == Rational::ONE {
+                write!(f, "{m}")?;
+            } else {
+                write!(f, "{mag}*{m}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn z(i: u32) -> Polynomial {
+        Polynomial::var(Var(i))
+    }
+
+    fn c(n: i64) -> Polynomial {
+        Polynomial::constant(Rational::from_int(n))
+    }
+
+    #[test]
+    fn construction_and_zero() {
+        assert!(Polynomial::zero().is_zero());
+        assert!(Polynomial::constant(Rational::ZERO).is_zero());
+        assert!(!Polynomial::one().is_zero());
+        assert_eq!(Polynomial::one().as_constant(), Some(Rational::ONE));
+        assert_eq!(z(0).as_constant(), None);
+    }
+
+    #[test]
+    fn cancellation_restores_canonical_zero() {
+        let p = z(0) + z(1);
+        let q = (p.clone() * p.clone()) - (z(0) * z(0) + c(2) * z(0) * z(1) + z(1) * z(1));
+        assert!(q.is_zero());
+    }
+
+    #[test]
+    fn degree_computation() {
+        assert_eq!(Polynomial::zero().degree(), 0);
+        assert_eq!(c(5).degree(), 0);
+        assert_eq!(z(0).degree(), 1);
+        assert_eq!((z(0) * z(0) * z(1) + z(1)).degree(), 3);
+    }
+
+    #[test]
+    fn ring_identities() {
+        let p = z(0) * z(1) + c(3) * z(2) + c(-1);
+        let q = z(1) - c(2) * z(2);
+        let r = z(0) + c(7);
+        // distributivity
+        let lhs = p.clone() * (q.clone() + r.clone());
+        let rhs = p.clone() * q.clone() + p.clone() * r.clone();
+        assert_eq!(lhs, rhs);
+        // commutativity
+        assert_eq!(p.clone() * q.clone(), q.clone() * p.clone());
+        assert_eq!(p.clone() + q.clone(), q + p.clone());
+        // additive inverse
+        assert!((p.clone() - p).is_zero());
+    }
+
+    #[test]
+    fn homogeneous_components() {
+        let p = z(0) * z(0) + c(2) * z(0) + c(5); // z0² + 2 z0 + 5
+        assert_eq!(p.homogeneous_component(2), z(0) * z(0));
+        assert_eq!(p.homogeneous_component(1), c(2) * z(0));
+        assert_eq!(p.homogeneous_component(0), c(5));
+        assert!(p.homogeneous_component(3).is_zero());
+        assert_eq!(p.without_constant_term(), z(0) * z(0) + c(2) * z(0));
+    }
+
+    #[test]
+    fn substitution() {
+        let p = z(0) * z(0) + z(1); // z0² + z1
+        let s = p.substitute(Var(0), &Rational::from_int(3)).unwrap();
+        assert_eq!(s, z(1) + c(9));
+        let t = s.substitute(Var(1), &Rational::from_int(-9)).unwrap();
+        assert!(t.is_zero());
+    }
+
+    #[test]
+    fn evaluation_f64_and_rational() {
+        let p = z(0) * z(0) - c(2) * z(1) + c(1);
+        assert_eq!(p.eval_f64(&[3.0, 4.0]), 2.0);
+        let exact = p
+            .eval_rational(&[Rational::from_int(3), Rational::from_int(4)])
+            .unwrap();
+        assert_eq!(exact, Rational::from_int(2));
+    }
+
+    #[test]
+    fn linear_extraction() {
+        let p = c(2) * z(0) - c(3) * z(2) + c(7);
+        let lin = p.as_linear().expect("degree 1");
+        assert_eq!(lin.constant(), Rational::from_int(7));
+        assert_eq!(lin.coeff(Var(0)), Rational::from_int(2));
+        assert_eq!(lin.coeff(Var(2)), Rational::from_int(-3));
+        assert_eq!(lin.coeff(Var(1)), Rational::ZERO);
+        assert!((z(0) * z(1)).as_linear().is_none());
+        assert!(c(4).as_linear().is_some());
+    }
+
+    #[test]
+    fn map_vars_renames() {
+        let p = z(0) + z(5);
+        let renamed = p.map_vars(|v| if v == Var(5) { Var(1) } else { v });
+        assert_eq!(renamed, z(0) + z(1));
+        // Renaming that merges variables must combine coefficients.
+        let merged = p.map_vars(|_| Var(0));
+        assert_eq!(merged, c(2) * z(0));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = z(0) * z(0) - Polynomial::constant(Rational::new(7, 10)) * z(1) + c(-3);
+        assert_eq!(p.to_string(), "-3 - 7/10*z1 + z0^2");
+        assert_eq!(Polynomial::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn vars_collects_support() {
+        let p = z(0) * z(3) + z(7);
+        let vars: Vec<Var> = p.vars().into_iter().collect();
+        assert_eq!(vars, vec![Var(0), Var(3), Var(7)]);
+    }
+}

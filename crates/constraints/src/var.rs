@@ -1,0 +1,52 @@
+use std::fmt;
+
+/// A real variable `z_i`.
+///
+/// Variables are dense small integers; the grounding translation assigns
+/// `Var(i)` to the numerical null `⊤_i`. Dense ids allow direction vectors
+/// to be plain slices indexed by [`Var::index`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The dense index of this variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for Var {
+    fn from(i: u32) -> Self {
+        Var(i)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "z{}", self.0)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(Var(3).to_string(), "z3");
+        assert_eq!(Var(3).index(), 3);
+        assert_eq!(format!("{:?}", Var(0)), "z0");
+    }
+
+    #[test]
+    fn ordering_by_id() {
+        assert!(Var(1) < Var(2));
+        assert_eq!(Var::from(7u32), Var(7));
+    }
+}

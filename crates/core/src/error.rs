@@ -1,0 +1,94 @@
+use std::fmt;
+
+use qarith_constraints::FormulaError;
+use qarith_engine::EngineError;
+use qarith_geometry::GeometryError;
+
+/// Errors from the measure layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MeasureError {
+    /// Grounding / evaluation failed.
+    Engine(EngineError),
+    /// Formula manipulation failed (e.g. DNF blowup on the FPRAS path).
+    Formula(FormulaError),
+    /// Geometry failed (LP stall; empty interiors are handled, not
+    /// errors).
+    Geometry(GeometryError),
+    /// The FPRAS was requested for a formula with non-linear atoms
+    /// (Theorem 7.1 covers CQ(+,<) only; use the additive scheme).
+    NotLinear,
+    /// An explicitly requested exact method does not apply to the
+    /// formula (too many variables, non-order atoms, …).
+    ExactUnavailable {
+        /// Why no exact evaluator applies.
+        reason: &'static str,
+    },
+    /// Invalid tolerance parameters (ε/δ must lie in (0, 1)).
+    BadTolerance {
+        /// The offending value.
+        value: f64,
+    },
+    /// A conditional measure `ν(φ | ρ)` was requested for a condition
+    /// with `ν(ρ) = 0` (bounded ranges, contradictions): the asymptotic
+    /// conditional measure is undefined (§10 of the paper).
+    DegenerateCondition,
+}
+
+impl fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeasureError::Engine(e) => write!(f, "engine error: {e}"),
+            MeasureError::Formula(e) => write!(f, "formula error: {e}"),
+            MeasureError::Geometry(e) => write!(f, "geometry error: {e}"),
+            MeasureError::NotLinear => write!(
+                f,
+                "the multiplicative FPRAS requires linear constraints (CQ(+,<)); \
+                 use the additive scheme for FO(+,*,<)"
+            ),
+            MeasureError::ExactUnavailable { reason } => {
+                write!(f, "no exact evaluator applies: {reason}")
+            }
+            MeasureError::BadTolerance { value } => {
+                write!(f, "tolerance parameters must lie in (0, 1), got {value}")
+            }
+            MeasureError::DegenerateCondition => write!(
+                f,
+                "the condition has asymptotic measure zero (bounded range or \
+                 contradiction); the conditional measure is undefined"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MeasureError {}
+
+impl From<EngineError> for MeasureError {
+    fn from(e: EngineError) -> Self {
+        MeasureError::Engine(e)
+    }
+}
+
+impl From<FormulaError> for MeasureError {
+    fn from(e: FormulaError) -> Self {
+        MeasureError::Formula(e)
+    }
+}
+
+impl From<GeometryError> for MeasureError {
+    fn from(e: GeometryError) -> Self {
+        MeasureError::Geometry(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let e: MeasureError = GeometryError::EmptyInterior.into();
+        assert!(matches!(e, MeasureError::Geometry(_)));
+        assert!(MeasureError::NotLinear.to_string().contains("CQ(+,<)"));
+        assert!(MeasureError::BadTolerance { value: 2.0 }.to_string().contains("2"));
+    }
+}

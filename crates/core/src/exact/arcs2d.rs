@@ -1,0 +1,198 @@
+//! Exact `ν(φ)` for two-variable linear formulas, by arc arithmetic.
+//!
+//! In dimension 2 the direction space is the unit circle. A linear atom's
+//! asymptotic truth along direction `θ` flips only where its homogeneous
+//! part vanishes: `c₁·cosθ + c₂·sinθ = 0`, i.e. at two antipodal
+//! *critical angles*. Between consecutive critical angles (over all
+//! atoms) every atom — hence the whole formula — has constant limit
+//! truth, so
+//!
+//! `ν(φ) = (Σ lengths of satisfied arcs) / 2π`,
+//!
+//! computed by sorting the critical angles and testing one midpoint per
+//! arc with the Lemma 8.4 procedure. The result is a closed form in
+//! arctangents — exactly the shape Proposition 6.1 proves is typically
+//! irrational (`arctan(α)/2π + 1/2`), so the value is returned as `f64`
+//! (exact up to rounding). This evaluator reproduces the paper's intro
+//! example (`(π/2 − arctan(10/7))/2π ≈ 0.097`).
+
+use qarith_constraints::asymptotic::formula_limit_truth;
+use qarith_constraints::QfFormula;
+
+/// Is the formula linear (degree ≤ 1 atoms) in exactly/at most 2
+/// variables? (Callers check `vars().len() == 2`.)
+pub fn is_linear_formula(phi: &QfFormula) -> bool {
+    let mut ok = true;
+    phi.visit_atoms(&mut |a| {
+        if a.poly().degree() > 1 {
+            ok = false;
+        }
+    });
+    ok
+}
+
+/// Exact angular measure of a 2-variable linear formula.
+///
+/// The formula's two variables are densified onto coordinates 0 and 1.
+pub fn exact_arc_measure(phi: &QfFormula) -> f64 {
+    let dense = super::densify(phi);
+    debug_assert!(dense.vars().len() <= 2);
+
+    // Collect critical angles in [0, 2π): the zeros of each atom's
+    // linear part.
+    let mut cuts: Vec<f64> = Vec::new();
+    dense.visit_atoms(&mut |a| {
+        let lin = a.poly().homogeneous_component(1);
+        let mut c = [0.0f64; 2];
+        for (m, coeff) in lin.terms() {
+            let (v, _) = m.factors()[0];
+            c[v.index()] = coeff.to_f64();
+        }
+        if c[0] != 0.0 || c[1] != 0.0 {
+            // c·(cosθ, sinθ) = 0 at θ ⟂ to c.
+            let theta = (-c[0]).atan2(c[1]); // direction orthogonal to c
+            for t in [theta, theta + std::f64::consts::PI] {
+                cuts.push(normalize_angle(t));
+            }
+        }
+    });
+    cuts.push(0.0); // ensure at least one boundary
+    cuts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    cuts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+    // Sweep arcs; evaluate the formula's limit truth at each midpoint.
+    let tau = std::f64::consts::TAU;
+    let mut satisfied = 0.0;
+    for i in 0..cuts.len() {
+        let start = cuts[i];
+        let end = if i + 1 < cuts.len() { cuts[i + 1] } else { cuts[0] + tau };
+        let mid = 0.5 * (start + end);
+        let dir = [mid.cos(), mid.sin()];
+        if formula_limit_truth(&dense, &dir) {
+            satisfied += end - start;
+        }
+    }
+    (satisfied / tau).clamp(0.0, 1.0)
+}
+
+fn normalize_angle(t: f64) -> f64 {
+    let tau = std::f64::consts::TAU;
+    let mut t = t % tau;
+    if t < 0.0 {
+        t += tau;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qarith_constraints::{Atom, ConstraintOp, Polynomial, Var};
+    use qarith_numeric::Rational;
+
+    fn z(i: u32) -> Polynomial {
+        Polynomial::var(Var(i))
+    }
+
+    fn atom(p: Polynomial, op: ConstraintOp) -> QfFormula {
+        QfFormula::atom(Atom::new(p, op))
+    }
+
+    const PI: f64 = std::f64::consts::PI;
+
+    #[test]
+    fn halfplane_is_half() {
+        assert!((exact_arc_measure(&atom(z(0), ConstraintOp::Gt)) - 0.5).abs() < 1e-12);
+        assert!((exact_arc_measure(&atom(z(1), ConstraintOp::Le)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadrant_is_quarter() {
+        let phi = QfFormula::and([
+            atom(z(0), ConstraintOp::Gt),
+            atom(z(1), ConstraintOp::Gt),
+        ]);
+        assert!((exact_arc_measure(&phi) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_intro_example_value() {
+        // Constraint (1): z1 ≥ 0 ∧ z0 ≥ 8 ∧ 0.7·z1 − z0 ≥ 0.
+        // ν = (π/2 − arctan(10/7)) / 2π ≈ 0.0972.
+        let seven_tenths = Polynomial::constant(Rational::new(7, 10));
+        let phi = QfFormula::and([
+            atom(z(1), ConstraintOp::Ge),
+            atom(z(0) - Polynomial::constant(Rational::from_int(8)), ConstraintOp::Ge),
+            atom(seven_tenths * z(1) - z(0), ConstraintOp::Ge),
+        ]);
+        let expected = (PI / 2.0 - (10.0f64 / 7.0).atan()) / (2.0 * PI);
+        let got = exact_arc_measure(&phi);
+        assert!((got - expected).abs() < 1e-12, "got {got}, expected {expected}");
+        // ≈ 0.097, and 4× ≈ 0.388 of the positive quadrant (the paper's
+        // headline numbers).
+        assert!((got - 0.0972).abs() < 5e-4);
+        assert!((4.0 * got - 0.3888).abs() < 2e-3);
+    }
+
+    #[test]
+    fn proposition_6_1_arctan_family() {
+        // q = ∃x,y R(x,y) ∧ x ≥ 0 ∧ y ≤ α·x on R(⊤,⊤′) grounds to
+        // z0 ≥ 0 ∧ z1 ≤ α·z0, with μ = arctan(α)/2π + 1/4 … the paper
+        // states arctan(α)/2π + 1/2 for its exact variant; geometrically:
+        // the region {x ≥ 0, y ≤ αx} is a wedge from angle −π/2 to
+        // arctan(α): measure = (arctan(α) + π/2)/2π.
+        for alpha in [-2.0f64, -1.0, -0.5, 0.0, 0.5, 1.0, 3.0] {
+            let a = Polynomial::constant(Rational::parse_decimal(&alpha.to_string()).unwrap());
+            let phi = QfFormula::and([
+                atom(z(0), ConstraintOp::Ge),
+                atom(z(1) - a * z(0), ConstraintOp::Le),
+            ]);
+            let expected = (alpha.atan() + PI / 2.0) / (2.0 * PI);
+            let got = exact_arc_measure(&phi);
+            assert!(
+                (got - expected).abs() < 1e-9,
+                "α = {alpha}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_and_empty() {
+        let taut = QfFormula::or([atom(z(0), ConstraintOp::Ge), atom(z(0), ConstraintOp::Lt)]);
+        assert!((exact_arc_measure(&taut) - 1.0).abs() < 1e-12);
+        let contra = QfFormula::and([
+            atom(z(0), ConstraintOp::Gt),
+            atom(z(0), ConstraintOp::Lt),
+        ]);
+        assert!(exact_arc_measure(&contra).abs() < 1e-12);
+        // Lines have measure zero.
+        let line = atom(z(0) - z(1), ConstraintOp::Eq);
+        assert!(exact_arc_measure(&line).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constants_do_not_matter() {
+        // z0 > 1000 ∧ z1 < −3: a quadrant, shifted.
+        let phi = QfFormula::and([
+            atom(z(0) - Polynomial::constant(Rational::from_int(1000)), ConstraintOp::Gt),
+            atom(z(1) + Polynomial::constant(Rational::from_int(3)), ConstraintOp::Lt),
+        ]);
+        assert!((exact_arc_measure(&phi) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjunctions_union_arcs() {
+        // {z0 > 0} ∪ {z1 > 0} = 3/4 of the circle.
+        let phi = QfFormula::or([
+            atom(z(0), ConstraintOp::Gt),
+            atom(z(1), ConstraintOp::Gt),
+        ]);
+        assert!((exact_arc_measure(&phi) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linearity_detection() {
+        assert!(is_linear_formula(&atom(z(0) + z(1), ConstraintOp::Lt)));
+        assert!(!is_linear_formula(&atom(z(0) * z(1), ConstraintOp::Lt)));
+    }
+}

@@ -1,0 +1,271 @@
+//! Exact `ν(φ)` for order formulas by cell enumeration.
+//!
+//! An *order formula* compares single nulls with nulls or constants:
+//! every atom's polynomial is (up to sign) `z_i − z_j + c` or `z_i + c`.
+//! Asymptotically, constants vanish and each atom's truth along a
+//! direction `a` depends only on the *order type* of
+//! `(a_1, …, a_n, 0)` — which of the coordinates are negative, and how
+//! they interleave.
+//!
+//! For the rotation-invariant direction distribution the coordinates are
+//! exchangeable and sign-symmetric (iid Gaussians normalized), so the
+//! probability of the cell "`a_{π(1)} < … < a_{π(j)} < 0 < a_{π(j+1)} <
+//! … < a_{π(n)}`" is exactly
+//!
+//! `1 / (2ⁿ · j! · (n−j)!)`
+//!
+//! (signs are iid fair coins independent of the magnitudes; within the
+//! negatives and positives all orderings are equally likely and
+//! independent). Summing the probabilities of satisfied cells gives an
+//! exact rational — witnessing, constructively, the rationality half of
+//! Proposition 6.2 for FO(<).
+
+use qarith_constraints::asymptotic::formula_limit_truth;
+use qarith_constraints::{QfFormula, Var};
+use qarith_numeric::{factorial, Rational};
+
+/// Is every atom an order atom (`±(z_i − z_j) + c ⋈ 0` or `±z_i + c ⋈ 0`)?
+pub fn is_order_formula(phi: &QfFormula) -> bool {
+    let mut ok = true;
+    phi.visit_atoms(&mut |a| {
+        if !ok {
+            return;
+        }
+        let p = a.poly();
+        if p.degree() > 1 {
+            ok = false;
+            return;
+        }
+        let mut coeffs: Vec<i32> = Vec::new();
+        for (m, c) in p.terms() {
+            if m.is_unit() {
+                continue; // constant term is asymptotically irrelevant
+            }
+            if *c == Rational::ONE {
+                coeffs.push(1);
+            } else if *c == -Rational::ONE {
+                coeffs.push(-1);
+            } else {
+                ok = false;
+                return;
+            }
+        }
+        match coeffs.len() {
+            0 | 1 => {}
+            2 => {
+                if coeffs[0] + coeffs[1] != 0 {
+                    ok = false; // z_i + z_j is not an order comparison
+                }
+            }
+            _ => ok = false,
+        }
+    });
+    ok
+}
+
+/// Exact `ν(φ)` for an order formula (up to the caller-enforced variable
+/// limit). Returns `None` if the permutation count overflows.
+pub fn exact_order_measure(phi: &QfFormula) -> Option<Rational> {
+    let dense = super::densify(phi);
+    let vars: Vec<Var> = dense.vars().into_iter().collect();
+    let n = vars.len();
+    debug_assert!(vars.iter().enumerate().all(|(i, v)| v.index() == i));
+
+    let mut total = Rational::ZERO;
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut direction = vec![0.0f64; n];
+
+    // Heap's algorithm over permutations; for each, sweep the zero cut.
+    let mut c = vec![0usize; n];
+    let process = |perm: &[usize], direction: &mut [f64], total: &mut Rational| {
+        for j in 0..=n {
+            // Representative direction: position i (0-based) gets value
+            // (i+1) − j − 0.5 for i < j (negative) and (i+1) − j for
+            // i ≥ j (positive); strictly increasing along the
+            // permutation with 0 between positions j−1 and j.
+            for (pos, &var_idx) in perm.iter().enumerate() {
+                let v = if pos < j {
+                    (pos + 1) as f64 - j as f64 - 0.5
+                } else {
+                    (pos + 1) as f64 - j as f64
+                };
+                direction[var_idx] = v;
+            }
+            if formula_limit_truth(&dense, direction) {
+                let denom = (1i128 << n)
+                    * factorial(j as u64).expect("n is small")
+                    * factorial((n - j) as u64).expect("n is small");
+                *total += Rational::new(1, denom);
+            }
+        }
+    };
+
+    process(&perm, &mut direction, &mut total);
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                perm.swap(0, i);
+            } else {
+                perm.swap(c[i], i);
+            }
+            process(&perm, &mut direction, &mut total);
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    Some(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qarith_constraints::{Atom, ConstraintOp, Polynomial};
+
+    fn z(i: u32) -> Polynomial {
+        Polynomial::var(Var(i))
+    }
+
+    fn atom(p: Polynomial, op: ConstraintOp) -> QfFormula {
+        QfFormula::atom(Atom::new(p, op))
+    }
+
+    #[test]
+    fn order_formula_recognition() {
+        assert!(is_order_formula(&atom(z(0) - z(1), ConstraintOp::Lt)));
+        assert!(is_order_formula(&atom(
+            z(0) - Polynomial::constant(Rational::from_int(5)),
+            ConstraintOp::Lt
+        )));
+        assert!(is_order_formula(&atom(z(1).negated(), ConstraintOp::Le)));
+        // Sums, scaled variables, and products are not order atoms.
+        assert!(!is_order_formula(&atom(z(0) + z(1), ConstraintOp::Lt)));
+        assert!(!is_order_formula(&atom(
+            Polynomial::constant(Rational::from_int(2)) * z(0) - z(1),
+            ConstraintOp::Lt
+        )));
+        assert!(!is_order_formula(&atom(z(0) * z(1), ConstraintOp::Lt)));
+    }
+
+    #[test]
+    fn single_variable_signs() {
+        // z0 > 0: ν = 1/2.
+        assert_eq!(
+            exact_order_measure(&atom(z(0), ConstraintOp::Gt)).unwrap(),
+            Rational::new(1, 2)
+        );
+        // z0 ≤ 0: ν = 1/2 (boundary is measure-zero).
+        assert_eq!(
+            exact_order_measure(&atom(z(0), ConstraintOp::Le)).unwrap(),
+            Rational::new(1, 2)
+        );
+    }
+
+    #[test]
+    fn pairwise_order() {
+        // z0 < z1: ν = 1/2.
+        assert_eq!(
+            exact_order_measure(&atom(z(0) - z(1), ConstraintOp::Lt)).unwrap(),
+            Rational::new(1, 2)
+        );
+        // The paper's motivating σ_{A>B}(R) example on (⊥1, ⊥2): the
+        // tuple is selected with probability 1/2.
+        assert_eq!(
+            exact_order_measure(&atom(z(0) - z(1), ConstraintOp::Gt)).unwrap(),
+            Rational::new(1, 2)
+        );
+    }
+
+    #[test]
+    fn chains_give_factorials() {
+        // z0 < z1 < z2: ν = 1/3! = 1/6.
+        let phi = QfFormula::and([
+            atom(z(0) - z(1), ConstraintOp::Lt),
+            atom(z(1) - z(2), ConstraintOp::Lt),
+        ]);
+        assert_eq!(exact_order_measure(&phi).unwrap(), Rational::new(1, 6));
+        // 0 < z0 < z1 < z2: one cell: 1/(2³·0!·3!) = 1/48.
+        let phi = QfFormula::and([
+            atom(z(0).negated(), ConstraintOp::Lt),
+            atom(z(0) - z(1), ConstraintOp::Lt),
+            atom(z(1) - z(2), ConstraintOp::Lt),
+        ]);
+        assert_eq!(exact_order_measure(&phi).unwrap(), Rational::new(1, 48));
+    }
+
+    #[test]
+    fn constants_drop_out() {
+        // z0 < z1 + 1000: asymptotically identical to z0 < z1.
+        let phi = atom(
+            z(0) - z(1) - Polynomial::constant(Rational::from_int(1000)),
+            ConstraintOp::Lt,
+        );
+        assert_eq!(exact_order_measure(&phi).unwrap(), Rational::new(1, 2));
+        // z0 > 5 ∧ z0 < 7: both homogenize to z0 ⋈ 0 with conflicting
+        // signs … z0 > 5 → z0 > 0 asymptotically; z0 < 7 → z0 < 0: ν = 0.
+        let five = Polynomial::constant(Rational::from_int(5));
+        let seven = Polynomial::constant(Rational::from_int(7));
+        let phi = QfFormula::and([
+            atom(z(0) - five, ConstraintOp::Gt),
+            atom(z(0) - seven, ConstraintOp::Lt),
+        ]);
+        assert_eq!(exact_order_measure(&phi).unwrap(), Rational::ZERO);
+    }
+
+    #[test]
+    fn boolean_structure() {
+        // (z0 < z1) ∨ (z1 < z0): everything except the diagonal: ν = 1.
+        let phi = QfFormula::or([
+            atom(z(0) - z(1), ConstraintOp::Lt),
+            atom(z(1) - z(0), ConstraintOp::Lt),
+        ]);
+        assert_eq!(exact_order_measure(&phi).unwrap(), Rational::ONE);
+        // Equality: measure zero.
+        let phi = atom(z(0) - z(1), ConstraintOp::Eq);
+        assert_eq!(exact_order_measure(&phi).unwrap(), Rational::ZERO);
+        // Negation: ¬(z0 < z1) has the complementary measure.
+        let phi = atom(z(0) - z(1), ConstraintOp::Lt).negated();
+        assert_eq!(exact_order_measure(&phi).unwrap(), Rational::new(1, 2));
+    }
+
+    #[test]
+    fn mixed_sign_and_order() {
+        // z0 > 0 ∧ z1 < 0: independent signs: 1/4.
+        let phi = QfFormula::and([
+            atom(z(0), ConstraintOp::Gt),
+            atom(z(1), ConstraintOp::Lt),
+        ]);
+        assert_eq!(exact_order_measure(&phi).unwrap(), Rational::new(1, 4));
+        // z0 > 0 ∧ z1 < 0 ∧ z1 < z0 — the third atom is implied: still 1/4.
+        let phi = QfFormula::and([
+            atom(z(0), ConstraintOp::Gt),
+            atom(z(1), ConstraintOp::Lt),
+            atom(z(1) - z(0), ConstraintOp::Lt),
+        ]);
+        assert_eq!(exact_order_measure(&phi).unwrap(), Rational::new(1, 4));
+    }
+
+    #[test]
+    fn four_variable_sanity_against_sampling_free_identity() {
+        // P(z0 < z1 ∧ z2 < z3) = 1/4 by independence of disjoint pairs.
+        let phi = QfFormula::and([
+            atom(z(0) - z(1), ConstraintOp::Lt),
+            atom(z(2) - z(3), ConstraintOp::Lt),
+        ]);
+        assert_eq!(exact_order_measure(&phi).unwrap(), Rational::new(1, 4));
+    }
+
+    #[test]
+    fn total_measure_of_all_cells_is_one() {
+        // A tautology over 3 variables must integrate to exactly 1.
+        let phi = QfFormula::or([
+            atom(z(0) - z(1), ConstraintOp::Lt),
+            atom(z(0) - z(1), ConstraintOp::Ge),
+        ]);
+        let _ = super::super::densify(&phi);
+        assert_eq!(exact_order_measure(&phi).unwrap(), Rational::ONE);
+    }
+}

@@ -1,0 +1,355 @@
+//! The multiplicative FPRAS of Theorem 7.1 for CQ(+,<) formulas.
+//!
+//! Ground formulas of conjunctive queries with linear constraints are
+//! DNFs of linear atoms. Homogenize every atom (`c·z̄ ⋈ c₀` becomes
+//! `c·z̄ ⋈ 0`); by the cited result of Console–Hofer–Libkin (IJCAI'19),
+//! `ν(φ) = Vol(φ̃(ℝⁿ) ∩ B₁)/Vol(B₁)`. Each homogenized disjunct is an
+//! intersection of halfspaces through the origin — a convex cone — so the
+//! measure is the volume of a **union of convex bodies**:
+//!
+//! 1. convert each disjunct to a cone ∩ unit ball ([`qarith_geometry`]);
+//! 2. discard empty/lower-dimensional cones by LP (their volume is 0);
+//! 3. estimate each cone's volume by ball-annealing hit-and-run;
+//! 4. combine with the Bringmann–Friedrich multiplicity-weighted union
+//!    estimator.
+//!
+//! Equality atoms make a disjunct lower-dimensional (volume 0) unless
+//! identically zero; `≠` atoms only remove measure-zero sets and are
+//! dropped. Strictness of inequalities is likewise immaterial for
+//! volumes. All such symbolic pre-processing happens exactly, on
+//! rationals, before any `f64` geometry runs.
+
+use std::collections::HashMap;
+
+use qarith_constraints::{Atom, ConstraintOp, Dnf, QfFormula, Var};
+use qarith_geometry::{
+    estimate_union_fraction, estimate_volume_fraction, ConvexBody, GeometryError, Halfspace,
+    UnionBody, VolumeOptions,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::error::MeasureError;
+use crate::estimate::{CertaintyEstimate, Method};
+
+/// Options for the multiplicative scheme.
+#[derive(Clone, Debug)]
+pub struct FprasOptions {
+    /// Relative error ε ∈ (0, 1].
+    pub epsilon: f64,
+    /// Failure probability δ ∈ (0, 1).
+    pub delta: f64,
+    /// Budget for the DNF conversion (exceeding it aborts with
+    /// [`qarith_constraints::FormulaError::DnfBlowup`]).
+    pub dnf_limit: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FprasOptions {
+    fn default() -> Self {
+        FprasOptions { epsilon: 0.1, delta: 0.25, dnf_limit: 4096, seed: 0x5EED_F12A }
+    }
+}
+
+/// Result of an FPRAS run.
+#[derive(Clone, Debug)]
+pub struct FprasOutcome {
+    /// The estimate of `ν(φ)`.
+    pub estimate: f64,
+    /// Number of non-empty cones.
+    pub cones: usize,
+    /// Total Monte-Carlo samples spent (volume phases + union).
+    pub samples: usize,
+    /// Dimension of the variable space.
+    pub dimension: usize,
+}
+
+/// Estimates `ν(φ)` for a linear formula via the union-of-cones FPRAS.
+///
+/// Errors with [`MeasureError::NotLinear`] when an atom has degree > 1
+/// (Theorem 7.1 does not extend to multiplication, and no multiplicative
+/// scheme can exist for full FO by Theorem 6.3).
+pub fn estimate_nu(phi: &QfFormula, opts: &FprasOptions) -> Result<FprasOutcome, MeasureError> {
+    if !(opts.epsilon > 0.0 && opts.epsilon <= 1.0) {
+        return Err(MeasureError::BadTolerance { value: opts.epsilon });
+    }
+    let dnf = phi.dnf(opts.dnf_limit)?;
+    if !dnf.is_linear() {
+        return Err(MeasureError::NotLinear);
+    }
+
+    // Dense variable order across the whole formula.
+    let vars: Vec<Var> = phi.vars().into_iter().collect();
+    let dense: HashMap<Var, usize> = vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let n = vars.len();
+    if n == 0 {
+        // Variable-free: the DNF is a Boolean constant.
+        let truth = dnf.eval_f64(&[]);
+        return Ok(FprasOutcome {
+            estimate: if truth { 1.0 } else { 0.0 },
+            cones: 0,
+            samples: 0,
+            dimension: 0,
+        });
+    }
+
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let cones = build_cones(&dnf, &dense, n)?;
+    if cones.iter().any(|c| c.is_none()) {
+        // A disjunct with no effective constraints covers the whole ball.
+        return Ok(FprasOutcome {
+            estimate: 1.0,
+            cones: cones.len(),
+            samples: 0,
+            dimension: n,
+        });
+    }
+    let cones: Vec<ConvexBody> = cones.into_iter().flatten().collect();
+
+    // Per-cone volume estimation; empty interiors contribute zero.
+    // Sample counts scale with 1/ε² (heuristic constants; the formal
+    // bound needs per-phase counts ~ phases²/ε² — callers wanting tighter
+    // guarantees raise the budget through ε).
+    let per_phase =
+        ((2.0 / (opts.epsilon * opts.epsilon)).ceil() as usize).clamp(200, 50_000);
+    let vol_opts = VolumeOptions { samples_per_phase: per_phase, ..VolumeOptions::default() };
+    let mut union_bodies = Vec::with_capacity(cones.len());
+    let mut spent = 0usize;
+    for body in cones {
+        match estimate_volume_fraction(&body, &mut rng, &vol_opts) {
+            Ok(v) => {
+                spent += per_phase; // one phase minimum; schedule varies
+                if v > 0.0 {
+                    union_bodies.push(UnionBody { body, volume: v });
+                }
+            }
+            Err(GeometryError::EmptyInterior) => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    if union_bodies.is_empty() {
+        return Ok(FprasOutcome { estimate: 0.0, cones: 0, samples: spent, dimension: n });
+    }
+
+    let union_samples = ((4.0 * union_bodies.len() as f64 / (opts.epsilon * opts.epsilon)).ceil()
+        as usize)
+        .clamp(1_000, 400_000);
+    let est = estimate_union_fraction(&union_bodies, &mut rng, union_samples, 6)?;
+    spent += union_samples;
+    Ok(FprasOutcome {
+        estimate: est.min(1.0),
+        cones: union_bodies.len(),
+        samples: spent,
+        dimension: n,
+    })
+}
+
+/// Builds one cone per disjunct. `Ok(None)` inside the vector means the
+/// disjunct is unconstrained (covers the ball). Disjuncts that are
+/// syntactically empty (measure zero) are filtered out already.
+fn build_cones(
+    dnf: &Dnf,
+    dense: &HashMap<Var, usize>,
+    n: usize,
+) -> Result<Vec<Option<ConvexBody>>, MeasureError> {
+    let mut out = Vec::with_capacity(dnf.len());
+    'disjuncts: for conj in dnf.disjuncts() {
+        let mut halfspaces = Vec::with_capacity(conj.len());
+        for atom in conj {
+            match atom_to_halfspace(atom, dense, n) {
+                AtomGeometry::Halfspace(h) => halfspaces.push(h),
+                AtomGeometry::AlwaysTrue => {}
+                AtomGeometry::MeasureZero | AtomGeometry::AlwaysFalse => continue 'disjuncts,
+            }
+        }
+        if halfspaces.is_empty() {
+            out.push(None); // whole ball
+        } else {
+            out.push(Some(ConvexBody::new(n, halfspaces, Some(1.0))));
+        }
+    }
+    Ok(out)
+}
+
+enum AtomGeometry {
+    Halfspace(Halfspace),
+    /// Satisfied on all of ℝⁿ minus at most a null set.
+    AlwaysTrue,
+    /// Satisfied on at most a null set.
+    MeasureZero,
+    /// Satisfied nowhere.
+    AlwaysFalse,
+}
+
+/// Homogenizes a linear atom and converts it to geometry.
+fn atom_to_halfspace(atom: &Atom, dense: &HashMap<Var, usize>, n: usize) -> AtomGeometry {
+    let lin = atom.as_linear().expect("linearity checked by caller");
+    let homog = lin.homogenized();
+    if homog.is_constant() {
+        // Constant-direction atom: `0 ⋈ 0` asymptotically.
+        return if atom.op().holds(0) { AtomGeometry::AlwaysTrue } else { AtomGeometry::AlwaysFalse };
+    }
+    let coeffs = homog.dense_coeffs(n, |v| dense[&v]);
+    match atom.op() {
+        // c·z < 0 (≤ differs by a null set).
+        ConstraintOp::Lt | ConstraintOp::Le => {
+            AtomGeometry::Halfspace(Halfspace::new(coeffs, 0.0))
+        }
+        ConstraintOp::Gt | ConstraintOp::Ge => {
+            let neg: Vec<f64> = coeffs.iter().map(|c| -c).collect();
+            AtomGeometry::Halfspace(Halfspace::new(neg, 0.0))
+        }
+        ConstraintOp::Eq => AtomGeometry::MeasureZero,
+        ConstraintOp::Ne => AtomGeometry::AlwaysTrue,
+    }
+}
+
+/// Convenience wrapper producing a [`CertaintyEstimate`].
+pub fn fpras_estimate(
+    phi: &QfFormula,
+    opts: &FprasOptions,
+) -> Result<CertaintyEstimate, MeasureError> {
+    let out = estimate_nu(phi, opts)?;
+    Ok(CertaintyEstimate {
+        value: out.estimate,
+        exact: None,
+        method: Method::Fpras,
+        epsilon: Some(opts.epsilon),
+        delta: Some(opts.delta),
+        samples: out.samples,
+        dimension: out.dimension,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qarith_constraints::Polynomial;
+    use qarith_numeric::Rational;
+
+    fn z(i: u32) -> Polynomial {
+        Polynomial::var(Var(i))
+    }
+
+    fn atom(p: Polynomial, op: ConstraintOp) -> QfFormula {
+        QfFormula::atom(Atom::new(p, op))
+    }
+
+    fn opts() -> FprasOptions {
+        FprasOptions { epsilon: 0.08, ..FprasOptions::default() }
+    }
+
+    #[test]
+    fn halfspace_is_half() {
+        let out = estimate_nu(&atom(z(0) - z(1), ConstraintOp::Lt), &opts()).unwrap();
+        assert!((out.estimate - 0.5).abs() < 0.05, "estimate {}", out.estimate);
+        assert_eq!(out.dimension, 2);
+    }
+
+    #[test]
+    fn quadrant_cone() {
+        let phi = QfFormula::and([
+            atom(z(0), ConstraintOp::Lt),
+            atom(z(1), ConstraintOp::Lt),
+        ]);
+        let out = estimate_nu(&phi, &opts()).unwrap();
+        assert!((out.estimate - 0.25).abs() < 0.05, "estimate {}", out.estimate);
+    }
+
+    #[test]
+    fn union_of_disjoint_cones() {
+        // (z0<0 ∧ z1<0) ∨ (z0>0 ∧ z1>0): ν = 1/2.
+        let phi = QfFormula::or([
+            QfFormula::and([atom(z(0), ConstraintOp::Lt), atom(z(1), ConstraintOp::Lt)]),
+            QfFormula::and([atom(z(0), ConstraintOp::Gt), atom(z(1), ConstraintOp::Gt)]),
+        ]);
+        let out = estimate_nu(&phi, &opts()).unwrap();
+        assert!((out.estimate - 0.5).abs() < 0.05, "estimate {}", out.estimate);
+        assert_eq!(out.cones, 2);
+    }
+
+    #[test]
+    fn overlapping_cones_not_double_counted() {
+        // (z0 < 0) ∨ (z1 < 0): ν = 3/4.
+        let phi = QfFormula::or([atom(z(0), ConstraintOp::Lt), atom(z(1), ConstraintOp::Lt)]);
+        let out = estimate_nu(&phi, &opts()).unwrap();
+        assert!((out.estimate - 0.75).abs() < 0.05, "estimate {}", out.estimate);
+    }
+
+    #[test]
+    fn constants_are_homogenized_away() {
+        // z0 < 100 behaves like z0 < 0: ν = 1/2.
+        let phi = atom(z(0) - Polynomial::constant(Rational::from_int(100)), ConstraintOp::Lt);
+        let out = estimate_nu(&phi, &opts()).unwrap();
+        assert!((out.estimate - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn equality_atoms_kill_disjuncts() {
+        let phi = QfFormula::or([
+            atom(z(0) - z(1), ConstraintOp::Eq),
+            atom(z(0), ConstraintOp::Lt),
+        ]);
+        let out = estimate_nu(&phi, &opts()).unwrap();
+        assert!((out.estimate - 0.5).abs() < 0.05, "estimate {}", out.estimate);
+    }
+
+    #[test]
+    fn empty_cone_contributes_zero() {
+        // z0 < 0 ∧ z0 > 0 is empty.
+        let phi = QfFormula::and([atom(z(0), ConstraintOp::Lt), atom(z(0), ConstraintOp::Gt)]);
+        let out = estimate_nu(&phi, &opts()).unwrap();
+        assert_eq!(out.estimate, 0.0);
+    }
+
+    #[test]
+    fn nonlinear_rejected() {
+        let phi = atom(z(0) * z(1), ConstraintOp::Lt);
+        assert!(matches!(estimate_nu(&phi, &opts()), Err(MeasureError::NotLinear)));
+    }
+
+    #[test]
+    fn variable_free_constants() {
+        assert_eq!(estimate_nu(&QfFormula::True, &opts()).unwrap().estimate, 1.0);
+        assert_eq!(estimate_nu(&QfFormula::False, &opts()).unwrap().estimate, 0.0);
+    }
+
+    #[test]
+    fn three_dimensional_octant() {
+        let phi = QfFormula::and([
+            atom(z(0), ConstraintOp::Lt),
+            atom(z(1), ConstraintOp::Lt),
+            atom(z(2), ConstraintOp::Lt),
+        ]);
+        let out = estimate_nu(&phi, &opts()).unwrap();
+        assert!((out.estimate - 0.125).abs() < 0.04, "estimate {}", out.estimate);
+    }
+
+    #[test]
+    fn genuinely_linear_sums() {
+        // z0 + z1 < 0: a rotated halfplane: ν = 1/2.
+        let phi = atom(z(0) + z(1), ConstraintOp::Lt);
+        let out = estimate_nu(&phi, &opts()).unwrap();
+        assert!((out.estimate - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn agrees_with_exact_arcs_on_a_wedge() {
+        // The intro example cone: z1 ≥ 0 ∧ z0 ≥ 0 ∧ 0.7·z1 ≥ z0 —
+        // homogenized version of the paper's constraint (1).
+        let seven_tenths = Polynomial::constant(Rational::new(7, 10));
+        let phi = QfFormula::and([
+            atom(z(1), ConstraintOp::Ge),
+            atom(z(0), ConstraintOp::Ge),
+            atom(seven_tenths * z(1) - z(0), ConstraintOp::Ge),
+        ]);
+        let exact = crate::exact::arcs2d::exact_arc_measure(&phi);
+        let out = estimate_nu(&phi, &opts()).unwrap();
+        assert!(
+            (out.estimate - exact).abs() < 0.04,
+            "fpras {} vs exact {exact}",
+            out.estimate
+        );
+    }
+}

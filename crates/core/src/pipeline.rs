@@ -1,0 +1,410 @@
+//! The end-to-end certainty pipeline: query + database → candidate
+//! answers → ground formulas → measures.
+//!
+//! This is the programmatic equivalent of the paper's §9 setup
+//! (Postgres producing candidates and compact formulas, Python/NumPy
+//! estimating confidences) in one engine, with automatic method
+//! selection:
+//!
+//! | situation | method |
+//! |---|---|
+//! | generic query (no arithmetic) | zero-one law (naive evaluation) |
+//! | ground formula with an exact evaluator (dim ≤ 1, order fragment, 2-D linear) | exact |
+//! | CQ(+,<) when multiplicative guarantees are requested | FPRAS (Thm 7.1) |
+//! | everything else | AFPRAS (Thm 8.1) |
+
+use qarith_constraints::QfFormula;
+use qarith_engine::cq::{self, CandidateAnswer, CqOptions};
+use qarith_engine::{ground, naive, ActiveDomain};
+use qarith_numeric::Rational;
+use qarith_query::Query;
+use qarith_types::{Database, Sort, Tuple, Value};
+
+use crate::afpras::{afpras_estimate, AfprasOptions};
+use crate::error::MeasureError;
+use crate::estimate::CertaintyEstimate;
+use crate::exact::try_exact;
+use crate::fpras::{fpras_estimate, FprasOptions};
+use crate::zero_one::zero_one_measure;
+
+/// Which measure algorithm to use.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum MethodChoice {
+    /// Exact where possible, AFPRAS otherwise (zero-one shortcut for
+    /// generic queries).
+    #[default]
+    Auto,
+    /// Force the additive scheme (Theorem 8.1) even when an exact
+    /// evaluator applies — useful for benchmarking.
+    Afpras,
+    /// Force the multiplicative scheme (Theorem 7.1); errors with
+    /// [`MeasureError::NotLinear`] beyond CQ(+,<).
+    Fpras,
+    /// Exact evaluation only; errors with
+    /// [`MeasureError::ExactUnavailable`] when no exact method applies.
+    ExactOnly,
+}
+
+/// Options for the pipeline.
+#[derive(Clone, Debug)]
+pub struct MeasureOptions {
+    /// Algorithm selection.
+    pub method: MethodChoice,
+    /// Additive-scheme options (ε, δ, sampling policy, threads).
+    pub afpras: AfprasOptions,
+    /// Multiplicative-scheme options.
+    pub fpras: FprasOptions,
+    /// Variable ceiling for the exact order-fragment evaluator
+    /// (cells grow as `n!·(n+1)`).
+    pub exact_order_limit: usize,
+    /// Candidate generation for conjunctive queries.
+    pub cq: CqOptions,
+}
+
+impl Default for MeasureOptions {
+    fn default() -> Self {
+        MeasureOptions {
+            method: MethodChoice::Auto,
+            afpras: AfprasOptions::default(),
+            fpras: FprasOptions::default(),
+            exact_order_limit: 7,
+            cq: CqOptions::default(),
+        }
+    }
+}
+
+impl MeasureOptions {
+    /// Sets ε for both approximation schemes.
+    pub fn with_epsilon(mut self, epsilon: f64) -> MeasureOptions {
+        self.afpras.epsilon = epsilon;
+        self.fpras.epsilon = epsilon;
+        self
+    }
+}
+
+/// A candidate answer with its certainty.
+#[derive(Clone, Debug)]
+pub struct AnswerWithCertainty {
+    /// The candidate tuple.
+    pub tuple: Tuple,
+    /// Its measure of certainty.
+    pub certainty: CertaintyEstimate,
+    /// The ground formula (for inspection/debugging).
+    pub formula: QfFormula,
+}
+
+/// The measure-of-certainty engine.
+#[derive(Clone, Debug, Default)]
+pub struct CertaintyEngine {
+    options: MeasureOptions,
+}
+
+impl CertaintyEngine {
+    /// An engine with the given options.
+    pub fn new(options: MeasureOptions) -> CertaintyEngine {
+        CertaintyEngine { options }
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &MeasureOptions {
+        &self.options
+    }
+
+    /// `ν(φ)` for a quantifier-free formula over the reals, using the
+    /// configured method.
+    ///
+    /// `Auto` and `ExactOnly` first apply the measure-preserving
+    /// [`QfFormula::ae_simplified`] rewrite, which strips measure-zero
+    /// equality branches (ground formulas are full of them) and often
+    /// unlocks an exact evaluator. `Afpras`/`Fpras` run on the formula
+    /// as given — they exist to benchmark the paper's algorithms
+    /// faithfully.
+    pub fn nu(&self, phi: &QfFormula) -> Result<CertaintyEstimate, MeasureError> {
+        match self.options.method {
+            MethodChoice::Auto => {
+                let simplified = phi.ae_simplified();
+                if let Some(exact) = try_exact(&simplified, self.options.exact_order_limit) {
+                    return Ok(exact);
+                }
+                afpras_estimate(&simplified, &self.options.afpras)
+            }
+            MethodChoice::Afpras => afpras_estimate(phi, &self.options.afpras),
+            MethodChoice::Fpras => fpras_estimate(phi, &self.options.fpras),
+            MethodChoice::ExactOnly => {
+                try_exact(&phi.ae_simplified(), self.options.exact_order_limit).ok_or(
+                    MeasureError::ExactUnavailable {
+                        reason: "formula is not order/2-D-linear and has dimension > 1",
+                    },
+                )
+            }
+        }
+    }
+
+    /// `μ(q, D, candidate)`: grounds (Proposition 5.3) and measures.
+    ///
+    /// Generic queries short-circuit through the zero-one law under
+    /// [`MethodChoice::Auto`].
+    pub fn measure(
+        &self,
+        query: &Query,
+        db: &Database,
+        candidate: &Tuple,
+    ) -> Result<CertaintyEstimate, MeasureError> {
+        if self.options.method == MethodChoice::Auto && query.fragment().is_generic() {
+            return Ok(zero_one_measure(query, db, candidate)?);
+        }
+        let phi = ground::ground(query, db, candidate)?;
+        self.nu(&phi)
+    }
+
+    /// Candidate answers with certainties for a **conjunctive** query,
+    /// via the join executor (the §9 pipeline). Candidates flagged
+    /// `certain` by the executor get μ = 1 without sampling.
+    pub fn answers(
+        &self,
+        query: &Query,
+        db: &Database,
+    ) -> Result<Vec<AnswerWithCertainty>, MeasureError> {
+        let candidates = cq::execute(query, db, &self.options.cq)?;
+        self.measure_candidates(candidates)
+    }
+
+    /// Candidate answers for **any** query: conjunctive queries take the
+    /// join-executor fast path, everything else falls back to
+    /// active-domain head enumeration (returning candidates with
+    /// μ > `min_certainty`). The fallback is exponential in head arity
+    /// and quantifier count — fine for the small databases where
+    /// non-conjunctive queries are typically analyzed.
+    pub fn answers_auto(
+        &self,
+        query: &Query,
+        db: &Database,
+        min_certainty: f64,
+    ) -> Result<Vec<AnswerWithCertainty>, MeasureError> {
+        if query.fragment().conjunctive {
+            let mut answers = self.answers(query, db)?;
+            answers.retain(|a| a.certainty.value > min_certainty);
+            Ok(answers)
+        } else {
+            self.answers_enumerated(query, db, min_certainty)
+        }
+    }
+
+    /// Measures a batch of pre-computed candidates (used by benches to
+    /// separate candidate generation from the Monte-Carlo phase).
+    pub fn measure_candidates(
+        &self,
+        candidates: Vec<CandidateAnswer>,
+    ) -> Result<Vec<AnswerWithCertainty>, MeasureError> {
+        let mut out = Vec::with_capacity(candidates.len());
+        for cand in candidates {
+            let certainty = if cand.certain {
+                CertaintyEstimate::exact_rational(Rational::ONE, 0)
+            } else {
+                self.nu(&cand.formula)?
+            };
+            out.push(AnswerWithCertainty { tuple: cand.tuple, certainty, formula: cand.formula });
+        }
+        Ok(out)
+    }
+
+    /// Candidate answers for an **arbitrary** FO(+,·,<) query by
+    /// active-domain enumeration of head tuples (exponential in the head
+    /// arity — intended for small databases and tests; conjunctive
+    /// queries should use [`CertaintyEngine::answers`]).
+    ///
+    /// Returns candidates whose measure exceeds `min_certainty`.
+    pub fn answers_enumerated(
+        &self,
+        query: &Query,
+        db: &Database,
+        min_certainty: f64,
+    ) -> Result<Vec<AnswerWithCertainty>, MeasureError> {
+        let dom = ActiveDomain::collect(db, query, &[]);
+        let mut out = Vec::new();
+        let mut candidate = Vec::with_capacity(query.arity());
+        self.enumerate(query, db, &dom, &mut candidate, min_certainty, &mut out)?;
+        Ok(out)
+    }
+
+    fn enumerate(
+        &self,
+        query: &Query,
+        db: &Database,
+        dom: &ActiveDomain,
+        candidate: &mut Vec<Value>,
+        min_certainty: f64,
+        out: &mut Vec<AnswerWithCertainty>,
+    ) -> Result<(), MeasureError> {
+        let i = candidate.len();
+        if i == query.arity() {
+            let tuple = Tuple::new(candidate.clone());
+            let phi = ground::ground(query, db, &tuple)?;
+            let certainty = self.nu(&phi)?;
+            if certainty.value > min_certainty {
+                out.push(AnswerWithCertainty { tuple, certainty, formula: phi });
+            }
+            return Ok(());
+        }
+        let domain: &[Value] = match query.free_vars()[i].sort {
+            Sort::Base => dom.base(),
+            Sort::Num => dom.num(),
+        };
+        for v in domain {
+            candidate.push(v.clone());
+            self.enumerate(query, db, dom, candidate, min_certainty, out)?;
+            candidate.pop();
+        }
+        Ok(())
+    }
+
+    /// Certain answers in the classical sense, for *generic* queries:
+    /// the tuples with μ = 1 by the zero-one law (i.e. naive evaluation,
+    /// §2). Errors on queries with arithmetic, where naive evaluation is
+    /// unsound.
+    pub fn naive_answers(
+        &self,
+        query: &Query,
+        db: &Database,
+    ) -> Result<Vec<Tuple>, MeasureError> {
+        Ok(naive::evaluate(query, db)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qarith_query::{Arg, BaseTerm, CompareOp, Formula, NumTerm, TypedVar};
+    use qarith_types::{Column, NumNullId, Relation, RelationSchema};
+
+    fn db_single_pair() -> Database {
+        // R(a: base, x: num, y: num) with one all-null numeric pair — the
+        // paper's σ_{A>B}(R) motivating example.
+        let mut db = Database::new();
+        let schema = RelationSchema::new(
+            "R",
+            vec![Column::base("a"), Column::num("x"), Column::num("y")],
+        )
+        .unwrap();
+        let mut r = Relation::empty(schema);
+        r.insert_values(vec![
+            Value::int(1),
+            Value::NumNull(NumNullId(0)),
+            Value::NumNull(NumNullId(1)),
+        ])
+        .unwrap();
+        db.add_relation(r).unwrap();
+        db
+    }
+
+    fn select_a_gt_b(db: &Database) -> Query {
+        Query::new(
+            vec![TypedVar::base("a")],
+            Formula::exists(
+                vec![TypedVar::num("x"), TypedVar::num("y")],
+                Formula::and(vec![
+                    Formula::rel(
+                        "R",
+                        vec![
+                            Arg::Base(BaseTerm::var("a")),
+                            Arg::Num(NumTerm::var("x")),
+                            Arg::Num(NumTerm::var("y")),
+                        ],
+                    ),
+                    Formula::cmp(NumTerm::var("x"), CompareOp::Gt, NumTerm::var("y")),
+                ]),
+            ),
+            &db.catalog(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sigma_a_gt_b_has_measure_one_half() {
+        // The paper's intro: "with probability 1/2 the tuple will be in
+        // the answer".
+        let db = db_single_pair();
+        let q = select_a_gt_b(&db);
+        let engine = CertaintyEngine::default();
+        let est = engine.measure(&q, &db, &Tuple::new(vec![Value::int(1)])).unwrap();
+        assert_eq!(est.exact, Some(Rational::new(1, 2)));
+    }
+
+    #[test]
+    fn answers_pipeline_cq() {
+        let db = db_single_pair();
+        let q = select_a_gt_b(&db);
+        let engine = CertaintyEngine::default();
+        let answers = engine.answers(&q, &db).unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].tuple, Tuple::new(vec![Value::int(1)]));
+        assert_eq!(answers[0].certainty.exact, Some(Rational::new(1, 2)));
+    }
+
+    #[test]
+    fn enumerated_answers_match_cq_answers() {
+        let db = db_single_pair();
+        let q = select_a_gt_b(&db);
+        let engine = CertaintyEngine::default();
+        let via_cq = engine.answers(&q, &db).unwrap();
+        let via_enum = engine.answers_enumerated(&q, &db, 0.0).unwrap();
+        assert_eq!(via_cq.len(), via_enum.len());
+        assert_eq!(via_cq[0].tuple, via_enum[0].tuple);
+        assert_eq!(via_cq[0].certainty.exact, via_enum[0].certainty.exact);
+    }
+
+    #[test]
+    fn method_choices_are_respected() {
+        let db = db_single_pair();
+        let q = select_a_gt_b(&db);
+        let t = Tuple::new(vec![Value::int(1)]);
+
+        let exact_only = CertaintyEngine::new(MeasureOptions {
+            method: MethodChoice::ExactOnly,
+            ..MeasureOptions::default()
+        });
+        assert!(exact_only.measure(&q, &db, &t).unwrap().exact.is_some());
+
+        let afpras = CertaintyEngine::new(MeasureOptions {
+            method: MethodChoice::Afpras,
+            ..MeasureOptions::default()
+        });
+        let est = afpras.measure(&q, &db, &t).unwrap();
+        assert!(est.exact.is_none());
+        assert!((est.value - 0.5).abs() < 0.1);
+
+        let fpras = CertaintyEngine::new(MeasureOptions {
+            method: MethodChoice::Fpras,
+            ..MeasureOptions::default()
+        });
+        let est = fpras.measure(&q, &db, &t).unwrap();
+        assert!((est.value - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn generic_queries_use_zero_one_law() {
+        let db = db_single_pair();
+        let q = Query::new(
+            vec![TypedVar::base("a")],
+            Formula::exists(
+                vec![TypedVar::num("x"), TypedVar::num("y")],
+                Formula::rel(
+                    "R",
+                    vec![
+                        Arg::Base(BaseTerm::var("a")),
+                        Arg::Num(NumTerm::var("x")),
+                        Arg::Num(NumTerm::var("y")),
+                    ],
+                ),
+            ),
+            &db.catalog(),
+        )
+        .unwrap();
+        let engine = CertaintyEngine::default();
+        let est = engine.measure(&q, &db, &Tuple::new(vec![Value::int(1)])).unwrap();
+        assert_eq!(est.method, crate::estimate::Method::ZeroOne);
+        assert!(est.is_certain());
+        let est = engine.measure(&q, &db, &Tuple::new(vec![Value::int(2)])).unwrap();
+        assert_eq!(est.exact, Some(Rational::ZERO));
+    }
+}

@@ -1,0 +1,315 @@
+//! The hardness gadgets of §6, implemented constructively.
+//!
+//! The paper's lower bounds encode propositional counting into μ:
+//!
+//! * **Theorem 6.3** (no FPRAS for FO(<) unless NP ⊆ BPP): for each 3CNF
+//!   `ψ` over variables `x₁…x_n` there is a *fixed* FO(<) query `q` and a
+//!   database `D_ψ` with `μ(q, D_ψ) = #ψ / 2ⁿ`.
+//! * **Proposition 6.2** (FP^#P-hardness for CQ(<)): same shape with a
+//!   3DNF and a conjunctive query.
+//!
+//! We reproduce both reductions as executable constructors. Each
+//! propositional variable `xᵢ` becomes a numerical null `⊤ᵢ`; truth of
+//! `xᵢ` is the event `⊤ᵢ > 0`, which has probability ½ independently
+//! across variables under the direction measure — so μ counts satisfying
+//! assignments. These constructions double as end-to-end validation:
+//! the exact order evaluator must return exactly `#ψ/2ⁿ` (a brute-force
+//! count), and the AFPRAS must land within ε of it.
+
+use qarith_query::{Arg, BaseTerm, CompareOp, Formula, NumTerm, Query, TypedVar};
+use qarith_types::{Column, Database, NumNullId, Relation, RelationSchema, Value};
+
+/// A literal: variable index with polarity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Literal {
+    /// 0-based propositional variable index.
+    pub var: usize,
+    /// `true` for a positive occurrence.
+    pub positive: bool,
+}
+
+/// A 3-ary clause/term.
+pub type Triple = [Literal; 3];
+
+/// A propositional formula in 3CNF or 3DNF (interpretation depends on
+/// the reduction used).
+#[derive(Clone, Debug)]
+pub struct ThreeSat {
+    /// Number of propositional variables.
+    pub vars: usize,
+    /// The clauses (CNF) or terms (DNF).
+    pub triples: Vec<Triple>,
+}
+
+impl ThreeSat {
+    /// Counts satisfying assignments reading the triples as CNF clauses.
+    pub fn count_cnf(&self) -> u64 {
+        self.count(|assign| {
+            self.triples.iter().all(|clause| {
+                clause.iter().any(|l| assign >> l.var & 1 == u64::from(l.positive))
+            })
+        })
+    }
+
+    /// Counts satisfying assignments reading the triples as DNF terms.
+    pub fn count_dnf(&self) -> u64 {
+        self.count(|assign| {
+            self.triples.iter().any(|term| {
+                term.iter().all(|l| assign >> l.var & 1 == u64::from(l.positive))
+            })
+        })
+    }
+
+    fn count(&self, sat: impl Fn(u64) -> bool) -> u64 {
+        assert!(self.vars <= 20, "brute-force counter is for validation sizes");
+        (0u64..1 << self.vars).filter(|&a| sat(a)).count() as u64
+    }
+}
+
+/// The Theorem 6.3 reduction: a fixed FO(<) query and a 3CNF-specific
+/// database with `μ(q, D_ψ) = #ψ/2ⁿ`.
+///
+/// Encoding: `Clause(c)` lists clause ids; `PosLit(c, v)` / `NegLit(c, v)`
+/// attach the nulls of the clause's positive/negative literals. The fixed
+/// query (data complexity!) is
+///
+/// `q = ∀c Clause(c) → (∃v PosLit(c,v) ∧ v > 0) ∨ (∃v NegLit(c,v) ∧ v < 0)`.
+pub fn encode_3cnf(psi: &ThreeSat) -> (Query, Database) {
+    let mut db = Database::new();
+    let clause_schema = RelationSchema::new("Clause", vec![Column::base("c")]).unwrap();
+    let pos_schema =
+        RelationSchema::new("PosLit", vec![Column::base("c"), Column::num("v")]).unwrap();
+    let neg_schema =
+        RelationSchema::new("NegLit", vec![Column::base("c"), Column::num("v")]).unwrap();
+    let mut clauses = Relation::empty(clause_schema);
+    let mut pos = Relation::empty(pos_schema);
+    let mut neg = Relation::empty(neg_schema);
+    for (ci, clause) in psi.triples.iter().enumerate() {
+        let cid = Value::int(ci as i64);
+        clauses.insert_values(vec![cid.clone()]).unwrap();
+        for l in clause {
+            let null = Value::NumNull(NumNullId(l.var as u32));
+            if l.positive {
+                pos.insert_values(vec![cid.clone(), null]).unwrap();
+            } else {
+                neg.insert_values(vec![cid.clone(), null]).unwrap();
+            }
+        }
+    }
+    db.add_relation(clauses).unwrap();
+    db.add_relation(pos).unwrap();
+    db.add_relation(neg).unwrap();
+
+    let body = Formula::forall(
+        vec![TypedVar::base("c")],
+        Formula::implies(
+            Formula::rel("Clause", vec![Arg::Base(BaseTerm::var("c"))]),
+            Formula::or(vec![
+                Formula::exists(
+                    vec![TypedVar::num("v")],
+                    Formula::and(vec![
+                        Formula::rel(
+                            "PosLit",
+                            vec![Arg::Base(BaseTerm::var("c")), Arg::Num(NumTerm::var("v"))],
+                        ),
+                        Formula::cmp(NumTerm::var("v"), CompareOp::Gt, NumTerm::int(0)),
+                    ]),
+                ),
+                Formula::exists(
+                    vec![TypedVar::num("w")],
+                    Formula::and(vec![
+                        Formula::rel(
+                            "NegLit",
+                            vec![Arg::Base(BaseTerm::var("c")), Arg::Num(NumTerm::var("w"))],
+                        ),
+                        Formula::cmp(NumTerm::var("w"), CompareOp::Lt, NumTerm::int(0)),
+                    ]),
+                ),
+            ]),
+        ),
+    );
+    let query = Query::boolean(body, &db.catalog()).expect("gadget query is well-formed");
+    (query, db)
+}
+
+/// The Proposition 6.2 reduction: a fixed CQ(<) query and a 3DNF-specific
+/// database with `μ(q, D) = #ψ/2ᵏ`.
+///
+/// Encoding trick: a literal is a *pair of cells* `(lo, hi)` whose
+/// constraint is `lo < hi` — `(0, ⊤ᵢ)` for a positive literal (`⊤ᵢ > 0`)
+/// and `(⊤ᵢ, 0)` for a negative one (`⊤ᵢ < 0`). One relation row per DNF
+/// term; the fixed conjunctive query joins the row and asserts the three
+/// comparisons:
+///
+/// `q = ∃c,l₁,h₁,l₂,h₂,l₃,h₃ Term(c,l₁,h₁,…) ∧ l₁<h₁ ∧ l₂<h₂ ∧ l₃<h₃`.
+pub fn encode_3dnf(psi: &ThreeSat) -> (Query, Database) {
+    let mut db = Database::new();
+    let schema = RelationSchema::new(
+        "Term",
+        vec![
+            Column::base("c"),
+            Column::num("l1"),
+            Column::num("h1"),
+            Column::num("l2"),
+            Column::num("h2"),
+            Column::num("l3"),
+            Column::num("h3"),
+        ],
+    )
+    .unwrap();
+    let mut terms = Relation::empty(schema);
+    for (ti, term) in psi.triples.iter().enumerate() {
+        let mut row = vec![Value::int(ti as i64)];
+        for l in term {
+            let null = Value::NumNull(NumNullId(l.var as u32));
+            if l.positive {
+                row.push(Value::num(0));
+                row.push(null);
+            } else {
+                row.push(null);
+                row.push(Value::num(0));
+            }
+        }
+        terms.insert_values(row).unwrap();
+    }
+    db.add_relation(terms).unwrap();
+
+    let head: Vec<TypedVar> = Vec::new();
+    let vars = ["l1", "h1", "l2", "h2", "l3", "h3"];
+    let mut binders = vec![TypedVar::base("c")];
+    binders.extend(vars.iter().map(|v| TypedVar::num(v)));
+    let mut conj = vec![Formula::rel(
+        "Term",
+        std::iter::once(Arg::Base(BaseTerm::var("c")))
+            .chain(vars.iter().map(|v| Arg::Num(NumTerm::var(v))))
+            .collect(),
+    )];
+    for pair in vars.chunks(2) {
+        conj.push(Formula::cmp(
+            NumTerm::var(pair[0]),
+            CompareOp::Lt,
+            NumTerm::var(pair[1]),
+        ));
+    }
+    let body = Formula::exists(binders, Formula::and(conj));
+    let query = Query::new(head, body, &db.catalog()).expect("gadget query is well-formed");
+    (query, db)
+}
+
+/// A deterministic pseudo-random 3SAT instance (for tests/benches).
+pub fn random_instance(vars: usize, triples: usize, seed: u64) -> ThreeSat {
+    assert!(vars >= 3);
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut out = Vec::with_capacity(triples);
+    for _ in 0..triples {
+        let mut vs = [0usize; 3];
+        vs[0] = next() as usize % vars;
+        loop {
+            vs[1] = next() as usize % vars;
+            if vs[1] != vs[0] {
+                break;
+            }
+        }
+        loop {
+            vs[2] = next() as usize % vars;
+            if vs[2] != vs[0] && vs[2] != vs[1] {
+                break;
+            }
+        }
+        out.push([
+            Literal { var: vs[0], positive: next() % 2 == 0 },
+            Literal { var: vs[1], positive: next() % 2 == 0 },
+            Literal { var: vs[2], positive: next() % 2 == 0 },
+        ]);
+    }
+    ThreeSat { vars, triples: out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qarith_engine::ground;
+    use qarith_types::Tuple;
+
+    fn lit(var: usize, positive: bool) -> Literal {
+        Literal { var, positive }
+    }
+
+    #[test]
+    fn brute_force_counters() {
+        // ψ = (x0 ∨ x1 ∨ x2): CNF count = 7, DNF count (single term
+        // x0∧x1∧x2) = 1.
+        let psi = ThreeSat {
+            vars: 3,
+            triples: vec![[lit(0, true), lit(1, true), lit(2, true)]],
+        };
+        assert_eq!(psi.count_cnf(), 7);
+        assert_eq!(psi.count_dnf(), 1);
+    }
+
+    #[test]
+    fn cnf_gadget_ground_formula_counts_satisfying_assignments() {
+        let psi = ThreeSat {
+            vars: 3,
+            triples: vec![
+                [lit(0, true), lit(1, false), lit(2, true)],
+                [lit(0, false), lit(1, true), lit(2, true)],
+            ],
+        };
+        let (q, db) = encode_3cnf(&psi);
+        let phi = ground::ground(&q, &db, &Tuple::new(vec![])).unwrap();
+        // Check against every sign pattern: φ at a representative point
+        // must equal ψ at the corresponding assignment.
+        for assign in 0u64..8 {
+            let point: Vec<f64> =
+                (0..3).map(|i| if assign >> i & 1 == 1 { 1.0 } else { -1.0 }).collect();
+            let expected = psi.triples.iter().all(|clause| {
+                clause.iter().any(|l| (assign >> l.var & 1 == 1) == l.positive)
+            });
+            assert_eq!(phi.eval_f64(&point), expected, "assignment {assign:#b}");
+        }
+    }
+
+    #[test]
+    fn dnf_gadget_ground_formula_counts_satisfying_assignments() {
+        let psi = ThreeSat {
+            vars: 4,
+            triples: vec![
+                [lit(0, true), lit(1, true), lit(2, false)],
+                [lit(1, false), lit(2, true), lit(3, true)],
+            ],
+        };
+        let (q, db) = encode_3dnf(&psi);
+        assert!(q.fragment().conjunctive, "Prop 6.2 needs a CQ");
+        let phi = ground::ground(&q, &db, &Tuple::new(vec![])).unwrap();
+        for assign in 0u64..16 {
+            let point: Vec<f64> =
+                (0..4).map(|i| if assign >> i & 1 == 1 { 1.0 } else { -1.0 }).collect();
+            let expected = psi.triples.iter().any(|term| {
+                term.iter().all(|l| (assign >> l.var & 1 == 1) == l.positive)
+            });
+            assert_eq!(phi.eval_f64(&point), expected, "assignment {assign:#b}");
+        }
+    }
+
+    #[test]
+    fn random_instances_are_well_formed() {
+        let psi = random_instance(6, 10, 42);
+        assert_eq!(psi.triples.len(), 10);
+        for t in &psi.triples {
+            assert!(t.iter().all(|l| l.var < 6));
+            assert_ne!(t[0].var, t[1].var);
+            assert_ne!(t[1].var, t[2].var);
+            assert_ne!(t[0].var, t[2].var);
+        }
+        // Determinism.
+        let psi2 = random_instance(6, 10, 42);
+        assert_eq!(psi.triples, psi2.triples);
+    }
+}

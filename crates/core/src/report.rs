@@ -1,0 +1,118 @@
+//! Text rendering of answer sets — the analyst-facing output of the §9
+//! scenario ("provide the user with the additional information about
+//! confidence levels for potential query answers").
+
+use std::fmt::Write as _;
+
+use crate::pipeline::AnswerWithCertainty;
+
+/// Renders candidates and their confidence levels as an aligned text
+/// table, sorted by decreasing certainty (ties: first-derivation order).
+///
+/// ```text
+/// candidate        μ        method   dim
+/// ("seg3")         1        exact      0
+/// ("seg17")        0.3888   exact      2
+/// ```
+pub fn render_answers(answers: &[AnswerWithCertainty]) -> String {
+    let mut rows: Vec<(String, String, String, String)> = Vec::with_capacity(answers.len());
+    let mut order: Vec<usize> = (0..answers.len()).collect();
+    order.sort_by(|&i, &j| {
+        answers[j]
+            .certainty
+            .value
+            .partial_cmp(&answers[i].certainty.value)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(i.cmp(&j))
+    });
+    for &i in &order {
+        let a = &answers[i];
+        let mu = match &a.certainty.exact {
+            Some(r) => r.to_string(),
+            None => format!("{:.4}", a.certainty.value),
+        };
+        rows.push((
+            a.tuple.to_string(),
+            mu,
+            a.certainty.method.to_string(),
+            a.certainty.dimension.to_string(),
+        ));
+    }
+
+    let headers = ("candidate", "μ", "method", "dim");
+    let w0 = rows.iter().map(|r| r.0.len()).chain([headers.0.len()]).max().unwrap_or(0);
+    let w1 = rows.iter().map(|r| r.1.len()).chain([headers.1.len()]).max().unwrap_or(0);
+    let w2 = rows.iter().map(|r| r.2.len()).chain([headers.2.len()]).max().unwrap_or(0);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<w0$}  {:<w1$}  {:<w2$}  dim", headers.0, headers.1, headers.2);
+    for (c, m, meth, d) in rows {
+        let _ = writeln!(out, "{c:<w0$}  {m:<w1$}  {meth:<w2$}  {d:>3}");
+    }
+    out
+}
+
+/// One-line summary: counts of certain / uncertain / impossible answers.
+pub fn summarize(answers: &[AnswerWithCertainty]) -> String {
+    let certain = answers.iter().filter(|a| a.certainty.is_certain()).count();
+    let impossible = answers.iter().filter(|a| a.certainty.value <= 0.0).count();
+    let uncertain = answers.len() - certain - impossible;
+    format!(
+        "{} answers: {certain} certain, {uncertain} uncertain, {impossible} impossible",
+        answers.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::CertaintyEstimate;
+    use qarith_constraints::QfFormula;
+    use qarith_numeric::Rational;
+    use qarith_types::{Tuple, Value};
+
+    fn answer(label: &str, est: CertaintyEstimate) -> AnswerWithCertainty {
+        AnswerWithCertainty {
+            tuple: Tuple::new(vec![Value::str(label)]),
+            certainty: est,
+            formula: QfFormula::True,
+        }
+    }
+
+    #[test]
+    fn renders_sorted_aligned_table() {
+        let answers = vec![
+            answer("low", CertaintyEstimate::exact_rational(Rational::new(1, 4), 2)),
+            answer("sure", CertaintyEstimate::exact_rational(Rational::ONE, 0)),
+            answer("mid", CertaintyEstimate::exact_real(0.5, 3)),
+        ];
+        let table = render_answers(&answers);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("candidate"));
+        // Sorted by decreasing μ.
+        assert!(lines[1].contains("sure") && lines[1].contains('1'));
+        assert!(lines[2].contains("mid") && lines[2].contains("0.5000"));
+        assert!(lines[3].contains("low") && lines[3].contains("1/4"));
+        // Alignment: all rows have the μ column at the same offset.
+        let col = lines[1].find('1').unwrap();
+        assert_eq!(lines[3].find("1/4").unwrap(), col);
+    }
+
+    #[test]
+    fn summary_counts() {
+        let answers = vec![
+            answer("a", CertaintyEstimate::exact_rational(Rational::ONE, 0)),
+            answer("b", CertaintyEstimate::exact_real(0.4, 1)),
+            answer("c", CertaintyEstimate::exact_rational(Rational::ZERO, 1)),
+        ];
+        assert_eq!(summarize(&answers), "3 answers: 1 certain, 1 uncertain, 1 impossible");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(summarize(&[]), "0 answers: 0 certain, 0 uncertain, 0 impossible");
+        let table = render_answers(&[]);
+        assert_eq!(table.lines().count(), 1, "header only");
+    }
+}

@@ -1,0 +1,88 @@
+//! The zero-one law for generic queries (§2 of the paper, after
+//! Libkin PODS'18).
+//!
+//! For queries without interpreted numerical operations ("generic"
+//! queries — those commuting with permutations of the domain), the
+//! measure collapses: `μ(q, D, a) ∈ {0, 1}`, and `μ = 1` **iff** naive
+//! evaluation returns the tuple (nulls as fresh distinct constants). The
+//! measure machinery of §4 provably generalizes this (the Remark in §4),
+//! and our implementation recovers it computationally: ground formulas of
+//! generic queries only contain equality atoms between null variables and
+//! constants, whose measure is 1 when identically true and 0 otherwise.
+
+use qarith_engine::naive;
+use qarith_engine::EngineError;
+use qarith_numeric::Rational;
+use qarith_query::Query;
+use qarith_types::{Database, Tuple};
+
+use crate::estimate::{CertaintyEstimate, Method};
+
+/// `μ(q, D, a)` for a generic query, via the zero-one law: `1` if the
+/// naive evaluation returns the candidate, else `0`.
+///
+/// Callers should check [`Fragment::is_generic`](qarith_query::Fragment::is_generic)
+/// first; on non-generic queries the law does not hold and this function's
+/// answer is meaningless (it will still run, since naive evaluation of
+/// arithmetic-free atoms never errors).
+pub fn zero_one_measure(
+    query: &Query,
+    db: &Database,
+    candidate: &Tuple,
+) -> Result<CertaintyEstimate, EngineError> {
+    let holds = naive::holds_for_candidate(query, db, candidate)?;
+    let mut est = CertaintyEstimate::exact_rational(
+        if holds { Rational::ONE } else { Rational::ZERO },
+        0,
+    );
+    est.method = Method::ZeroOne;
+    Ok(est)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qarith_query::{Arg, BaseTerm, Formula, NumTerm, TypedVar};
+    use qarith_types::{Column, NumNullId, Relation, RelationSchema, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let schema =
+            RelationSchema::new("R", vec![Column::base("a"), Column::num("x")]).unwrap();
+        let mut r = Relation::empty(schema);
+        r.insert_values(vec![Value::int(1), Value::NumNull(NumNullId(0))]).unwrap();
+        r.insert_values(vec![Value::int(2), Value::num(5)]).unwrap();
+        db.add_relation(r).unwrap();
+        db
+    }
+
+    fn identity_query(db: &Database) -> Query {
+        Query::new(
+            vec![TypedVar::base("a"), TypedVar::num("x")],
+            Formula::rel("R", vec![Arg::Base(BaseTerm::var("a")), Arg::Num(NumTerm::var("x"))]),
+            &db.catalog(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn naive_answers_have_measure_one() {
+        let db = db();
+        let q = identity_query(&db);
+        assert!(q.fragment().is_generic());
+        let member = Tuple::new(vec![Value::int(1), Value::NumNull(NumNullId(0))]);
+        let est = zero_one_measure(&q, &db, &member).unwrap();
+        assert!(est.is_certain());
+        assert_eq!(est.method, Method::ZeroOne);
+    }
+
+    #[test]
+    fn non_answers_have_measure_zero() {
+        let db = db();
+        let q = identity_query(&db);
+        // (1, 5) is not a naive answer: ⊤0 is a fresh constant ≠ 5.
+        let non = Tuple::new(vec![Value::int(1), Value::num(5)]);
+        let est = zero_one_measure(&q, &db, &non).unwrap();
+        assert_eq!(est.exact, Some(Rational::ZERO));
+    }
+}

@@ -1,0 +1,21 @@
+//! Seeded synthetic data generation.
+//!
+//! The paper's §9 evaluation uses DataFiller ("generate random data from
+//! database schema") to build a ~200K-tuple sales database with nulls,
+//! then replaces SQL `NULL`s with distinct markers to obtain marked
+//! nulls. This crate is the equivalent generator for the qarith data
+//! model: declarative per-column value generators with per-column null
+//! probabilities, deterministic under a seed, allocating globally-unique
+//! marked-null ids.
+//!
+//! [`sales`] builds the paper's exact schema (`Products`, `Orders`,
+//! `Market`) at configurable scales, along with the three §9
+//! decision-support queries as SQL text.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generator;
+pub mod sales;
+
+pub use generator::{ColumnGen, ColumnSpec, Generator, TableSpec};

@@ -1,0 +1,146 @@
+use std::collections::HashMap;
+
+use qarith_constraints::{Polynomial, Var};
+use qarith_query::{BaseTerm, Ident, NumTerm};
+use qarith_types::{NumNullId, Value};
+
+use crate::error::EngineError;
+
+/// A variable binding during evaluation/grounding.
+///
+/// Base variables bind to [`Value`]s of the base sort (constants or base
+/// nulls — under the bijective valuation of Proposition 5.2 a base null
+/// simply *is* a fresh constant, and [`Value`] equality implements exactly
+/// that semantics). Numerical variables bind to [`Polynomial`]s over the
+/// null variables `z_i`: a rational constant binds as a constant
+/// polynomial, the null `⊤_i` binds as the variable `z_i`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Bound {
+    /// A base-sort binding.
+    Base(Value),
+    /// A numerical binding, symbolic over the null variables.
+    Num(Polynomial),
+}
+
+impl Bound {
+    /// Converts a numerical database value into its symbolic form.
+    pub fn from_num_value(v: &Value) -> Bound {
+        match v {
+            Value::Num(r) => Bound::Num(Polynomial::constant(*r)),
+            Value::NumNull(id) => Bound::Num(Polynomial::var(null_var(*id))),
+            other => panic!("not a numerical value: {other}"),
+        }
+    }
+
+    /// Converts any database value into a binding.
+    pub fn from_value(v: &Value) -> Bound {
+        match v {
+            Value::Base(_) | Value::BaseNull(_) => Bound::Base(v.clone()),
+            _ => Bound::from_num_value(v),
+        }
+    }
+}
+
+/// The formula variable standing for the numerical null `⊤_i`
+/// (Proposition 5.3 associates `z_i` with `⊤_i`).
+pub fn null_var(id: NumNullId) -> Var {
+    Var(id.0)
+}
+
+/// An evaluation environment: variable name → binding.
+pub type Env = HashMap<Ident, Bound>;
+
+/// Evaluates a base term to a value under `env`.
+pub fn base_term_value(t: &BaseTerm, env: &Env) -> Result<Value, EngineError> {
+    match t {
+        BaseTerm::Const(c) => Ok(Value::Base(c.clone())),
+        BaseTerm::Var(x) => match env.get(x) {
+            Some(Bound::Base(v)) => Ok(v.clone()),
+            _ => Err(EngineError::UnboundVariable { var: x.to_string() }),
+        },
+    }
+}
+
+/// Symbolically evaluates a numerical term to a polynomial over the null
+/// variables `z̄` under `env` — the term-level core of the Proposition 5.3
+/// translation.
+pub fn term_to_polynomial(t: &NumTerm, env: &Env) -> Result<Polynomial, EngineError> {
+    Ok(match t {
+        NumTerm::Const(r) => Polynomial::constant(*r),
+        NumTerm::Var(x) => match env.get(x) {
+            Some(Bound::Num(p)) => p.clone(),
+            _ => return Err(EngineError::UnboundVariable { var: x.to_string() }),
+        },
+        NumTerm::Add(a, b) => {
+            term_to_polynomial(a, env)?.checked_add(&term_to_polynomial(b, env)?)?
+        }
+        NumTerm::Sub(a, b) => {
+            term_to_polynomial(a, env)?.checked_sub(&term_to_polynomial(b, env)?)?
+        }
+        NumTerm::Mul(a, b) => {
+            term_to_polynomial(a, env)?.checked_mul(&term_to_polynomial(b, env)?)?
+        }
+        NumTerm::Neg(a) => term_to_polynomial(a, env)?.negated(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qarith_numeric::Rational;
+    use std::sync::Arc;
+
+    fn env_with(name: &str, b: Bound) -> Env {
+        let mut e = Env::new();
+        e.insert(Arc::from(name), b);
+        e
+    }
+
+    #[test]
+    fn null_var_mapping() {
+        assert_eq!(null_var(NumNullId(7)), Var(7));
+    }
+
+    #[test]
+    fn base_term_evaluation() {
+        let env = env_with("x", Bound::Base(Value::str("a")));
+        assert_eq!(base_term_value(&BaseTerm::var("x"), &env).unwrap(), Value::str("a"));
+        assert_eq!(base_term_value(&BaseTerm::int(3), &env).unwrap(), Value::int(3));
+        assert!(base_term_value(&BaseTerm::var("y"), &env).is_err());
+    }
+
+    #[test]
+    fn symbolic_term_evaluation() {
+        // y bound to ⊤2: 0.7·y − 3 becomes 7/10·z2 − 3.
+        let env = env_with("y", Bound::from_num_value(&Value::NumNull(NumNullId(2))));
+        let t = NumTerm::decimal("0.7").mul(NumTerm::var("y")).sub(NumTerm::int(3));
+        let p = term_to_polynomial(&t, &env).unwrap();
+        let expected = Polynomial::constant(Rational::new(7, 10))
+            .checked_mul(&Polynomial::var(Var(2)))
+            .unwrap()
+            .checked_sub(&Polynomial::constant(Rational::from_int(3)))
+            .unwrap();
+        assert_eq!(p, expected);
+    }
+
+    #[test]
+    fn constant_bindings_fold() {
+        let env = env_with("y", Bound::from_num_value(&Value::num(4)));
+        let t = NumTerm::var("y").mul(NumTerm::var("y")).add(NumTerm::int(1));
+        let p = term_to_polynomial(&t, &env).unwrap();
+        assert_eq!(p.as_constant(), Some(Rational::from_int(17)));
+    }
+
+    #[test]
+    fn num_binding_from_value() {
+        assert_eq!(
+            Bound::from_value(&Value::num(2)),
+            Bound::Num(Polynomial::constant(Rational::from_int(2)))
+        );
+        assert_eq!(
+            Bound::from_value(&Value::NumNull(NumNullId(0))),
+            Bound::Num(Polynomial::var(Var(0)))
+        );
+        assert_eq!(Bound::from_value(&Value::int(1)), Bound::Base(Value::int(1)));
+    }
+}

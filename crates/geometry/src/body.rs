@@ -1,0 +1,321 @@
+use crate::error::GeometryError;
+use crate::lp::{maximize, LpOutcome};
+use crate::vecmath::{dot, norm};
+
+/// A closed halfspace `normal·x ≤ offset`.
+///
+/// Strictness is immaterial for volumes (boundaries are measure-zero), so
+/// the body layer works with closed halfspaces; the symbolic layer decides
+/// which inequalities are strict.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Halfspace {
+    /// Outward normal.
+    pub normal: Vec<f64>,
+    /// Right-hand side.
+    pub offset: f64,
+}
+
+impl Halfspace {
+    /// `normal·x ≤ offset`.
+    pub fn new(normal: Vec<f64>, offset: f64) -> Halfspace {
+        Halfspace { normal, offset }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, x: &[f64]) -> bool {
+        dot(&self.normal, x) <= self.offset + 1e-12
+    }
+}
+
+/// A closed ball constraint `|x − center| ≤ radius`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Ball {
+    /// Center.
+    pub center: Vec<f64>,
+    /// Radius.
+    pub radius: f64,
+}
+
+/// An intersection of halfspaces and balls:
+/// `{x : Aᵢ·x ≤ bᵢ} ∩ ⋂_j B(c_j, r_j)`.
+///
+/// The FPRAS instantiates this with homogenized cones (`bᵢ = 0`)
+/// intersected with the unit ball; the annealing volume estimator adds a
+/// second, off-center schedule ball. Supports membership, exact
+/// line-chord computation (for hit-and-run), and LP-based interior-point
+/// search.
+#[derive(Clone, Debug)]
+pub struct ConvexBody {
+    dim: usize,
+    halfspaces: Vec<Halfspace>,
+    balls: Vec<Ball>,
+}
+
+impl ConvexBody {
+    /// A body from halfspaces, optionally intersected with the centered
+    /// ball `B(0, radius)`.
+    pub fn new(dim: usize, halfspaces: Vec<Halfspace>, ball_radius: Option<f64>) -> ConvexBody {
+        for h in &halfspaces {
+            assert_eq!(h.normal.len(), dim, "halfspace dimension mismatch");
+        }
+        let balls = ball_radius
+            .map(|r| vec![Ball { center: vec![0.0; dim], radius: r }])
+            .into_iter()
+            .flatten()
+            .collect();
+        ConvexBody { dim, halfspaces, balls }
+    }
+
+    /// The ambient dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The halfspaces.
+    pub fn halfspaces(&self) -> &[Halfspace] {
+        &self.halfspaces
+    }
+
+    /// The ball constraints.
+    pub fn balls(&self) -> &[Ball] {
+        &self.balls
+    }
+
+    /// The radius of the first (outer) ball, if any.
+    pub fn ball_radius(&self) -> Option<f64> {
+        self.balls.first().map(|b| b.radius)
+    }
+
+    /// A copy intersected with one more ball `B(center, radius)`.
+    pub fn with_extra_ball(&self, center: Vec<f64>, radius: f64) -> ConvexBody {
+        assert_eq!(center.len(), self.dim);
+        let mut out = self.clone();
+        out.balls.push(Ball { center, radius });
+        out
+    }
+
+    /// Membership test.
+    pub fn contains(&self, x: &[f64]) -> bool {
+        debug_assert_eq!(x.len(), self.dim);
+        for b in &self.balls {
+            let d2: f64 = x.iter().zip(&b.center).map(|(a, c)| (a - c) * (a - c)).sum();
+            if d2 > b.radius * b.radius + 1e-12 {
+                return false;
+            }
+        }
+        self.halfspaces.iter().all(|h| h.contains(x))
+    }
+
+    /// The chord `{t : p + t·d ∈ body}` for a point `p` inside the body
+    /// and a direction `d` — the core primitive of hit-and-run.
+    ///
+    /// Returns `None` if the chord is empty or unbounded.
+    pub fn chord(&self, p: &[f64], d: &[f64]) -> Option<(f64, f64)> {
+        let mut lo = f64::NEG_INFINITY;
+        let mut hi = f64::INFINITY;
+        for h in &self.halfspaces {
+            let nd = dot(&h.normal, d);
+            let np = dot(&h.normal, p);
+            let slack = h.offset - np;
+            if nd.abs() < 1e-14 {
+                if slack < -1e-12 {
+                    return None; // p outside this halfspace
+                }
+                continue;
+            }
+            let t = slack / nd;
+            if nd > 0.0 {
+                hi = hi.min(t);
+            } else {
+                lo = lo.max(t);
+            }
+        }
+        for ball in &self.balls {
+            // |p − c + t·d|² ≤ r²: quadratic in t.
+            let rel: Vec<f64> = p.iter().zip(&ball.center).map(|(a, c)| a - c).collect();
+            let a = dot(d, d);
+            let b = 2.0 * dot(&rel, d);
+            let c = dot(&rel, &rel) - ball.radius * ball.radius;
+            if a < 1e-14 {
+                if c > 1e-12 {
+                    return None;
+                }
+                continue;
+            }
+            let disc = b * b - 4.0 * a * c;
+            if disc <= 0.0 {
+                return None;
+            }
+            let s = disc.sqrt();
+            lo = lo.max((-b - s) / (2.0 * a));
+            hi = hi.min((-b + s) / (2.0 * a));
+        }
+        (lo < hi && lo.is_finite() && hi.is_finite()).then_some((lo, hi))
+    }
+
+    /// A point strictly inside the body with maximal margin, via the
+    /// Chebyshev-style LP
+    ///
+    /// `max t  s.t.  Aᵢ·x + ‖Aᵢ‖·t ≤ bᵢ,  ±(x − c_j)_k + t ≤ r_j/√n`,
+    ///
+    /// whose per-ball box constraints keep `B(x, t)` inside each ball
+    /// constraint. Returns the center and margin, or
+    /// `Err(EmptyInterior)` if no positive margin exists (the body is
+    /// empty or lower-dimensional).
+    pub fn interior_point(&self) -> Result<(Vec<f64>, f64), GeometryError> {
+        let n = self.dim;
+        if n == 0 {
+            return Err(GeometryError::EmptyInterior);
+        }
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut rhs: Vec<f64> = Vec::new();
+        for h in &self.halfspaces {
+            let mut row = h.normal.clone();
+            row.push(norm(&h.normal));
+            rows.push(row);
+            rhs.push(h.offset);
+        }
+        for ball in &self.balls {
+            let box_half = ball.radius / (n as f64).sqrt();
+            for j in 0..n {
+                let mut up = vec![0.0; n + 1];
+                up[j] = 1.0;
+                up[n] = 1.0;
+                rows.push(up);
+                rhs.push(ball.center[j] + box_half);
+                let mut down = vec![0.0; n + 1];
+                down[j] = -1.0;
+                down[n] = 1.0;
+                rows.push(down);
+                rhs.push(box_half - ball.center[j]);
+            }
+        }
+        if rows.is_empty() {
+            // Unconstrained body: any point works; margin is nominal.
+            return Ok((vec![0.0; n], 1.0));
+        }
+        let mut c = vec![0.0; n + 1];
+        c[n] = 1.0;
+        match maximize(&c, &rows, &rhs)? {
+            LpOutcome::Optimal { x, value } if value > 1e-9 => Ok((x[..n].to_vec(), value)),
+            LpOutcome::Optimal { .. } | LpOutcome::Infeasible => Err(GeometryError::EmptyInterior),
+            LpOutcome::Unbounded => {
+                // Only possible with no ball and an unbounded cone: pick
+                // the feasible direction the LP was escaping along — the
+                // caller always supplies a bounding ball in practice.
+                Err(GeometryError::LpStalled)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The negative quadrant cone in 2D, inside the unit ball.
+    fn neg_quadrant() -> ConvexBody {
+        ConvexBody::new(
+            2,
+            vec![
+                Halfspace::new(vec![1.0, 0.0], 0.0),
+                Halfspace::new(vec![0.0, 1.0], 0.0),
+            ],
+            Some(1.0),
+        )
+    }
+
+    #[test]
+    fn membership() {
+        let k = neg_quadrant();
+        assert!(k.contains(&[-0.1, -0.1]));
+        assert!(k.contains(&[0.0, -0.5]));
+        assert!(!k.contains(&[0.1, -0.1]));
+        assert!(!k.contains(&[-0.9, -0.9])); // outside the unit ball
+    }
+
+    #[test]
+    fn chord_against_halfspaces_and_ball() {
+        let k = neg_quadrant();
+        let p = [-0.2, -0.2];
+        // Direction +x: chord ends at x = 0 (halfspace) on the right and
+        // the ball on the left.
+        let (lo, hi) = k.chord(&p, &[1.0, 0.0]).unwrap();
+        assert!((hi - 0.2).abs() < 1e-9, "hi {hi}");
+        let left_x = -(1.0f64 - 0.04).sqrt(); // ball: x² + 0.04 = 1
+        assert!((p[0] + lo - left_x).abs() < 1e-9, "lo {lo}");
+    }
+
+    #[test]
+    fn chord_none_when_outside() {
+        let k = neg_quadrant();
+        assert!(k.chord(&[0.5, 0.5], &[1.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn chord_with_two_balls() {
+        // Unit ball ∩ B((0.5, 0), 1): lens shape. Along the x-axis from
+        // the origin: right end at 0.5+... min(1, 1.5)=1 from first ball;
+        // second ball gives x ∈ [−0.5, 1.5] ⇒ chord [−0.5, 1].
+        let k = ConvexBody::new(2, vec![], Some(1.0)).with_extra_ball(vec![0.5, 0.0], 1.0);
+        let (lo, hi) = k.chord(&[0.0, 0.0], &[1.0, 0.0]).unwrap();
+        assert!((lo + 0.5).abs() < 1e-9, "lo {lo}");
+        assert!((hi - 1.0).abs() < 1e-9, "hi {hi}");
+        assert!(k.contains(&[0.9, 0.0]));
+        assert!(!k.contains(&[-0.6, 0.0]));
+    }
+
+    #[test]
+    fn chord_parallel_direction() {
+        // Direction parallel to a face: only the other constraints bite.
+        let k = neg_quadrant();
+        let chord = k.chord(&[-0.3, -0.3], &[0.0, 1.0]).unwrap();
+        assert!((chord.1 - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interior_point_is_interior() {
+        let k = neg_quadrant();
+        let (x, margin) = k.interior_point().unwrap();
+        assert!(margin > 0.1, "margin {margin}");
+        assert!(k.contains(&x));
+        assert!(x[0] < -0.05 && x[1] < -0.05, "strictly inside: {x:?}");
+    }
+
+    #[test]
+    fn empty_body_detected() {
+        // {x ≤ −1} ∩ {−x ≤ −1} = ∅ (x ≤ −1 and x ≥ 1).
+        let k = ConvexBody::new(
+            1,
+            vec![
+                Halfspace::new(vec![1.0], -1.0),
+                Halfspace::new(vec![-1.0], -1.0),
+            ],
+            Some(2.0),
+        );
+        assert!(matches!(k.interior_point(), Err(GeometryError::EmptyInterior)));
+    }
+
+    #[test]
+    fn lower_dimensional_body_detected() {
+        // {x ≤ 0} ∩ {−x ≤ 0} = the hyperplane x = 0: no interior.
+        let k = ConvexBody::new(
+            2,
+            vec![
+                Halfspace::new(vec![1.0, 0.0], 0.0),
+                Halfspace::new(vec![-1.0, 0.0], 0.0),
+            ],
+            Some(1.0),
+        );
+        assert!(matches!(k.interior_point(), Err(GeometryError::EmptyInterior)));
+    }
+
+    #[test]
+    fn extra_ball_shrinks_body() {
+        let k = neg_quadrant().with_extra_ball(vec![-0.5, -0.5], 0.2);
+        assert!(k.contains(&[-0.5, -0.4]));
+        assert!(!k.contains(&[-0.1, -0.1]));
+        let (x, _) = k.interior_point().unwrap();
+        assert!(k.contains(&x));
+    }
+}

@@ -1,0 +1,45 @@
+use std::fmt;
+
+/// Errors from the geometry layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeometryError {
+    /// A body has empty interior (no strictly feasible point); volumes of
+    /// such bodies are zero and samplers cannot run on them.
+    EmptyInterior,
+    /// Mismatched dimensions between a body and a point/direction.
+    DimensionMismatch {
+        /// Body dimension.
+        expected: usize,
+        /// Offending vector length.
+        actual: usize,
+    },
+    /// The LP solver cycled or exceeded its iteration budget (numerically
+    /// degenerate input).
+    LpStalled,
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::EmptyInterior => write!(f, "convex body has empty interior"),
+            GeometryError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: body is {expected}-dimensional, vector has {actual}")
+            }
+            GeometryError::LpStalled => write!(f, "simplex exceeded its iteration budget"),
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(GeometryError::EmptyInterior.to_string().contains("empty interior"));
+        let e = GeometryError::DimensionMismatch { expected: 3, actual: 2 };
+        assert!(e.to_string().contains("3"));
+    }
+}

@@ -1,0 +1,47 @@
+//! Convex-geometry substrate for the Theorem 7.1 FPRAS.
+//!
+//! The paper reduces `μ` for CQ(+,<) queries to the volume of a union of
+//! convex bodies — homogenized polyhedral cones intersected with the unit
+//! ball — and invokes the Bringmann–Friedrich estimator
+//! (*Approximating the volume of unions and intersections of
+//! high-dimensional geometric objects*, CG 2010), which needs three
+//! per-body primitives: a volume (approximation), a uniform sampler, and a
+//! membership oracle. This crate builds all three from scratch:
+//!
+//! * [`sample_unit_sphere`] / [`sample_unit_ball`] — the Gaussian
+//!   normalization technique of Blum–Hopcroft–Kannan (the paper's \[8\]);
+//! * [`ConvexBody`] — H-polytopes intersected with a ball: membership and
+//!   exact line-chord computation;
+//! * [`lp`] — a dense two-phase primal simplex solver (Bland's rule), used
+//!   to find Chebyshev-style interior points and to discard empty cones;
+//! * [`HitAndRun`] — the classic uniform sampler over convex bodies;
+//! * [`estimate_volume_fraction`] — hybrid volume estimation: direct
+//!   rejection sampling for bodies with non-tiny volume, multi-phase
+//!   ball-annealing Monte Carlo for the rest (the practical stand-in for
+//!   the Lovász–Vempala-style volume oracles the theorem assumes);
+//! * [`estimate_union_fraction`] — the multiplicity-weighted union
+//!   estimator (Karp–Luby style) of Bringmann–Friedrich.
+//!
+//! Everything is plain `f64`: by the time geometry runs, all symbolic
+//! reasoning (homogenization, degeneracy detection) has already happened
+//! exactly in `qarith-constraints`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod body;
+mod error;
+mod hitrun;
+pub mod lp;
+mod sampler;
+mod union;
+mod vecmath;
+mod volume;
+
+pub use body::{ConvexBody, Halfspace};
+pub use error::GeometryError;
+pub use hitrun::HitAndRun;
+pub use sampler::{sample_unit_ball, sample_unit_sphere, standard_normal};
+pub use union::{estimate_union_fraction, UnionBody};
+pub use vecmath::{dot, norm, scale_in_place};
+pub use volume::{estimate_volume_fraction, unit_ball_volume, VolumeOptions};

@@ -1,0 +1,375 @@
+//! A dense two-phase primal simplex solver.
+//!
+//! Solves `maximize c·x subject to A·x ≤ b` with **free** variables
+//! (internally split into positive/negative parts). Bland's rule prevents
+//! cycling; an iteration budget guards against numerically degenerate
+//! inputs. Problem sizes in this workspace are tiny (tens of variables and
+//! constraints — one per linear atom of a ground-formula disjunct), so a
+//! dense tableau is the right tool.
+//!
+//! The FPRAS uses the solver for two jobs:
+//!
+//! * **feasibility with margin** — does a homogenized cone
+//!   `{x : aᵢ·x < 0}` have interior? Maximize `t` subject to
+//!   `aᵢ·x + ‖aᵢ‖·t ≤ 0` and a bounding box; interior exists iff the
+//!   optimum is positive. The optimizer also *returns* a deep interior
+//!   point (a Chebyshev-style center) used to seed hit-and-run.
+//! * **pruning** — empty cones contribute no volume and are dropped
+//!   before sampling.
+
+use crate::error::GeometryError;
+
+/// Result of an LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// An optimal solution (for the original free variables) and its
+    /// objective value.
+    Optimal {
+        /// Optimizer.
+        x: Vec<f64>,
+        /// Objective value at the optimizer.
+        value: f64,
+    },
+    /// The constraints are unsatisfiable.
+    Infeasible,
+    /// The objective is unbounded above on the feasible set.
+    Unbounded,
+}
+
+const EPS: f64 = 1e-9;
+const MAX_ITERS: usize = 20_000;
+
+/// Maximizes `c·x` subject to `a·x ≤ b` (row-wise), `x` free.
+///
+/// `a` is row-major: `a[i]` is the `i`-th constraint, `a[i].len() == c.len()`.
+pub fn maximize(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> Result<LpOutcome, GeometryError> {
+    let n = c.len();
+    let m = a.len();
+    for (i, row) in a.iter().enumerate() {
+        if row.len() != n {
+            return Err(GeometryError::DimensionMismatch { expected: n, actual: row.len() });
+        }
+        debug_assert!(i < b.len());
+    }
+    assert_eq!(b.len(), m, "b must have one entry per constraint row");
+
+    // Columns: 0..n = x⁺, n..2n = x⁻, 2n..2n+m = slacks, then artificials.
+    let split = 2 * n;
+    let mut needs_artificial = vec![false; m];
+    let mut n_art = 0;
+    for (i, &bi) in b.iter().enumerate() {
+        if bi < 0.0 {
+            needs_artificial[i] = true;
+            n_art += 1;
+        }
+    }
+    let total = split + m + n_art;
+
+    // Build tableau rows: [coeffs | rhs], with rows normalized to rhs ≥ 0.
+    let mut t: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut basis: Vec<usize> = Vec::with_capacity(m);
+    let mut art_col = split + m;
+    for i in 0..m {
+        let mut row = vec![0.0; total + 1];
+        let sgn = if needs_artificial[i] { -1.0 } else { 1.0 };
+        for j in 0..n {
+            row[j] = sgn * a[i][j];
+            row[n + j] = -sgn * a[i][j];
+        }
+        row[split + i] = sgn; // slack
+        row[total] = sgn * b[i];
+        if needs_artificial[i] {
+            row[art_col] = 1.0;
+            basis.push(art_col);
+            art_col += 1;
+        } else {
+            basis.push(split + i);
+        }
+        t.push(row);
+    }
+
+    // Phase 1: minimize sum of artificials (maximize −Σ art).
+    if n_art > 0 {
+        let mut obj = vec![0.0; total + 1];
+        for o in obj.iter_mut().take(total).skip(split + m) {
+            *o = -1.0;
+        }
+        // Make the objective row consistent with the basis (price out
+        // basic artificials).
+        for (i, &bv) in basis.iter().enumerate() {
+            if bv >= split + m {
+                let coef = obj[bv];
+                if coef != 0.0 {
+                    for (o, ti) in obj.iter_mut().zip(&t[i]) {
+                        *o -= coef * ti;
+                    }
+                }
+            }
+        }
+        simplex(&mut t, &mut obj, &mut basis, total)?;
+        let phase1 = -obj[total]; // objective value = −(sum of artificials)
+        if phase1 < -EPS {
+            return Ok(LpOutcome::Infeasible);
+        }
+        // Pivot remaining (degenerate) artificials out of the basis.
+        for i in 0..m {
+            if basis[i] >= split + m {
+                if let Some(j) = (0..split + m).find(|&j| t[i][j].abs() > EPS) {
+                    pivot(&mut t, &mut basis, i, j, total, None);
+                } // else: redundant row; keep the artificial at value 0.
+            }
+        }
+    }
+
+    // Phase 2: the real objective over x⁺/x⁻ columns (artificials pinned
+    // at zero by excluding them from entering).
+    let mut obj = vec![0.0; total + 1];
+    for j in 0..n {
+        obj[j] = c[j];
+        obj[n + j] = -c[j];
+    }
+    // Price out the current basis.
+    for (i, &bv) in basis.iter().enumerate() {
+        let coef = obj[bv];
+        if coef != 0.0 {
+            for (o, ti) in obj.iter_mut().zip(&t[i]) {
+                *o -= coef * ti;
+            }
+        }
+    }
+    let enterable_limit = split + m; // artificials may not re-enter
+    match simplex_limited(&mut t, &mut obj, &mut basis, total, enterable_limit)? {
+        SimplexEnd::Optimal => {}
+        SimplexEnd::Unbounded => return Ok(LpOutcome::Unbounded),
+    }
+
+    // Read off the solution.
+    let mut xs = vec![0.0; total];
+    for (i, &bv) in basis.iter().enumerate() {
+        xs[bv] = t[i][total];
+    }
+    let x: Vec<f64> = (0..n).map(|j| xs[j] - xs[n + j]).collect();
+    let value = c.iter().zip(&x).map(|(ci, xi)| ci * xi).sum();
+    Ok(LpOutcome::Optimal { x, value })
+}
+
+enum SimplexEnd {
+    Optimal,
+    Unbounded,
+}
+
+fn simplex(
+    t: &mut [Vec<f64>],
+    obj: &mut [f64],
+    basis: &mut [usize],
+    total: usize,
+) -> Result<(), GeometryError> {
+    match simplex_limited(t, obj, basis, total, total)? {
+        SimplexEnd::Optimal => Ok(()),
+        // Phase 1 is bounded by construction; unboundedness here means
+        // numerical breakdown.
+        SimplexEnd::Unbounded => Err(GeometryError::LpStalled),
+    }
+}
+
+fn simplex_limited(
+    t: &mut [Vec<f64>],
+    obj: &mut [f64],
+    basis: &mut [usize],
+    total: usize,
+    enterable_limit: usize,
+) -> Result<SimplexEnd, GeometryError> {
+    for _ in 0..MAX_ITERS {
+        // Bland: smallest-index column with positive reduced cost.
+        let Some(enter) = (0..enterable_limit).find(|&j| obj[j] > EPS) else {
+            return Ok(SimplexEnd::Optimal);
+        };
+        // Ratio test (Bland tie-break on basis index).
+        let mut leave: Option<usize> = None;
+        let mut best = f64::INFINITY;
+        for (i, row) in t.iter().enumerate() {
+            if row[enter] > EPS {
+                let ratio = row[total] / row[enter];
+                let better = ratio < best - EPS
+                    || (ratio < best + EPS
+                        && leave.is_some_and(|l| basis[i] < basis[l]));
+                if better {
+                    best = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(leave) = leave else {
+            return Ok(SimplexEnd::Unbounded);
+        };
+        pivot(t, basis, leave, enter, total, Some(obj));
+    }
+    Err(GeometryError::LpStalled)
+}
+
+fn pivot(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    row: usize,
+    col: usize,
+    total: usize,
+    obj: Option<&mut [f64]>,
+) {
+    let p = t[row][col];
+    debug_assert!(p.abs() > EPS / 10.0, "pivot on (near-)zero element");
+    for v in t[row].iter_mut().take(total + 1) {
+        *v /= p;
+    }
+    let pivot_row = t[row].clone();
+    for (i, r) in t.iter_mut().enumerate() {
+        if i != row {
+            let f = r[col];
+            if f != 0.0 {
+                for (v, pv) in r.iter_mut().zip(&pivot_row) {
+                    *v -= f * pv;
+                }
+            }
+        }
+    }
+    if let Some(obj) = obj {
+        let f = obj[col];
+        if f != 0.0 {
+            for (v, pv) in obj.iter_mut().zip(&t[row]) {
+                *v -= f * pv;
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_optimal(out: LpOutcome, want_value: f64) -> Vec<f64> {
+        match out {
+            LpOutcome::Optimal { x, value } => {
+                assert!((value - want_value).abs() < 1e-6, "value {value}, want {want_value}");
+                x
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_box() {
+        // max x + y s.t. x ≤ 1, y ≤ 2, −x ≤ 0, −y ≤ 0.
+        let out = maximize(
+            &[1.0, 1.0],
+            &[
+                vec![1.0, 0.0],
+                vec![0.0, 1.0],
+                vec![-1.0, 0.0],
+                vec![0.0, -1.0],
+            ],
+            &[1.0, 2.0, 0.0, 0.0],
+        )
+        .unwrap();
+        let x = assert_optimal(out, 3.0);
+        assert!((x[0] - 1.0).abs() < 1e-6 && (x[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn free_variables_go_negative() {
+        // max −x s.t. −x ≤ 5  ⇒  x = −5, value 5.
+        let out = maximize(&[-1.0], &[vec![-1.0]], &[5.0]).unwrap();
+        let x = assert_optimal(out, 5.0);
+        assert!((x[0] + 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_rhs_feasible() {
+        // x ≥ 2 encoded as −x ≤ −2; max −x ⇒ x = 2.
+        let out = maximize(&[-1.0], &[vec![-1.0]], &[-2.0]).unwrap();
+        let x = assert_optimal(out, -2.0);
+        assert!((x[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x ≤ −1 and x ≥ 1.
+        let out = maximize(&[1.0], &[vec![1.0], vec![-1.0]], &[-1.0, -1.0]).unwrap();
+        assert_eq!(out, LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // max x with only x ≥ 0.
+        let out = maximize(&[1.0], &[vec![-1.0]], &[0.0]).unwrap();
+        assert_eq!(out, LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn classic_lp() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18, x,y ≥ 0 → 36 at (2,6).
+        let out = maximize(
+            &[3.0, 5.0],
+            &[
+                vec![1.0, 0.0],
+                vec![0.0, 2.0],
+                vec![3.0, 2.0],
+                vec![-1.0, 0.0],
+                vec![0.0, -1.0],
+            ],
+            &[4.0, 12.0, 18.0, 0.0, 0.0],
+        )
+        .unwrap();
+        let x = assert_optimal(out, 36.0);
+        assert!((x[0] - 2.0).abs() < 1e-6 && (x[1] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn chebyshev_margin_of_a_cone() {
+        // Cone {x < 0, y < 0} in a unit box: maximize t s.t.
+        // x + t ≤ 0, y + t ≤ 0, ±x + t ≤ 1, ±y + t ≤ 1.
+        let out = maximize(
+            &[0.0, 0.0, 1.0],
+            &[
+                vec![1.0, 0.0, 1.0],
+                vec![0.0, 1.0, 1.0],
+                vec![1.0, 0.0, 1.0],
+                vec![-1.0, 0.0, 1.0],
+                vec![0.0, 1.0, 1.0],
+                vec![0.0, -1.0, 1.0],
+            ],
+            &[0.0, 0.0, 1.0, 1.0, 1.0, 1.0],
+        )
+        .unwrap();
+        match out {
+            LpOutcome::Optimal { x, value } => {
+                assert!(value > 0.4, "margin should be sizeable, got {value}");
+                assert!(x[0] < 0.0 && x[1] < 0.0, "center strictly inside: {x:?}");
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_cone_has_no_margin() {
+        // {x < 0 and −x < 0} is empty: max t s.t. x + t ≤ 0, −x + t ≤ 0 →
+        // optimum t = 0 (not positive).
+        let out = maximize(
+            &[0.0, 1.0],
+            &[vec![1.0, 1.0], vec![-1.0, 1.0]],
+            &[0.0, 0.0],
+        )
+        .unwrap();
+        match out {
+            LpOutcome::Optimal { value, .. } => assert!(value.abs() < 1e-6),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_equalities_via_inequality_pairs() {
+        // x = 3 via x ≤ 3 ∧ −x ≤ −3; max x → 3.
+        let out = maximize(&[1.0], &[vec![1.0], vec![-1.0]], &[3.0, -3.0]).unwrap();
+        let x = assert_optimal(out, 3.0);
+        assert!((x[0] - 3.0).abs() < 1e-6);
+    }
+}

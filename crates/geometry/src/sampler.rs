@@ -1,0 +1,130 @@
+//! Uniform sampling on spheres and balls.
+//!
+//! The paper (§8, §9) samples directions uniformly from the unit
+//! `n`-ball using "the standard technique of sampling n independent and
+//! normally distributed random variables" and scaling — the method from
+//! Blum–Hopcroft–Kannan's *Foundations of Data Science* (reference [8]).
+//! We implement the Gaussian source with Box–Muller so the only
+//! dependency is a uniform `Rng`.
+
+use rand::Rng;
+
+use crate::vecmath::{norm, scale_in_place};
+
+/// One standard-normal variate via Box–Muller.
+///
+/// (The polar/Marsaglia variant would discard samples; the trigonometric
+/// form keeps the RNG stream aligned, which makes seeded runs easier to
+/// reason about.)
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    // Guard against ln(0): move u1 into (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A point uniform on the unit sphere `S^{n−1}` (each coordinate Gaussian,
+/// then normalized). For `n = 0` returns the empty vector.
+pub fn sample_unit_sphere(rng: &mut impl Rng, n: usize) -> Vec<f64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    loop {
+        let mut v: Vec<f64> = (0..n).map(|_| standard_normal(rng)).collect();
+        let len = norm(&v);
+        // Astronomically unlikely, but a zero vector has no direction.
+        if len > 1e-12 {
+            scale_in_place(&mut v, 1.0 / len);
+            return v;
+        }
+    }
+}
+
+/// A point uniform in the unit ball `B^n` (sphere direction scaled by
+/// `U^{1/n}`).
+pub fn sample_unit_ball(rng: &mut impl Rng, n: usize) -> Vec<f64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut v = sample_unit_sphere(rng, n);
+    let r: f64 = rng.gen::<f64>().powf(1.0 / n as f64);
+    scale_in_place(&mut v, r);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn sphere_points_have_unit_norm() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [1, 2, 5, 17] {
+            for _ in 0..50 {
+                let v = sample_unit_sphere(&mut rng, n);
+                assert_eq!(v.len(), n);
+                assert!((norm(&v) - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn sphere_is_sign_symmetric() {
+        // Each coordinate positive about half the time.
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 4;
+        let trials = 4000;
+        let mut positives = vec![0usize; n];
+        for _ in 0..trials {
+            let v = sample_unit_sphere(&mut rng, n);
+            for (i, x) in v.iter().enumerate() {
+                if *x > 0.0 {
+                    positives[i] += 1;
+                }
+            }
+        }
+        for p in positives {
+            let frac = p as f64 / trials as f64;
+            assert!((frac - 0.5).abs() < 0.05, "fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn ball_points_inside_and_fill_radius() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 3;
+        let trials = 4000;
+        let mut inside_half = 0usize;
+        for _ in 0..trials {
+            let v = sample_unit_ball(&mut rng, n);
+            let r = norm(&v);
+            assert!(r <= 1.0 + 1e-9);
+            if r <= 0.5 {
+                inside_half += 1;
+            }
+        }
+        // P(|x| ≤ 1/2) = (1/2)³ = 1/8.
+        let frac = inside_half as f64 / trials as f64;
+        assert!((frac - 0.125).abs() < 0.03, "fraction {frac}");
+    }
+
+    #[test]
+    fn zero_dimensional_cases() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(sample_unit_sphere(&mut rng, 0).is_empty());
+        assert!(sample_unit_ball(&mut rng, 0).is_empty());
+    }
+}

@@ -1,0 +1,48 @@
+//! Tiny dense-vector kernels. Everything operates on slices so callers
+//! control allocation; these are the innermost loops of the samplers.
+
+/// Dot product.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Scales a vector in place.
+pub fn scale_in_place(a: &mut [f64], s: f64) {
+    for x in a {
+        *x *= s;
+    }
+}
+
+/// `out = p + t·d` (allocating helper for tests; hot paths write in
+/// place).
+#[allow(dead_code)]
+pub fn axpy(p: &[f64], t: f64, d: &[f64]) -> Vec<f64> {
+    p.iter().zip(d).map(|(a, b)| a + t * b).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+        let mut v = vec![1.0, -2.0];
+        scale_in_place(&mut v, 2.0);
+        assert_eq!(v, vec![2.0, -4.0]);
+        assert_eq!(axpy(&[1.0, 1.0], 2.0, &[0.5, -0.5]), vec![2.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_vectors() {
+        assert_eq!(dot(&[], &[]), 0.0);
+        assert_eq!(norm(&[]), 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the simplex solver and the convex-body primitives.
+
+use proptest::prelude::*;
+use qarith_geometry::lp::{maximize, LpOutcome};
+use qarith_geometry::{ConvexBody, Halfspace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random bounded LP: box −B ≤ x ≤ B plus extra random rows.
+fn bounded_lp(
+    n: usize,
+) -> impl Strategy<Value = (Vec<f64>, Vec<Vec<f64>>, Vec<f64>)> {
+    let coeff = -3.0f64..3.0;
+    (
+        prop::collection::vec(coeff.clone(), n),
+        prop::collection::vec((prop::collection::vec(coeff, n), -2.0f64..4.0), 0..4),
+    )
+        .prop_map(move |(c, extra)| {
+            let mut rows = Vec::new();
+            let mut rhs = Vec::new();
+            // The box guarantees boundedness and feasibility of x = 0 …
+            // unless an extra row cuts the origin off; both outcomes are
+            // valid test inputs.
+            for j in 0..n {
+                let mut up = vec![0.0; n];
+                up[j] = 1.0;
+                rows.push(up);
+                rhs.push(5.0);
+                let mut down = vec![0.0; n];
+                down[j] = -1.0;
+                rows.push(down);
+                rhs.push(5.0);
+            }
+            for (row, b) in extra {
+                rows.push(row);
+                rhs.push(b);
+            }
+            (c, rows, rhs)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The optimizer is feasible, and no sampled feasible point beats it.
+    #[test]
+    fn simplex_optimality_certificate((c, rows, rhs) in bounded_lp(3), seed in 0u64..500) {
+        match maximize(&c, &rows, &rhs).unwrap() {
+            LpOutcome::Optimal { x, value } => {
+                // Feasibility of the reported optimizer.
+                for (row, b) in rows.iter().zip(&rhs) {
+                    let lhs: f64 = row.iter().zip(&x).map(|(a, xi)| a * xi).sum();
+                    prop_assert!(lhs <= b + 1e-6, "constraint violated: {lhs} > {b}");
+                }
+                // Objective consistency.
+                let recomputed: f64 = c.iter().zip(&x).map(|(ci, xi)| ci * xi).sum();
+                prop_assert!((recomputed - value).abs() < 1e-6);
+                // Random feasible points never beat the optimum.
+                let mut rng = StdRng::seed_from_u64(seed);
+                'outer: for _ in 0..200 {
+                    let y: Vec<f64> = (0..c.len()).map(|_| rng.gen_range(-5.0..5.0)).collect();
+                    for (row, b) in rows.iter().zip(&rhs) {
+                        let lhs: f64 = row.iter().zip(&y).map(|(a, yi)| a * yi).sum();
+                        if lhs > *b {
+                            continue 'outer;
+                        }
+                    }
+                    let obj: f64 = c.iter().zip(&y).map(|(ci, yi)| ci * yi).sum();
+                    prop_assert!(obj <= value + 1e-6, "feasible {y:?} beats optimum");
+                }
+            }
+            LpOutcome::Infeasible => {
+                // The box alone is feasible, so infeasibility must come
+                // from an extra row that excludes the whole box; spot
+                // check that x = 0 is indeed excluded.
+                let origin_feasible = rows.iter().zip(&rhs).all(|(_, b)| *b >= 0.0);
+                prop_assert!(!origin_feasible, "claimed infeasible but origin fits");
+            }
+            LpOutcome::Unbounded => {
+                prop_assert!(false, "boxed LPs cannot be unbounded");
+            }
+        }
+    }
+
+    /// Chords are consistent with membership: points inside the chord
+    /// range are in the body, points outside are not.
+    #[test]
+    fn chord_membership_consistency(seed in 0u64..2000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Random cone: 1–3 halfspaces through the origin, inside B(0,1).
+        let n = 2 + (seed % 2) as usize;
+        let k = 1 + (seed % 3) as usize;
+        let halfspaces: Vec<Halfspace> = (0..k)
+            .map(|_| {
+                let normal: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                Halfspace::new(normal, 0.0)
+            })
+            .collect();
+        let body = ConvexBody::new(n, halfspaces, Some(1.0));
+        let Ok((p, _)) = body.interior_point() else { return Ok(()); };
+        let dir: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let Some((lo, hi)) = body.chord(&p, &dir) else { return Ok(()); };
+        prop_assert!(lo <= 0.0 && 0.0 <= hi, "start point must lie on the chord");
+        for t in [lo + 0.1 * (hi - lo), 0.5 * (lo + hi), hi - 0.1 * (hi - lo)] {
+            let q: Vec<f64> = p.iter().zip(&dir).map(|(a, d)| a + t * d).collect();
+            prop_assert!(body.contains(&q), "chord point at t={t} escaped");
+        }
+        for t in [lo - 0.05 * (hi - lo + 1.0) - 1e-6, hi + 0.05 * (hi - lo + 1.0) + 1e-6] {
+            let q: Vec<f64> = p.iter().zip(&dir).map(|(a, d)| a + t * d).collect();
+            prop_assert!(!body.contains(&q), "point beyond the chord at t={t} inside");
+        }
+    }
+}

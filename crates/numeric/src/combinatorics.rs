@@ -1,0 +1,82 @@
+use crate::error::NumericError;
+
+/// `n!` as an `i128`.
+///
+/// Exact up to `n = 33` (`34!` overflows `i128`). The exact order-measure
+/// evaluator enumerates permutations, so callers never get near the bound,
+/// but the error is reported rather than wrapped regardless.
+pub fn factorial(n: u64) -> Result<i128, NumericError> {
+    let mut acc: i128 = 1;
+    for k in 2..=n {
+        acc = acc
+            .checked_mul(k as i128)
+            .ok_or(NumericError::CombinatorialOverflow { what: "factorial", n })?;
+    }
+    Ok(acc)
+}
+
+/// Binomial coefficient `C(n, k)` as an `i128`, using the multiplicative
+/// formula with interleaved division (always exact).
+pub fn binomial(n: u64, k: u64) -> Result<i128, NumericError> {
+    if k > n {
+        return Ok(0);
+    }
+    let k = k.min(n - k);
+    let mut acc: i128 = 1;
+    for i in 0..k {
+        acc = acc
+            .checked_mul((n - i) as i128)
+            .ok_or(NumericError::CombinatorialOverflow { what: "binomial", n })?;
+        acc /= (i + 1) as i128;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorial_small_values() {
+        assert_eq!(factorial(0).unwrap(), 1);
+        assert_eq!(factorial(1).unwrap(), 1);
+        assert_eq!(factorial(5).unwrap(), 120);
+        assert_eq!(factorial(10).unwrap(), 3_628_800);
+        assert_eq!(factorial(33).unwrap(), 8683317618811886495518194401280000000);
+    }
+
+    #[test]
+    fn factorial_overflow() {
+        assert!(factorial(34).is_err());
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(0, 0).unwrap(), 1);
+        assert_eq!(binomial(5, 0).unwrap(), 1);
+        assert_eq!(binomial(5, 5).unwrap(), 1);
+        assert_eq!(binomial(5, 2).unwrap(), 10);
+        assert_eq!(binomial(10, 5).unwrap(), 252);
+        assert_eq!(binomial(3, 7).unwrap(), 0);
+    }
+
+    #[test]
+    fn pascal_identity() {
+        for n in 1..20u64 {
+            for k in 1..n {
+                assert_eq!(
+                    binomial(n, k).unwrap(),
+                    binomial(n - 1, k - 1).unwrap() + binomial(n - 1, k).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binomials_sum_to_power_of_two() {
+        for n in 0..15u64 {
+            let total: i128 = (0..=n).map(|k| binomial(n, k).unwrap()).sum();
+            assert_eq!(total, 1i128 << n);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+use std::fmt;
+
+/// Errors produced by exact numeric computations.
+///
+/// The `i128`-backed [`Rational`](crate::Rational) type reports overflow
+/// instead of silently wrapping; parsers report malformed literals. Callers
+/// higher up the stack (constraint algebra, grounding) propagate these
+/// verbatim, so the variants carry enough context to be actionable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NumericError {
+    /// An arithmetic operation exceeded the range of `i128` even after
+    /// gcd reduction.
+    Overflow {
+        /// The operation that overflowed, e.g. `"mul"`.
+        op: &'static str,
+    },
+    /// Division by zero (or construction of a rational with denominator 0).
+    DivisionByZero,
+    /// A numeric literal could not be parsed.
+    Parse {
+        /// The offending input.
+        input: String,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A combinatorial quantity (factorial/binomial) exceeded `i128`.
+    CombinatorialOverflow {
+        /// The function that overflowed, e.g. `"factorial"`.
+        what: &'static str,
+        /// The argument that was too large.
+        n: u64,
+    },
+}
+
+impl fmt::Display for NumericError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericError::Overflow { op } => {
+                write!(f, "exact rational arithmetic overflowed i128 during `{op}`")
+            }
+            NumericError::DivisionByZero => write!(f, "division by zero"),
+            NumericError::Parse { input, reason } => {
+                write!(f, "cannot parse {input:?} as a number: {reason}")
+            }
+            NumericError::CombinatorialOverflow { what, n } => {
+                write!(f, "{what}({n}) exceeds i128")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NumericError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = NumericError::Overflow { op: "mul" };
+        assert!(e.to_string().contains("mul"));
+        let e = NumericError::Parse {
+            input: "1.2.3".to_string(),
+            reason: "multiple decimal points",
+        };
+        assert!(e.to_string().contains("1.2.3"));
+        assert!(e.to_string().contains("multiple decimal points"));
+        let e = NumericError::CombinatorialOverflow { what: "factorial", n: 40 };
+        assert!(e.to_string().contains("factorial(40)"));
+    }
+}

@@ -1,0 +1,115 @@
+/// Greatest common divisor of two `i128`s, always non-negative.
+///
+/// `gcd_i128(0, 0) == 0` by convention. Uses the binary GCD algorithm, which
+/// avoids `i128` division in the hot loop; rationals reduce on every
+/// operation, so this is one of the hottest scalar kernels in the workspace.
+///
+/// # Panics
+///
+/// Panics if either argument is `i128::MIN` (whose absolute value is not
+/// representable). Rationals never store `i128::MIN` for this reason.
+pub fn gcd_i128(a: i128, b: i128) -> i128 {
+    assert!(a != i128::MIN && b != i128::MIN, "gcd of i128::MIN is not representable");
+    let (mut a, mut b) = (a.abs(), b.abs());
+    if a == 0 {
+        return b;
+    }
+    if b == 0 {
+        return a;
+    }
+    let shift = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            return a << shift;
+        }
+    }
+}
+
+/// Least common multiple of two `i128`s, always non-negative.
+///
+/// Returns `None` on overflow. `lcm_i128(0, x) == Some(0)`.
+pub fn lcm_i128(a: i128, b: i128) -> Option<i128> {
+    if a == 0 || b == 0 {
+        return Some(0);
+    }
+    let g = gcd_i128(a, b);
+    (a / g).checked_mul(b).map(|x| x.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(gcd_i128(12, 18), 6);
+        assert_eq!(gcd_i128(18, 12), 6);
+        assert_eq!(gcd_i128(-12, 18), 6);
+        assert_eq!(gcd_i128(12, -18), 6);
+        assert_eq!(gcd_i128(-12, -18), 6);
+        assert_eq!(gcd_i128(7, 13), 1);
+    }
+
+    #[test]
+    fn gcd_zero_conventions() {
+        assert_eq!(gcd_i128(0, 0), 0);
+        assert_eq!(gcd_i128(0, 5), 5);
+        assert_eq!(gcd_i128(5, 0), 5);
+        assert_eq!(gcd_i128(0, -5), 5);
+    }
+
+    #[test]
+    fn gcd_large_values() {
+        let a = i128::MAX;
+        assert_eq!(gcd_i128(a, a), a);
+        assert_eq!(gcd_i128(a, 1), 1);
+        // 2^126 and 2^100 share 2^100.
+        assert_eq!(gcd_i128(1 << 126, 1 << 100), 1 << 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "i128::MIN")]
+    fn gcd_min_panics() {
+        gcd_i128(i128::MIN, 2);
+    }
+
+    #[test]
+    fn lcm_basic() {
+        assert_eq!(lcm_i128(4, 6), Some(12));
+        assert_eq!(lcm_i128(-4, 6), Some(12));
+        assert_eq!(lcm_i128(0, 6), Some(0));
+        assert_eq!(lcm_i128(7, 13), Some(91));
+    }
+
+    #[test]
+    fn lcm_overflow_returns_none() {
+        assert_eq!(lcm_i128(i128::MAX, i128::MAX - 1), None);
+    }
+
+    #[test]
+    fn gcd_divides_both_and_is_maximal() {
+        // Deterministic pseudo-random pairs (no external RNG dependency here).
+        let mut x: i128 = 0x1234_5678_9abc_def0;
+        let mut next = || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 32) % 1_000_000
+        };
+        for _ in 0..200 {
+            let a = next();
+            let b = next();
+            let g = gcd_i128(a, b);
+            if a != 0 || b != 0 {
+                assert_eq!(a % g, 0);
+                assert_eq!(b % g, 0);
+                // Maximality: (a/g) and (b/g) are coprime.
+                assert_eq!(gcd_i128(a / g, b / g), 1);
+            }
+        }
+    }
+}

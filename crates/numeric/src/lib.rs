@@ -1,0 +1,39 @@
+//! Exact numeric substrate for the qarith workspace.
+//!
+//! The measure-of-certainty machinery of Console, Hofer and Libkin
+//! (PODS 2020) manipulates polynomial constraints whose coefficients come
+//! from database values such as `0.7` or `10`. Performing the symbolic part
+//! of the pipeline (grounding, homogenization, leading-coefficient analysis)
+//! in floating point would silently misclassify degenerate constraints, so
+//! every symbolic coefficient in this workspace is an exact rational.
+//!
+//! This crate provides:
+//!
+//! * [`Rational`] — an exact `i128`-backed rational number with
+//!   overflow-*checked* arithmetic (plus panicking operator impls for
+//!   ergonomic use in tests and examples);
+//! * decimal/integer parsing ([`Rational::parse_decimal`]) matching SQL
+//!   numeric literals;
+//! * small combinatorial helpers ([`factorial`], [`binomial`]) used by the
+//!   exact order-measure evaluator, where cell probabilities are
+//!   `1 / (2^n * j! * (n-j)!)`;
+//! * [`NumericError`] — the shared error type.
+//!
+//! The crate is deliberately dependency-free: it is the bottom of the
+//! workspace dependency graph.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod combinatorics;
+mod error;
+mod gcd;
+mod rational;
+
+pub use combinatorics::{binomial, factorial};
+pub use error::NumericError;
+pub use gcd::{gcd_i128, lcm_i128};
+pub use rational::Rational;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, NumericError>;

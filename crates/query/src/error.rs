@@ -1,0 +1,95 @@
+use std::fmt;
+
+use qarith_types::Sort;
+
+/// Query validation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A relation atom refers to a relation the catalog does not know.
+    UnknownRelation {
+        /// The missing name.
+        relation: String,
+    },
+    /// A relation atom has the wrong number of arguments.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Declared arity.
+        expected: usize,
+        /// Number of arguments written.
+        actual: usize,
+    },
+    /// An argument's sort does not match the column's declared sort.
+    ArgSortMismatch {
+        /// Relation name.
+        relation: String,
+        /// Column position (0-based).
+        column: usize,
+        /// Declared sort.
+        expected: Sort,
+        /// Sort of the argument term.
+        actual: Sort,
+    },
+    /// A variable is used at a sort different from its binding.
+    SortConflict {
+        /// The variable.
+        var: String,
+        /// Sort at the binding site.
+        bound: Sort,
+        /// Sort demanded by the conflicting use.
+        used: Sort,
+    },
+    /// A variable occurs without being bound by a quantifier or declared
+    /// free.
+    UnboundVariable {
+        /// The variable.
+        var: String,
+    },
+    /// A quantifier rebinds a name already in scope (shadowing is
+    /// rejected to keep grounding unambiguous).
+    DuplicateBinding {
+        /// The rebound variable.
+        var: String,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnknownRelation { relation } => {
+                write!(f, "unknown relation {relation}")
+            }
+            QueryError::ArityMismatch { relation, expected, actual } => write!(
+                f,
+                "relation {relation} has {expected} columns but the atom has {actual} arguments"
+            ),
+            QueryError::ArgSortMismatch { relation, column, expected, actual } => write!(
+                f,
+                "argument {column} of {relation} should be {expected} but is {actual}"
+            ),
+            QueryError::SortConflict { var, bound, used } => write!(
+                f,
+                "variable {var} is bound at sort {bound} but used at sort {used}"
+            ),
+            QueryError::UnboundVariable { var } => write!(f, "unbound variable {var}"),
+            QueryError::DuplicateBinding { var } => {
+                write!(f, "variable {var} is already bound in this scope")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_problem() {
+        let e = QueryError::SortConflict { var: "x".into(), bound: Sort::Base, used: Sort::Num };
+        assert!(e.to_string().contains("x"));
+        assert!(e.to_string().contains("base"));
+        assert!(e.to_string().contains("num"));
+    }
+}

@@ -1,0 +1,340 @@
+use std::fmt;
+use std::sync::Arc;
+
+use qarith_types::Sort;
+
+use crate::term::{BaseTerm, CompareOp, Ident, NumTerm};
+
+/// A sorted variable binding, as used by quantifiers and query heads.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct TypedVar {
+    /// Variable name.
+    pub name: Ident,
+    /// Variable sort.
+    pub sort: Sort,
+}
+
+impl TypedVar {
+    /// A base-sorted variable.
+    pub fn base(name: &str) -> TypedVar {
+        TypedVar { name: Arc::from(name), sort: Sort::Base }
+    }
+
+    /// A numerical variable.
+    pub fn num(name: &str) -> TypedVar {
+        TypedVar { name: Arc::from(name), sort: Sort::Num }
+    }
+}
+
+impl fmt::Display for TypedVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.name, self.sort)
+    }
+}
+
+impl fmt::Debug for TypedVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// An argument of a relation atom: a term of the column's sort.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Arg {
+    /// A base-sort argument.
+    Base(BaseTerm),
+    /// A numerical argument (arbitrary term, per the paper's grammar).
+    Num(NumTerm),
+}
+
+impl Arg {
+    /// The sort this argument occupies.
+    pub fn sort(&self) -> Sort {
+        match self {
+            Arg::Base(_) => Sort::Base,
+            Arg::Num(_) => Sort::Num,
+        }
+    }
+}
+
+impl fmt::Display for Arg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Arg::Base(t) => write!(f, "{t}"),
+            Arg::Num(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+impl fmt::Debug for Arg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A formula of FO(+,·,<) (§3 grammar).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Formula {
+    /// The true formula (convenience; not in the paper's grammar but
+    /// definable).
+    True,
+    /// The false formula.
+    False,
+    /// A relation atom `R(t̄)`.
+    Rel {
+        /// Relation name.
+        relation: Ident,
+        /// Arguments, one per column.
+        args: Vec<Arg>,
+    },
+    /// Base-sort equality `s = t` (or disequality via negation).
+    BaseEq(BaseTerm, BaseTerm),
+    /// Numerical comparison `t ⋈ t′`.
+    Cmp(NumTerm, CompareOp, NumTerm),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction.
+    And(Vec<Formula>),
+    /// Disjunction.
+    Or(Vec<Formula>),
+    /// Existential quantification over typed variables.
+    Exists(Vec<TypedVar>, Box<Formula>),
+    /// Universal quantification over typed variables.
+    Forall(Vec<TypedVar>, Box<Formula>),
+}
+
+impl Formula {
+    /// Relation atom.
+    pub fn rel(relation: &str, args: Vec<Arg>) -> Formula {
+        Formula::Rel { relation: Arc::from(relation), args }
+    }
+
+    /// Numerical comparison.
+    pub fn cmp(lhs: NumTerm, op: CompareOp, rhs: NumTerm) -> Formula {
+        Formula::Cmp(lhs, op, rhs)
+    }
+
+    /// Base equality.
+    pub fn base_eq(lhs: BaseTerm, rhs: BaseTerm) -> Formula {
+        Formula::BaseEq(lhs, rhs)
+    }
+
+    /// Conjunction (no folding; the engine normalizes).
+    pub fn and(parts: Vec<Formula>) -> Formula {
+        match parts.len() {
+            0 => Formula::True,
+            1 => parts.into_iter().next().unwrap(),
+            _ => Formula::And(parts),
+        }
+    }
+
+    /// Disjunction.
+    pub fn or(parts: Vec<Formula>) -> Formula {
+        match parts.len() {
+            0 => Formula::False,
+            1 => parts.into_iter().next().unwrap(),
+            _ => Formula::Or(parts),
+        }
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(f: Formula) -> Formula {
+        Formula::Not(Box::new(f))
+    }
+
+    /// Existential quantification.
+    pub fn exists(vars: Vec<TypedVar>, body: Formula) -> Formula {
+        if vars.is_empty() { body } else { Formula::Exists(vars, Box::new(body)) }
+    }
+
+    /// Universal quantification.
+    pub fn forall(vars: Vec<TypedVar>, body: Formula) -> Formula {
+        if vars.is_empty() { body } else { Formula::Forall(vars, Box::new(body)) }
+    }
+
+    /// Material implication `antecedent → consequent`.
+    pub fn implies(antecedent: Formula, consequent: Formula) -> Formula {
+        Formula::or(vec![Formula::not(antecedent), consequent])
+    }
+
+    /// Visits every variable occurrence with the sort demanded by its
+    /// position. Binders are *not* tracked here — see
+    /// [`Query::new`](crate::Query::new) for scope-aware analysis.
+    pub fn visit_var_uses(&self, f: &mut impl FnMut(&Ident, Sort)) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Rel { args, .. } => {
+                for a in args {
+                    match a {
+                        Arg::Base(BaseTerm::Var(x)) => f(x, Sort::Base),
+                        Arg::Base(BaseTerm::Const(_)) => {}
+                        Arg::Num(t) => t.visit_vars(&mut |x| f(x, Sort::Num)),
+                    }
+                }
+            }
+            Formula::BaseEq(l, r) => {
+                for t in [l, r] {
+                    if let BaseTerm::Var(x) = t {
+                        f(x, Sort::Base);
+                    }
+                }
+            }
+            Formula::Cmp(l, _, r) => {
+                l.visit_vars(&mut |x| f(x, Sort::Num));
+                r.visit_vars(&mut |x| f(x, Sort::Num));
+            }
+            Formula::Not(inner) => inner.visit_var_uses(f),
+            Formula::And(parts) | Formula::Or(parts) => {
+                for p in parts {
+                    p.visit_var_uses(f);
+                }
+            }
+            Formula::Exists(_, body) | Formula::Forall(_, body) => body.visit_var_uses(f),
+        }
+    }
+
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::True
+            | Formula::False
+            | Formula::Rel { .. }
+            | Formula::BaseEq(..)
+            | Formula::Cmp(..) => 1,
+            Formula::Not(inner) => 1 + inner.size(),
+            Formula::And(parts) | Formula::Or(parts) => {
+                1 + parts.iter().map(Formula::size).sum::<usize>()
+            }
+            Formula::Exists(_, body) | Formula::Forall(_, body) => 1 + body.size(),
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Rel { relation, args } => {
+                write!(f, "{relation}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::BaseEq(l, r) => write!(f, "{l} = {r}"),
+            Formula::Cmp(l, op, r) => write!(f, "{l} {op} {r}"),
+            Formula::Not(inner) => write!(f, "¬{inner}"),
+            Formula::And(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Exists(vars, body) => {
+                write!(f, "∃")?;
+                for (i, v) in vars.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, " {body}")
+            }
+            Formula::Forall(vars, body) => {
+                write!(f, "∀")?;
+                for (i, v) in vars.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, " {body}")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_collapse_trivial_cases() {
+        assert_eq!(Formula::and(vec![]), Formula::True);
+        assert_eq!(Formula::or(vec![]), Formula::False);
+        let a = Formula::cmp(NumTerm::var("x"), CompareOp::Lt, NumTerm::int(0));
+        assert_eq!(Formula::and(vec![a.clone()]), a);
+        assert_eq!(Formula::exists(vec![], a.clone()), a);
+    }
+
+    #[test]
+    fn var_use_visiting() {
+        // R(x, p·q) ∧ y = z  uses x:base, p,q:num, y,z:base.
+        let f = Formula::and(vec![
+            Formula::rel(
+                "R",
+                vec![
+                    Arg::Base(BaseTerm::var("x")),
+                    Arg::Num(NumTerm::var("p").mul(NumTerm::var("q"))),
+                ],
+            ),
+            Formula::base_eq(BaseTerm::var("y"), BaseTerm::var("z")),
+        ]);
+        let mut uses = Vec::new();
+        f.visit_var_uses(&mut |x, s| uses.push((x.to_string(), s)));
+        assert_eq!(
+            uses,
+            vec![
+                ("x".to_string(), Sort::Base),
+                ("p".to_string(), Sort::Num),
+                ("q".to_string(), Sort::Num),
+                ("y".to_string(), Sort::Base),
+                ("z".to_string(), Sort::Base),
+            ]
+        );
+    }
+
+    #[test]
+    fn display_round_trip_visual() {
+        let f = Formula::forall(
+            vec![TypedVar::num("p")],
+            Formula::implies(
+                Formula::rel("C", vec![Arg::Num(NumTerm::var("p"))]),
+                Formula::cmp(NumTerm::var("p"), CompareOp::Ge, NumTerm::int(0)),
+            ),
+        );
+        assert_eq!(f.to_string(), "∀p:num (¬C(p) ∨ p >= 0)");
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let a = Formula::cmp(NumTerm::var("x"), CompareOp::Lt, NumTerm::int(0));
+        let f = Formula::exists(vec![TypedVar::num("x")], Formula::and(vec![a.clone(), a]));
+        assert_eq!(f.size(), 4);
+    }
+}

@@ -1,0 +1,215 @@
+use std::fmt;
+
+use crate::formula::{Arg, Formula};
+
+/// How much arithmetic a query uses, ordered by expressiveness.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ArithLevel {
+    /// No numerical comparisons and no arithmetic — the classical
+    /// single-domain setting where the zero-one law of §2 applies.
+    None,
+    /// Order comparisons between bare variables/constants only — the
+    /// `(<)` fragments.
+    Order,
+    /// Linear arithmetic (`+`, and `·` by constants) — the `(+,<)`
+    /// fragments, eligible for the Theorem 7.1 FPRAS when conjunctive.
+    Linear,
+    /// Full polynomial arithmetic — the `(+,·,<)` fragments.
+    Poly,
+}
+
+/// The syntactic fragment of a query: conjunctive or full FO, crossed with
+/// an [`ArithLevel`]. Determines which measure algorithm applies:
+///
+/// | fragment | algorithm |
+/// |---|---|
+/// | generic (no arithmetic) | zero-one law, naive evaluation (§2) |
+/// | CQ(+,<) | multiplicative FPRAS (Theorem 7.1) |
+/// | anything in FO(+,·,<) | additive AFPRAS (Theorem 8.1) |
+///
+/// (Theorem 6.3 rules out a multiplicative FPRAS beyond the conjunctive
+/// case, and Proposition 6.2 rules out exact computation in general.)
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Fragment {
+    /// `true` iff the query is in the ∃,∧-fragment (conjunctive queries).
+    pub conjunctive: bool,
+    /// The arithmetic level used.
+    pub arith: ArithLevel,
+}
+
+impl Fragment {
+    /// Classifies a formula.
+    pub fn classify(f: &Formula) -> Fragment {
+        let mut frag = Fragment { conjunctive: true, arith: ArithLevel::None };
+        Self::walk(f, &mut frag);
+        frag
+    }
+
+    fn bump(frag: &mut Fragment, level: ArithLevel) {
+        if level > frag.arith {
+            frag.arith = level;
+        }
+    }
+
+    fn walk(f: &Formula, frag: &mut Fragment) {
+        match f {
+            Formula::True | Formula::False | Formula::BaseEq(..) => {}
+            Formula::Rel { args, .. } => {
+                for a in args {
+                    if let Arg::Num(t) = a {
+                        if !t.is_atomic() {
+                            let lvl = if t.degree_bound() <= 1 {
+                                ArithLevel::Linear
+                            } else {
+                                ArithLevel::Poly
+                            };
+                            Self::bump(frag, lvl);
+                        }
+                    }
+                }
+            }
+            Formula::Cmp(l, _, r) => {
+                let lvl = if l.is_atomic() && r.is_atomic() {
+                    ArithLevel::Order
+                } else if l.degree_bound() <= 1 && r.degree_bound() <= 1 {
+                    ArithLevel::Linear
+                } else {
+                    ArithLevel::Poly
+                };
+                Self::bump(frag, lvl);
+            }
+            Formula::Not(inner) => {
+                frag.conjunctive = false;
+                Self::walk(inner, frag);
+            }
+            Formula::Or(parts) => {
+                frag.conjunctive = false;
+                for p in parts {
+                    Self::walk(p, frag);
+                }
+            }
+            Formula::And(parts) => {
+                for p in parts {
+                    Self::walk(p, frag);
+                }
+            }
+            Formula::Exists(_, body) => Self::walk(body, frag),
+            Formula::Forall(_, body) => {
+                frag.conjunctive = false;
+                Self::walk(body, frag);
+            }
+        }
+    }
+
+    /// `true` iff this fragment admits the Theorem 7.1 multiplicative
+    /// FPRAS (conjunctive with at most linear arithmetic).
+    pub fn has_fpras(&self) -> bool {
+        self.conjunctive && self.arith <= ArithLevel::Linear
+    }
+
+    /// `true` iff the zero-one law of §2 applies (no interpreted
+    /// numerical operations at all).
+    pub fn is_generic(&self) -> bool {
+        self.arith == ArithLevel::None
+    }
+}
+
+impl fmt::Display for Fragment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let head = if self.conjunctive { "CQ" } else { "FO" };
+        let ops = match self.arith {
+            ArithLevel::None => "",
+            ArithLevel::Order => "<",
+            ArithLevel::Linear => "+,<",
+            ArithLevel::Poly => "+,*,<",
+        };
+        write!(f, "{head}({ops})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::TypedVar;
+    use crate::term::{BaseTerm, CompareOp, NumTerm};
+
+    fn x() -> NumTerm {
+        NumTerm::var("x")
+    }
+
+    #[test]
+    fn pure_cq_is_generic() {
+        let f = Formula::exists(
+            vec![TypedVar::base("a")],
+            Formula::rel("R", vec![crate::formula::Arg::Base(BaseTerm::var("a"))]),
+        );
+        let frag = Fragment::classify(&f);
+        assert!(frag.conjunctive);
+        assert_eq!(frag.arith, ArithLevel::None);
+        assert!(frag.is_generic());
+        assert_eq!(frag.to_string(), "CQ()");
+    }
+
+    #[test]
+    fn order_fragment() {
+        let f = Formula::cmp(x(), CompareOp::Lt, NumTerm::int(5));
+        let frag = Fragment::classify(&f);
+        assert_eq!(frag.arith, ArithLevel::Order);
+        assert!(frag.has_fpras());
+        assert_eq!(frag.to_string(), "CQ(<)");
+    }
+
+    #[test]
+    fn linear_fragment() {
+        let f = Formula::cmp(x().add(NumTerm::var("y")), CompareOp::Le, NumTerm::int(1));
+        assert_eq!(Fragment::classify(&f).arith, ArithLevel::Linear);
+        // Multiplication by a constant stays linear.
+        let f = Formula::cmp(x().mul(NumTerm::decimal("0.7")), CompareOp::Le, NumTerm::int(1));
+        assert_eq!(Fragment::classify(&f).arith, ArithLevel::Linear);
+    }
+
+    #[test]
+    fn poly_fragment() {
+        let f = Formula::cmp(x().mul(NumTerm::var("y")), CompareOp::Le, NumTerm::int(1));
+        let frag = Fragment::classify(&f);
+        assert_eq!(frag.arith, ArithLevel::Poly);
+        assert!(!frag.has_fpras());
+        assert_eq!(frag.to_string(), "CQ(+,*,<)");
+    }
+
+    #[test]
+    fn connectives_break_conjunctivity() {
+        let atom = Formula::cmp(x(), CompareOp::Lt, NumTerm::int(0));
+        for f in [
+            Formula::not(atom.clone()),
+            Formula::or(vec![atom.clone(), atom.clone()]),
+            Formula::forall(vec![TypedVar::num("x")], atom.clone()),
+        ] {
+            let frag = Fragment::classify(&f);
+            assert!(!frag.conjunctive, "{f}");
+            assert!(!frag.has_fpras());
+        }
+        // ∃ and ∧ do not.
+        let f = Formula::exists(vec![TypedVar::num("x")], Formula::and(vec![atom.clone(), atom]));
+        assert!(Fragment::classify(&f).conjunctive);
+    }
+
+    #[test]
+    fn arithmetic_inside_relation_args_counts() {
+        let f = Formula::rel(
+            "R",
+            vec![crate::formula::Arg::Num(x().mul(NumTerm::var("y")))],
+        );
+        assert_eq!(Fragment::classify(&f).arith, ArithLevel::Poly);
+    }
+
+    #[test]
+    fn display_full_fo() {
+        let f = Formula::not(Formula::cmp(
+            x().mul(x()),
+            CompareOp::Gt,
+            NumTerm::int(0),
+        ));
+        assert_eq!(Fragment::classify(&f).to_string(), "FO(+,*,<)");
+    }
+}

@@ -1,0 +1,38 @@
+//! The query language FO(+,·,<) of §3 and its fragments.
+//!
+//! Queries are two-sorted first-order formulas: variables are typed
+//! ([`Sort::Base`](qarith_types::Sort::Base) or
+//! [`Sort::Num`](qarith_types::Sort::Num)); numerical terms are built from
+//! variables, rational constants, `+`, `−`, `·`; atomic formulas are
+//! relation atoms `R(t̄)`, base equalities `x = y`, and numerical
+//! comparisons `t ⋈ t′`; formulas close under `∧, ∨, ¬, ∃, ∀`.
+//!
+//! Quantifiers range over the *active domain* of the (completed) database,
+//! as in the paper's semantics ("a witness is found among elements of
+//! `C_base(D)` / `C_num(D)`").
+//!
+//! The crate provides:
+//!
+//! * [`NumTerm`], [`BaseTerm`], [`CompareOp`] — terms and comparisons;
+//! * [`Formula`], [`TypedVar`] — formulas with scope analysis;
+//! * [`Query`] — a formula plus declared free variables, validated against
+//!   a [`Catalog`](qarith_types::Catalog);
+//! * [`Fragment`], [`ArithLevel`] — the classifier that drives algorithm
+//!   selection (CQ(+,<) gets the multiplicative FPRAS of Theorem 7.1,
+//!   everything else the additive scheme of Theorem 8.1, arithmetic-free
+//!   generic queries the zero-one law of §2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod formula;
+mod fragment;
+mod query;
+mod term;
+
+pub use error::QueryError;
+pub use formula::{Arg, Formula, TypedVar};
+pub use fragment::{ArithLevel, Fragment};
+pub use query::Query;
+pub use term::{BaseTerm, CompareOp, Ident, NumTerm};

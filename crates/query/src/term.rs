@@ -1,0 +1,276 @@
+use std::fmt;
+use std::sync::Arc;
+
+use qarith_numeric::Rational;
+use qarith_types::BaseValue;
+
+/// Variable names. `Arc<str>` so formulas clone cheaply during grounding.
+pub type Ident = Arc<str>;
+
+/// A term of the base sort: a variable or a constant.
+///
+/// (The paper's grammar only puts base *variables* in relation atoms;
+/// allowing constants as well is a conservative convenience — a constant
+/// argument abbreviates `∃x (x = c ∧ …)`.)
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum BaseTerm {
+    /// A base-sort variable.
+    Var(Ident),
+    /// A base-sort constant.
+    Const(BaseValue),
+}
+
+impl BaseTerm {
+    /// Variable constructor.
+    pub fn var(name: &str) -> BaseTerm {
+        BaseTerm::Var(Arc::from(name))
+    }
+
+    /// String-constant constructor.
+    pub fn str(s: &str) -> BaseTerm {
+        BaseTerm::Const(BaseValue::str(s))
+    }
+
+    /// Integer-constant constructor.
+    pub fn int(n: i64) -> BaseTerm {
+        BaseTerm::Const(BaseValue::Int(n))
+    }
+}
+
+impl fmt::Display for BaseTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaseTerm::Var(x) => write!(f, "{x}"),
+            BaseTerm::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl fmt::Debug for BaseTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A term of the numerical sort: variables, rational constants, and the
+/// ring operations of the paper's grammar (`+`, `·`; `−` is definable and
+/// provided directly).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum NumTerm {
+    /// A numerical variable.
+    Var(Ident),
+    /// A rational constant (`Cnum` element).
+    Const(Rational),
+    /// `t + t′`
+    Add(Box<NumTerm>, Box<NumTerm>),
+    /// `t − t′`
+    Sub(Box<NumTerm>, Box<NumTerm>),
+    /// `t · t′`
+    Mul(Box<NumTerm>, Box<NumTerm>),
+    /// `−t`
+    Neg(Box<NumTerm>),
+}
+
+impl NumTerm {
+    /// Variable constructor.
+    pub fn var(name: &str) -> NumTerm {
+        NumTerm::Var(Arc::from(name))
+    }
+
+    /// Integer-constant constructor.
+    pub fn int(n: i64) -> NumTerm {
+        NumTerm::Const(Rational::from_int(n))
+    }
+
+    /// Decimal-constant constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed literals; intended for inline query authoring.
+    pub fn decimal(s: &str) -> NumTerm {
+        NumTerm::Const(Rational::parse_decimal(s).expect("valid decimal literal"))
+    }
+
+    /// `self + rhs`
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, rhs: NumTerm) -> NumTerm {
+        NumTerm::Add(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self − rhs`
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, rhs: NumTerm) -> NumTerm {
+        NumTerm::Sub(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self · rhs`
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, rhs: NumTerm) -> NumTerm {
+        NumTerm::Mul(Box::new(self), Box::new(rhs))
+    }
+
+    /// `−self`
+    #[allow(clippy::should_implement_trait)]
+    pub fn neg(self) -> NumTerm {
+        NumTerm::Neg(Box::new(self))
+    }
+
+    /// Upper bound on the polynomial degree of the term in its variables
+    /// (exact when no cancellation occurs). Drives fragment
+    /// classification: degree ≤ 1 terms stay in the `+`-only fragment.
+    pub fn degree_bound(&self) -> u32 {
+        match self {
+            NumTerm::Var(_) => 1,
+            NumTerm::Const(_) => 0,
+            NumTerm::Add(a, b) | NumTerm::Sub(a, b) => a.degree_bound().max(b.degree_bound()),
+            NumTerm::Mul(a, b) => a.degree_bound() + b.degree_bound(),
+            NumTerm::Neg(a) => a.degree_bound(),
+        }
+    }
+
+    /// `true` iff the term is a bare variable or constant — the shape
+    /// allowed in the order-only fragments FO(<) / CQ(<).
+    pub fn is_atomic(&self) -> bool {
+        matches!(self, NumTerm::Var(_) | NumTerm::Const(_))
+    }
+
+    /// Visits every variable occurrence.
+    pub fn visit_vars(&self, f: &mut impl FnMut(&Ident)) {
+        match self {
+            NumTerm::Var(x) => f(x),
+            NumTerm::Const(_) => {}
+            NumTerm::Add(a, b) | NumTerm::Sub(a, b) | NumTerm::Mul(a, b) => {
+                a.visit_vars(f);
+                b.visit_vars(f);
+            }
+            NumTerm::Neg(a) => a.visit_vars(f),
+        }
+    }
+}
+
+impl fmt::Display for NumTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumTerm::Var(x) => write!(f, "{x}"),
+            NumTerm::Const(c) => write!(f, "{c}"),
+            NumTerm::Add(a, b) => write!(f, "({a} + {b})"),
+            NumTerm::Sub(a, b) => write!(f, "({a} - {b})"),
+            NumTerm::Mul(a, b) => write!(f, "({a} * {b})"),
+            NumTerm::Neg(a) => write!(f, "(-{a})"),
+        }
+    }
+}
+
+impl fmt::Debug for NumTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Comparison operators between numerical terms. (`=` and `≠` are also
+/// usable on the base sort via [`Formula::BaseEq`](crate::Formula).)
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CompareOp {
+    /// strictly less
+    Lt,
+    /// less or equal
+    Le,
+    /// equal
+    Eq,
+    /// not equal
+    Ne,
+    /// strictly greater
+    Gt,
+    /// greater or equal
+    Ge,
+}
+
+impl CompareOp {
+    /// Evaluates the comparison on ordered values.
+    pub fn holds<T: PartialOrd>(self, lhs: &T, rhs: &T) -> bool {
+        match self {
+            CompareOp::Lt => lhs < rhs,
+            CompareOp::Le => lhs <= rhs,
+            CompareOp::Eq => lhs == rhs,
+            CompareOp::Ne => lhs != rhs,
+            CompareOp::Gt => lhs > rhs,
+            CompareOp::Ge => lhs >= rhs,
+        }
+    }
+
+    /// Logical complement.
+    pub fn negated(self) -> CompareOp {
+        match self {
+            CompareOp::Lt => CompareOp::Ge,
+            CompareOp::Le => CompareOp::Gt,
+            CompareOp::Eq => CompareOp::Ne,
+            CompareOp::Ne => CompareOp::Eq,
+            CompareOp::Gt => CompareOp::Le,
+            CompareOp::Ge => CompareOp::Lt,
+        }
+    }
+}
+
+impl fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Eq => "=",
+            CompareOp::Ne => "<>",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_bounds() {
+        let x = NumTerm::var("x");
+        let y = NumTerm::var("y");
+        assert_eq!(NumTerm::int(5).degree_bound(), 0);
+        assert_eq!(x.clone().degree_bound(), 1);
+        assert_eq!(x.clone().add(y.clone()).degree_bound(), 1);
+        assert_eq!(x.clone().mul(y.clone()).degree_bound(), 2);
+        assert_eq!(x.clone().mul(NumTerm::int(3)).degree_bound(), 1);
+        assert_eq!(x.clone().mul(y.clone()).mul(x.clone()).degree_bound(), 3);
+        assert_eq!(x.clone().sub(y).neg().degree_bound(), 1);
+        assert!(x.is_atomic());
+        assert!(!x.clone().add(NumTerm::int(1)).is_atomic());
+    }
+
+    #[test]
+    fn visit_vars_collects_occurrences() {
+        let t = NumTerm::var("x").mul(NumTerm::var("y")).add(NumTerm::var("x"));
+        let mut seen = Vec::new();
+        t.visit_vars(&mut |v| seen.push(v.to_string()));
+        assert_eq!(seen, vec!["x", "y", "x"]);
+    }
+
+    #[test]
+    fn compare_ops() {
+        assert!(CompareOp::Lt.holds(&1, &2));
+        assert!(!CompareOp::Lt.holds(&2, &2));
+        assert!(CompareOp::Le.holds(&2, &2));
+        assert!(CompareOp::Ne.holds(&1, &2));
+        for op in [CompareOp::Lt, CompareOp::Le, CompareOp::Eq, CompareOp::Ne, CompareOp::Gt, CompareOp::Ge] {
+            for (a, b) in [(1, 2), (2, 1), (2, 2)] {
+                assert_eq!(op.holds(&a, &b), !op.negated().holds(&a, &b));
+            }
+        }
+    }
+
+    #[test]
+    fn display() {
+        let t = NumTerm::var("r").mul(NumTerm::var("d")).sub(NumTerm::decimal("0.5"));
+        assert_eq!(t.to_string(), "((r * d) - 1/2)");
+        assert_eq!(BaseTerm::var("s").to_string(), "s");
+        assert_eq!(BaseTerm::str("seg").to_string(), "\"seg\"");
+        assert_eq!(CompareOp::Ne.to_string(), "<>");
+    }
+}

@@ -1,0 +1,77 @@
+use qarith_query::CompareOp;
+
+/// A parsed `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStatement {
+    /// `SELECT *` (all columns of all FROM items, in declaration order).
+    pub star: bool,
+    /// Selected column references (qualified or bare); empty for `*`.
+    pub columns: Vec<ColumnRef>,
+    /// FROM items.
+    pub tables: Vec<TableRef>,
+    /// WHERE predicate, if present.
+    pub predicate: Option<SqlPredicate>,
+    /// LIMIT, if present.
+    pub limit: Option<usize>,
+}
+
+/// A table with an optional alias (`Products P`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// Table name.
+    pub table: String,
+    /// Alias (defaults to the table name).
+    pub alias: String,
+}
+
+/// A column reference, possibly qualified (`P.seg`) or bare (`seg`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnRef {
+    /// Table alias, if qualified.
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+impl std::fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// A scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlExpr {
+    /// Column reference.
+    Column(ColumnRef),
+    /// Numeric literal (textual; parsed exactly at lowering).
+    Number(String),
+    /// String literal.
+    Str(String),
+    /// `a + b`
+    Add(Box<SqlExpr>, Box<SqlExpr>),
+    /// `a - b`
+    Sub(Box<SqlExpr>, Box<SqlExpr>),
+    /// `a * b`
+    Mul(Box<SqlExpr>, Box<SqlExpr>),
+    /// `a / b`
+    Div(Box<SqlExpr>, Box<SqlExpr>),
+    /// `-a`
+    Neg(Box<SqlExpr>),
+}
+
+/// A Boolean predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlPredicate {
+    /// Comparison between scalar expressions.
+    Compare(SqlExpr, CompareOp, SqlExpr),
+    /// Conjunction.
+    And(Box<SqlPredicate>, Box<SqlPredicate>),
+    /// Disjunction.
+    Or(Box<SqlPredicate>, Box<SqlPredicate>),
+    /// Negation.
+    Not(Box<SqlPredicate>),
+}

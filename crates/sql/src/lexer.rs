@@ -1,0 +1,326 @@
+use std::fmt;
+
+use crate::error::SqlError;
+
+/// SQL tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword (uppercased).
+    Keyword(Keyword),
+    /// Identifier (original case preserved).
+    Ident(String),
+    /// Numeric literal (unparsed text; exact parsing happens at lowering).
+    Number(String),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `.`
+    Dot,
+    /// `*` (multiplication or SELECT star)
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Recognized keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    Select,
+    From,
+    Where,
+    And,
+    Or,
+    Not,
+    Limit,
+    As,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "{k:?}"),
+            Token::Ident(s) => write!(f, "identifier {s}"),
+            Token::Number(s) => write!(f, "number {s}"),
+            Token::Str(s) => write!(f, "string '{s}'"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// A token plus its source offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    pub token: Token,
+    pub position: usize,
+}
+
+/// Tokenizes SQL text.
+pub fn lex(input: &str) -> Result<Vec<Spanned>, SqlError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            ',' => {
+                out.push(Spanned { token: Token::Comma, position: start });
+                i += 1;
+            }
+            '(' => {
+                out.push(Spanned { token: Token::LParen, position: start });
+                i += 1;
+            }
+            ')' => {
+                out.push(Spanned { token: Token::RParen, position: start });
+                i += 1;
+            }
+            '.' => {
+                // A dot starting a number (.5) vs a qualifier dot.
+                if i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
+                    let (tok, next) = lex_number(input, i);
+                    out.push(Spanned { token: tok, position: start });
+                    i = next;
+                } else {
+                    out.push(Spanned { token: Token::Dot, position: start });
+                    i += 1;
+                }
+            }
+            '*' => {
+                out.push(Spanned { token: Token::Star, position: start });
+                i += 1;
+            }
+            '+' => {
+                out.push(Spanned { token: Token::Plus, position: start });
+                i += 1;
+            }
+            '-' => {
+                // SQL comments: `-- …`
+                if i + 1 < bytes.len() && bytes[i + 1] == b'-' {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    out.push(Spanned { token: Token::Minus, position: start });
+                    i += 1;
+                }
+            }
+            '/' => {
+                out.push(Spanned { token: Token::Slash, position: start });
+                i += 1;
+            }
+            '=' => {
+                out.push(Spanned { token: Token::Eq, position: start });
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Spanned { token: Token::Ne, position: start });
+                    i += 2;
+                } else {
+                    return Err(SqlError::Lex { position: i, found: '!' });
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Spanned { token: Token::Le, position: start });
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push(Spanned { token: Token::Ne, position: start });
+                    i += 2;
+                } else {
+                    out.push(Spanned { token: Token::Lt, position: start });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Spanned { token: Token::Ge, position: start });
+                    i += 2;
+                } else {
+                    out.push(Spanned { token: Token::Gt, position: start });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                loop {
+                    if j >= bytes.len() {
+                        return Err(SqlError::Lex { position: i, found: '\'' });
+                    }
+                    if bytes[j] == b'\'' {
+                        if j + 1 < bytes.len() && bytes[j + 1] == b'\'' {
+                            s.push('\'');
+                            j += 2;
+                        } else {
+                            j += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[j] as char);
+                        j += 1;
+                    }
+                }
+                out.push(Spanned { token: Token::Str(s), position: start });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let (tok, next) = lex_number(input, i);
+                out.push(Spanned { token: tok, position: start });
+                i = next;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                let word = &input[i..j];
+                let token = match word.to_ascii_uppercase().as_str() {
+                    "SELECT" => Token::Keyword(Keyword::Select),
+                    "FROM" => Token::Keyword(Keyword::From),
+                    "WHERE" => Token::Keyword(Keyword::Where),
+                    "AND" => Token::Keyword(Keyword::And),
+                    "OR" => Token::Keyword(Keyword::Or),
+                    "NOT" => Token::Keyword(Keyword::Not),
+                    "LIMIT" => Token::Keyword(Keyword::Limit),
+                    "AS" => Token::Keyword(Keyword::As),
+                    _ => Token::Ident(word.to_string()),
+                };
+                out.push(Spanned { token, position: start });
+                i = j;
+            }
+            other => return Err(SqlError::Lex { position: i, found: other }),
+        }
+    }
+    Ok(out)
+}
+
+fn lex_number(input: &str, start: usize) -> (Token, usize) {
+    let bytes = input.as_bytes();
+    let mut j = start;
+    let mut seen_dot = false;
+    while j < bytes.len() {
+        let b = bytes[j];
+        if b.is_ascii_digit() {
+            j += 1;
+        } else if b == b'.' && !seen_dot {
+            // Only treat the dot as part of the number if a digit follows
+            // (so `25.foo` lexes as 25, '.', foo).
+            if j + 1 < bytes.len() && bytes[j + 1].is_ascii_digit() {
+                seen_dot = true;
+                j += 1;
+            } else {
+                break;
+            }
+        } else {
+            break;
+        }
+    }
+    (Token::Number(input[start..j].to_string()), j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        lex(s).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            toks("select FROM Where aNd"),
+            vec![
+                Token::Keyword(Keyword::Select),
+                Token::Keyword(Keyword::From),
+                Token::Keyword(Keyword::Where),
+                Token::Keyword(Keyword::And),
+            ]
+        );
+    }
+
+    #[test]
+    fn qualified_names_and_numbers() {
+        assert_eq!(
+            toks("P.rrp * 0.5 <= 25"),
+            vec![
+                Token::Ident("P".into()),
+                Token::Dot,
+                Token::Ident("rrp".into()),
+                Token::Star,
+                Token::Number("0.5".into()),
+                Token::Le,
+                Token::Number("25".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("= <> != < <= > >="),
+            vec![
+                Token::Eq,
+                Token::Ne,
+                Token::Ne,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(toks("'abc'"), vec![Token::Str("abc".into())]);
+        assert_eq!(toks("'it''s'"), vec![Token::Str("it's".into())]);
+        assert!(lex("'unterminated").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("SELECT -- comment here\n x"),
+            vec![Token::Keyword(Keyword::Select), Token::Ident("x".into())]
+        );
+    }
+
+    #[test]
+    fn leading_dot_number() {
+        assert_eq!(toks(".5"), vec![Token::Number(".5".into())]);
+    }
+
+    #[test]
+    fn bad_character() {
+        assert!(matches!(lex("a # b"), Err(SqlError::Lex { found: '#', .. })));
+    }
+}

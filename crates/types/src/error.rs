@@ -1,0 +1,98 @@
+use std::fmt;
+
+use crate::schema::Sort;
+
+/// Schema and typing errors for the data model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// Two columns of a relation share a name.
+    DuplicateColumn {
+        /// The relation being declared.
+        relation: String,
+        /// The offending column name.
+        column: String,
+    },
+    /// Two relations in one catalog share a name.
+    DuplicateRelation {
+        /// The offending relation name.
+        relation: String,
+    },
+    /// A tuple's width does not match the relation arity.
+    ArityMismatch {
+        /// The relation receiving the tuple.
+        relation: String,
+        /// Expected arity.
+        expected: usize,
+        /// Width of the offending tuple.
+        actual: usize,
+    },
+    /// A value's sort does not match the column sort.
+    SortMismatch {
+        /// The relation receiving the tuple.
+        relation: String,
+        /// The column position (0-based).
+        column: usize,
+        /// The declared sort.
+        expected: Sort,
+        /// The value's sort.
+        actual: Sort,
+    },
+    /// A relation was referenced that the catalog/database does not have.
+    UnknownRelation {
+        /// The missing relation name.
+        relation: String,
+    },
+    /// A valuation left some null uninterpreted when a complete database
+    /// was required.
+    IncompleteValuation {
+        /// Display form of the uninterpreted null.
+        null: String,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::DuplicateColumn { relation, column } => {
+                write!(f, "relation {relation} declares column {column} twice")
+            }
+            TypeError::DuplicateRelation { relation } => {
+                write!(f, "catalog already has a relation named {relation}")
+            }
+            TypeError::ArityMismatch { relation, expected, actual } => write!(
+                f,
+                "relation {relation} has arity {expected}, got a tuple of width {actual}"
+            ),
+            TypeError::SortMismatch { relation, column, expected, actual } => write!(
+                f,
+                "column {column} of {relation} has sort {expected}, got a {actual} value"
+            ),
+            TypeError::UnknownRelation { relation } => {
+                write!(f, "unknown relation {relation}")
+            }
+            TypeError::IncompleteValuation { null } => {
+                write!(f, "valuation does not interpret null {null}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = TypeError::ArityMismatch { relation: "R".into(), expected: 2, actual: 3 };
+        assert!(e.to_string().contains("arity 2"));
+        let e = TypeError::SortMismatch {
+            relation: "R".into(),
+            column: 1,
+            expected: Sort::Num,
+            actual: Sort::Base,
+        };
+        assert!(e.to_string().contains("sort num"));
+    }
+}

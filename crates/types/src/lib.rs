@@ -1,0 +1,44 @@
+//! Two-sorted incomplete-database data model (§2–§3 of the paper).
+//!
+//! Databases have columns of two types: a **base** type (the classical
+//! single-domain assumption — ids, names, market segments, …) and a
+//! **numerical** type (a subset of ℝ — prices, discounts, quantities, …).
+//! Either kind of column may contain *marked nulls*: `⊥ᵢ` for base columns
+//! ([`BaseNullId`]) and `⊤ᵢ` for numerical columns ([`NumNullId`]).
+//!
+//! An incomplete database represents the set of complete databases
+//! obtained by applying a [`Valuation`] `v = (v_base, v_num)` that sends
+//! base nulls to base constants and numerical nulls to real numbers.
+//! Numerical constants are exact rationals ([`qarith_numeric::Rational`])
+//! so that the downstream symbolic pipeline stays exact.
+//!
+//! Main types:
+//!
+//! * [`Value`], [`BaseValue`] — cell values of either sort, possibly null;
+//! * [`Sort`], [`Column`], [`RelationSchema`], [`Catalog`] — typed schemas;
+//! * [`Tuple`], [`Relation`], [`Database`] — data, with type checking on
+//!   insertion;
+//! * [`Valuation`] — interpretations of nulls; applying a valuation yields
+//!   the complete database `v(D)`;
+//! * [`Database::bijective_base_valuation`] — the "nulls as fresh
+//!   distinct constants" reading used by naive evaluation and by the
+//!   bijective base valuations of Proposition 5.2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod database;
+mod error;
+mod relation;
+mod schema;
+mod tuple;
+mod valuation;
+mod value;
+
+pub use database::{Database, DatabaseStats};
+pub use error::TypeError;
+pub use relation::Relation;
+pub use schema::{Catalog, Column, RelationSchema, Sort};
+pub use tuple::Tuple;
+pub use valuation::Valuation;
+pub use value::{BaseNullId, BaseValue, NumNullId, Value};

@@ -1,0 +1,180 @@
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+
+use qarith_numeric::Rational;
+
+use crate::tuple::Tuple;
+use crate::value::{BaseNullId, BaseValue, NumNullId, Value};
+
+/// A (possibly partial) interpretation of nulls: the pair
+/// `v = (v_base, v_num)` of §4.
+///
+/// `v_base` sends base nulls to base constants; `v_num` sends numerical
+/// nulls to rationals (the engine's finite stand-ins for reals — every
+/// formula the pipeline manipulates has rational coefficients, so rational
+/// witnesses suffice for all evaluation and testing purposes).
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Valuation {
+    base: BTreeMap<BaseNullId, BaseValue>,
+    num: BTreeMap<NumNullId, Rational>,
+}
+
+impl Valuation {
+    /// The empty valuation.
+    pub fn new() -> Valuation {
+        Valuation::default()
+    }
+
+    /// Maps a base null to a constant (builder style).
+    pub fn with_base(mut self, id: BaseNullId, v: impl Into<BaseValue>) -> Valuation {
+        self.base.insert(id, v.into());
+        self
+    }
+
+    /// Maps a numerical null to a rational (builder style).
+    pub fn with_num(mut self, id: NumNullId, v: impl Into<Rational>) -> Valuation {
+        self.num.insert(id, v.into());
+        self
+    }
+
+    /// Sets a base-null image.
+    pub fn set_base(&mut self, id: BaseNullId, v: impl Into<BaseValue>) {
+        self.base.insert(id, v.into());
+    }
+
+    /// Sets a numerical-null image.
+    pub fn set_num(&mut self, id: NumNullId, v: impl Into<Rational>) {
+        self.num.insert(id, v.into());
+    }
+
+    /// Image of a base null, if mapped.
+    pub fn base(&self, id: BaseNullId) -> Option<&BaseValue> {
+        self.base.get(&id)
+    }
+
+    /// Image of a numerical null, if mapped.
+    pub fn num(&self, id: NumNullId) -> Option<Rational> {
+        self.num.get(&id).copied()
+    }
+
+    /// The base-null assignments.
+    pub fn base_assignments(&self) -> impl Iterator<Item = (BaseNullId, &BaseValue)> {
+        self.base.iter().map(|(&id, v)| (id, v))
+    }
+
+    /// The numerical-null assignments.
+    pub fn num_assignments(&self) -> impl Iterator<Item = (NumNullId, Rational)> + '_ {
+        self.num.iter().map(|(&id, &v)| (id, v))
+    }
+
+    /// Applies the valuation to a single value; unmapped nulls pass
+    /// through unchanged (partial application).
+    pub fn apply_value(&self, v: &Value) -> Value {
+        match v {
+            Value::BaseNull(id) => match self.base.get(id) {
+                Some(c) => Value::Base(c.clone()),
+                None => v.clone(),
+            },
+            Value::NumNull(id) => match self.num.get(id) {
+                Some(&r) => Value::Num(r),
+                None => v.clone(),
+            },
+            other => other.clone(),
+        }
+    }
+
+    /// Applies the valuation to a tuple (the `v(a̅)` of §4: constants are
+    /// left intact, nulls are replaced where mapped).
+    pub fn apply_tuple(&self, t: &Tuple) -> Tuple {
+        t.map(|v| self.apply_value(v))
+    }
+
+    /// `true` iff `v_base` is injective and its range avoids
+    /// `forbidden` — the *bijective valuation* condition of
+    /// Proposition 5.2 (with `forbidden = C_base(D)`).
+    pub fn is_bijective_base(&self, forbidden: &HashSet<BaseValue>) -> bool {
+        let mut seen = HashSet::with_capacity(self.base.len());
+        for v in self.base.values() {
+            if forbidden.contains(v) || !seen.insert(v.clone()) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Debug for Valuation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for (id, v) in &self.base {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{id}↦{v}")?;
+            first = false;
+        }
+        for (id, v) in &self.num {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{id}↦{v}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partial_application() {
+        let v = Valuation::new()
+            .with_base(BaseNullId(0), "x")
+            .with_num(NumNullId(1), Rational::new(1, 2));
+        assert_eq!(v.apply_value(&Value::BaseNull(BaseNullId(0))), Value::str("x"));
+        // Unmapped nulls pass through.
+        assert_eq!(
+            v.apply_value(&Value::BaseNull(BaseNullId(9))),
+            Value::BaseNull(BaseNullId(9))
+        );
+        assert_eq!(
+            v.apply_value(&Value::NumNull(NumNullId(1))),
+            Value::Num(Rational::new(1, 2))
+        );
+        // Constants untouched.
+        assert_eq!(v.apply_value(&Value::int(5)), Value::int(5));
+    }
+
+    #[test]
+    fn tuple_application() {
+        let v = Valuation::new().with_num(NumNullId(0), 3);
+        let t = Tuple::new(vec![Value::int(1), Value::NumNull(NumNullId(0))]);
+        assert_eq!(v.apply_tuple(&t), Tuple::new(vec![Value::int(1), Value::num(3)]));
+    }
+
+    #[test]
+    fn bijectivity_check() {
+        let forbidden: HashSet<BaseValue> = [BaseValue::str("taken")].into_iter().collect();
+        let good = Valuation::new()
+            .with_base(BaseNullId(0), "f0")
+            .with_base(BaseNullId(1), "f1");
+        assert!(good.is_bijective_base(&forbidden));
+        let collides = Valuation::new()
+            .with_base(BaseNullId(0), "f0")
+            .with_base(BaseNullId(1), "f0");
+        assert!(!collides.is_bijective_base(&forbidden));
+        let hits_constant = Valuation::new().with_base(BaseNullId(0), "taken");
+        assert!(!hits_constant.is_bijective_base(&forbidden));
+    }
+
+    #[test]
+    fn debug_format() {
+        let v = Valuation::new().with_base(BaseNullId(2), 7i64).with_num(NumNullId(0), 1);
+        let s = format!("{v:?}");
+        assert!(s.contains("⊥2↦7"));
+        assert!(s.contains("⊤0↦1"));
+    }
+}

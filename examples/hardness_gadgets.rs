@@ -1,0 +1,75 @@
+//! The §6 hardness constructions, executed.
+//!
+//! Theorem 6.3 and Proposition 6.2 prove lower bounds by encoding
+//! propositional model counting into μ. This example *runs* those
+//! encodings: it builds the gadget database for a random 3CNF/3DNF,
+//! computes μ with the exact order-fragment evaluator, and checks it
+//! equals `#ψ/2ⁿ` from brute-force counting — the identity at the heart
+//! of both proofs.
+//!
+//! ```text
+//! cargo run --release --example hardness_gadgets
+//! ```
+
+use qarith::core::reductions::{encode_3cnf, encode_3dnf, random_instance};
+use qarith::core::{afpras, AfprasOptions, CertaintyEngine, MeasureOptions};
+use qarith::engine::ground;
+use qarith::prelude::*;
+
+fn main() {
+    let engine = CertaintyEngine::new(MeasureOptions::default());
+
+    println!("== Theorem 6.3 gadget: FO(<) with μ(q, D_ψ) = #ψ/2ⁿ (3CNF) ==\n");
+    println!(
+        "{:>6} {:>8} {:>8} {:>12} {:>12} {:>12}",
+        "vars", "clauses", "#ψ", "#ψ/2ⁿ", "exact μ", "AFPRAS"
+    );
+    for (vars, clauses, seed) in [(4, 5, 1u64), (5, 7, 2), (6, 9, 3), (6, 12, 4)] {
+        let psi = random_instance(vars, clauses, seed);
+        let count = psi.count_cnf();
+        let expected = count as f64 / (1u64 << vars) as f64;
+
+        let (q, db) = encode_3cnf(&psi);
+        let phi = ground::ground(&q, &db, &Tuple::new(vec![])).unwrap();
+        let exact = engine.nu(&phi).unwrap();
+        let sampled = afpras::estimate_nu(
+            &phi,
+            &AfprasOptions { epsilon: 0.02, ..AfprasOptions::default() },
+        )
+        .unwrap();
+
+        println!(
+            "{vars:>6} {clauses:>8} {count:>8} {expected:>12.6} {:>12.6} {:>12.6}",
+            exact.value, sampled.estimate
+        );
+        assert_eq!(
+            exact.exact.unwrap(),
+            Rational::new(count as i128, 1i128 << vars),
+            "exact evaluator must reproduce the counting identity"
+        );
+        assert!((sampled.estimate - expected).abs() < 0.04);
+    }
+
+    println!("\n== Proposition 6.2 gadget: CQ(<) with μ(q, D) = #ψ/2ᵏ (3DNF) ==\n");
+    println!(
+        "{:>6} {:>8} {:>8} {:>12} {:>12}",
+        "vars", "terms", "#ψ", "#ψ/2ᵏ", "exact μ"
+    );
+    for (vars, terms, seed) in [(4, 3, 11u64), (5, 4, 12), (6, 6, 13)] {
+        let psi = random_instance(vars, terms, seed);
+        let count = psi.count_dnf();
+        let expected = count as f64 / (1u64 << vars) as f64;
+
+        let (q, db) = encode_3dnf(&psi);
+        assert!(q.fragment().conjunctive, "Proposition 6.2 needs a conjunctive query");
+        let phi = ground::ground(&q, &db, &Tuple::new(vec![])).unwrap();
+        let exact = engine.nu(&phi).unwrap();
+
+        println!("{vars:>6} {terms:>8} {count:>8} {expected:>12.6} {:>12.6}", exact.value);
+        assert_eq!(exact.exact.unwrap(), Rational::new(count as i128, 1i128 << vars));
+    }
+
+    println!("\nboth reductions verified: μ computes scaled model counts, so");
+    println!("exact computation is #P-hard (Prop 6.2) and no FPRAS can exist");
+    println!("for FO(<) unless NP ⊆ BPP (Thm 6.3).");
+}

@@ -1,0 +1,93 @@
+//! Proposition 6.1: the measure of certainty can be **irrational** even
+//! for a single linear constraint — which is why approximation schemes
+//! are unavoidable.
+//!
+//! The query `q = ∃x,y R(x,y) ∧ (x ≥ 0) ∧ (y ≤ α·x)` on the database
+//! `R = {(⊤, ⊤′)}` grounds to the planar wedge `z0 ≥ 0 ∧ z1 ≤ α·z0`,
+//! whose measure is `(arctan α + π/2)/2π` — rational only for
+//! α ∈ {0, ±1} (where the arctangent is a rational multiple of π).
+//!
+//! ```text
+//! cargo run --release --example irrational_measure
+//! ```
+
+use qarith::core::{afpras, AfprasOptions, CertaintyEngine, MeasureOptions};
+use qarith::engine::ground;
+use qarith::prelude::*;
+
+fn wedge_db() -> Database {
+    let mut db = Database::new();
+    let schema =
+        RelationSchema::new("R", vec![Column::num("x"), Column::num("y")]).unwrap();
+    let mut r = Relation::empty(schema);
+    r.insert_values(vec![Value::NumNull(NumNullId(0)), Value::NumNull(NumNullId(1))]).unwrap();
+    db.add_relation(r).unwrap();
+    db
+}
+
+fn wedge_query(db: &Database, alpha: &str) -> Query {
+    Query::boolean(
+        Formula::exists(
+            vec![TypedVar::num("x"), TypedVar::num("y")],
+            Formula::and(vec![
+                Formula::rel("R", vec![Arg::Num(NumTerm::var("x")), Arg::Num(NumTerm::var("y"))]),
+                Formula::cmp(NumTerm::var("x"), CompareOp::Ge, NumTerm::int(0)),
+                Formula::cmp(
+                    NumTerm::var("y"),
+                    CompareOp::Le,
+                    NumTerm::decimal(alpha).mul(NumTerm::var("x")),
+                ),
+            ]),
+        ),
+        &db.catalog(),
+    )
+    .unwrap()
+}
+
+fn main() {
+    let db = wedge_db();
+    let engine = CertaintyEngine::new(MeasureOptions::default());
+    let pi = std::f64::consts::PI;
+
+    println!("Proposition 6.1: μ for q = ∃x,y R(x,y) ∧ x ≥ 0 ∧ y ≤ α·x on R = {{(⊤,⊤′)}}");
+    println!(
+        "\n{:>6}  {:>12}  {:>12}  {:>12}  rational?",
+        "α", "closed form", "exact arcs", "AFPRAS ε=.01"
+    );
+
+    for (alpha, rational) in [
+        ("-2", false),
+        ("-1", true),
+        ("-0.5", false),
+        ("0", true),
+        ("0.5", false),
+        ("1", true),
+        ("2", false),
+    ] {
+        let q = wedge_query(&db, alpha);
+        let phi = ground::ground(&q, &db, &Tuple::new(vec![])).unwrap();
+
+        // Auto method: the 2-D linear exact arc evaluator.
+        let exact = engine.nu(&phi).unwrap();
+        // Sampled, for comparison.
+        let sampled = afpras::estimate_nu(
+            &phi,
+            &AfprasOptions { epsilon: 0.01, ..AfprasOptions::default() },
+        )
+        .unwrap();
+
+        let a: f64 = alpha.parse().unwrap();
+        let closed = (a.atan() + pi / 2.0) / (2.0 * pi);
+        println!(
+            "{alpha:>6}  {closed:>12.6}  {:>12.6}  {:>12.6}  {}",
+            exact.value,
+            sampled.estimate,
+            if rational { "yes" } else { "no (arctan)" }
+        );
+        assert!((exact.value - closed).abs() < 1e-9);
+        assert!((sampled.estimate - closed).abs() < 0.02);
+    }
+
+    println!("\nrational cases: α = 0 → 1/4;  α = 1 → 3/8;  α = −1 → 1/8");
+    println!("(2^-3 and 3·2^-3 because arctan(±1) = ±π/4)");
+}

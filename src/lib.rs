@@ -1,0 +1,55 @@
+//! # qarith — queries with arithmetic on incomplete databases
+//!
+//! A complete Rust implementation of Console, Hofer & Libkin, *Queries
+//! with Arithmetic on Incomplete Databases* (PODS 2020): a framework that
+//! assigns a **measure of certainty** `μ(q, D, (a,s)) ∈ [0,1]` to each
+//! candidate answer of an FO(+,·,<) query over a database with marked
+//! nulls in base-sorted and numerical columns.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`numeric`] | `qarith-numeric` | exact rationals |
+//! | [`constraints`] | `qarith-constraints` | polynomials, real formulas, asymptotic truth (Lemma 8.4) |
+//! | [`types`] | `qarith-types` | two-sorted data model, marked nulls, valuations |
+//! | [`query`] | `qarith-query` | FO(+,·,<) AST, type checking, fragments |
+//! | [`sql`] | `qarith-sql` | SQL subset parser (the §9 front end) |
+//! | [`engine`] | `qarith-engine` | naive evaluation, CQ executor, grounding (Prop 5.3) |
+//! | [`geometry`] | `qarith-geometry` | sampling, LP, hit-and-run, volume, union volumes |
+//! | [`core`] | `qarith-core` | the measure: AFPRAS (Thm 8.1), FPRAS (Thm 7.1), exact evaluators, pipeline |
+//! | [`datagen`] | `qarith-datagen` | synthetic data, the §9 sales workload |
+//!
+//! See `examples/quickstart.rs` for a five-minute tour, and
+//! `DESIGN.md`/`EXPERIMENTS.md` at the repository root for the map from
+//! the paper's definitions, theorems, and figures to this code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use qarith_constraints as constraints;
+pub use qarith_core as core;
+pub use qarith_datagen as datagen;
+pub use qarith_engine as engine;
+pub use qarith_geometry as geometry;
+pub use qarith_numeric as numeric;
+pub use qarith_query as query;
+pub use qarith_sql as sql;
+pub use qarith_types as types;
+
+/// The most common imports, for examples and downstream users.
+pub mod prelude {
+    pub use qarith_core::{
+        AnswerWithCertainty, CertaintyEngine, CertaintyEstimate, MeasureOptions, Method,
+        MethodChoice,
+    };
+    pub use qarith_engine::cq::CqOptions;
+    pub use qarith_numeric::Rational;
+    pub use qarith_query::{
+        Arg, BaseTerm, CompareOp, Formula, NumTerm, Query, TypedVar,
+    };
+    pub use qarith_types::{
+        BaseNullId, BaseValue, Catalog, Column, Database, NumNullId, Relation, RelationSchema,
+        Sort, Tuple, Valuation, Value,
+    };
+}

@@ -1,0 +1,125 @@
+//! V4/V5: executable validation of the §6 lower-bound constructions.
+//!
+//! Both proofs hinge on an identity of the form `μ(q, D_ψ) = #ψ / 2ⁿ`.
+//! We build the gadgets for random formulas, compute μ exactly (order
+//! fragment ⇒ exact rational), and compare against brute-force model
+//! counting.
+
+use qarith::core::reductions::{encode_3cnf, encode_3dnf, random_instance, Literal, ThreeSat};
+use qarith::core::{CertaintyEngine, MeasureOptions};
+use qarith::engine::cq::{self, CqOptions};
+use qarith::engine::ground;
+use qarith::prelude::*;
+
+fn lit(var: usize, positive: bool) -> Literal {
+    Literal { var, positive }
+}
+
+#[test]
+fn v4_theorem_6_3_cnf_identity_random_instances() {
+    let engine = CertaintyEngine::new(MeasureOptions::default());
+    for seed in 0..8u64 {
+        let vars = 4 + (seed % 3) as usize;
+        let psi = random_instance(vars, vars + 2, seed);
+        let count = psi.count_cnf();
+        let (q, db) = encode_3cnf(&psi);
+        assert!(!q.fragment().conjunctive, "Thm 6.3 query is FO (has ∀ and ∨)");
+        let phi = ground::ground(&q, &db, &Tuple::new(vec![])).unwrap();
+        let est = engine.nu(&phi).unwrap();
+        assert_eq!(
+            est.exact.expect("order fragment gives exact rationals"),
+            Rational::new(count as i128, 1i128 << vars),
+            "seed {seed}: μ must equal #ψ/2ⁿ"
+        );
+    }
+}
+
+#[test]
+fn v5_proposition_6_2_dnf_identity_random_instances() {
+    // Generic active-domain grounding is exponential in the quantifier
+    // count (7 quantifiers here), so keep these instances small; larger
+    // instances go through the polynomial CQ executor below.
+    let engine = CertaintyEngine::new(MeasureOptions::default());
+    for seed in 100..104u64 {
+        let vars = 4;
+        let psi = random_instance(vars, 3, seed);
+        let count = psi.count_dnf();
+        let (q, db) = encode_3dnf(&psi);
+        assert!(q.fragment().conjunctive, "Prop 6.2 query must be a CQ");
+        let phi = ground::ground(&q, &db, &Tuple::new(vec![])).unwrap();
+        let est = engine.nu(&phi).unwrap();
+        assert_eq!(
+            est.exact.expect("order fragment gives exact rationals"),
+            Rational::new(count as i128, 1i128 << vars),
+            "seed {seed}: μ must equal #ψ/2ᵏ"
+        );
+    }
+}
+
+#[test]
+fn v5_larger_instances_via_cq_executor() {
+    let engine = CertaintyEngine::new(MeasureOptions::default());
+    for seed in 200..206u64 {
+        let vars = 5 + (seed % 2) as usize;
+        let psi = random_instance(vars, 6, seed);
+        let count = psi.count_dnf();
+        let (q, db) = encode_3dnf(&psi);
+        let answers = cq::execute(&q, &db, &CqOptions::default()).unwrap();
+        let measured = match answers.first() {
+            None => Rational::ZERO, // no satisfying derivation at all
+            Some(ans) => engine.nu(&ans.formula).unwrap().exact.unwrap(),
+        };
+        assert_eq!(
+            measured,
+            Rational::new(count as i128, 1i128 << vars),
+            "seed {seed}: μ must equal #ψ/2ᵏ"
+        );
+    }
+}
+
+#[test]
+fn dnf_gadget_via_cq_executor() {
+    // The conjunctive gadget also runs through the join executor, whose
+    // per-candidate formula must give the same measure.
+    let psi = ThreeSat {
+        vars: 4,
+        triples: vec![
+            [lit(0, true), lit(1, true), lit(2, true)],
+            [lit(1, false), lit(2, false), lit(3, true)],
+        ],
+    };
+    let (q, db) = encode_3dnf(&psi);
+    let answers = cq::execute(&q, &db, &CqOptions::default()).unwrap();
+    assert_eq!(answers.len(), 1, "Boolean query: one (empty-tuple) candidate");
+    let engine = CertaintyEngine::new(MeasureOptions::default());
+    let est = engine.nu(&answers[0].formula).unwrap();
+    assert_eq!(
+        est.exact.unwrap(),
+        Rational::new(psi.count_dnf() as i128, 16)
+    );
+}
+
+#[test]
+fn unsatisfiable_and_valid_formulas_hit_the_measure_endpoints() {
+    // (x ∧ ¬x ∧ y)-style DNF term: unsatisfiable ⇒ μ = 0 …
+    let contradiction = ThreeSat {
+        vars: 3,
+        triples: vec![[lit(0, true), lit(0, false), lit(1, true)]],
+    };
+    // An inconsistent term is satisfied by no assignment.
+    assert_eq!(contradiction.count_dnf(), 0);
+    let (q, db) = encode_3dnf(&contradiction);
+    let phi = ground::ground(&q, &db, &Tuple::new(vec![])).unwrap();
+    let engine = CertaintyEngine::new(MeasureOptions::default());
+    assert_eq!(engine.nu(&phi).unwrap().exact.unwrap(), Rational::ZERO);
+
+    // … and a tautologous CNF clause set ⇒ μ = 1.
+    let tautology = ThreeSat {
+        vars: 3,
+        triples: vec![[lit(0, true), lit(0, false), lit(1, true)]],
+    };
+    assert_eq!(tautology.count_cnf(), 8);
+    let (q, db) = encode_3cnf(&tautology);
+    let phi = ground::ground(&q, &db, &Tuple::new(vec![])).unwrap();
+    assert_eq!(engine.nu(&phi).unwrap().exact.unwrap(), Rational::ONE);
+}

@@ -1,0 +1,120 @@
+//! V3: the zero-one law of §2 — for generic queries μ ∈ {0, 1}, and
+//! μ = 1 exactly for the naive answers. We check it two ways: through the
+//! dedicated shortcut, and *emergently* through the full
+//! grounding-and-measure pipeline (whose ground formulas for generic
+//! queries only contain equality atoms, which are measure-zero unless
+//! identically true).
+
+use qarith::core::{CertaintyEngine, MeasureOptions, Method, MethodChoice};
+use qarith::engine::{ground, naive};
+use qarith::prelude::*;
+
+fn generic_db() -> Database {
+    let mut db = Database::new();
+    let r = RelationSchema::new("R", vec![Column::base("a"), Column::num("x")]).unwrap();
+    let mut rel = Relation::empty(r);
+    rel.insert_values(vec![Value::int(1), Value::NumNull(NumNullId(0))]).unwrap();
+    rel.insert_values(vec![Value::int(2), Value::num(5)]).unwrap();
+    rel.insert_values(vec![Value::BaseNull(BaseNullId(0)), Value::num(7)]).unwrap();
+    db.add_relation(rel).unwrap();
+    let s = RelationSchema::new("S", vec![Column::num("x")]).unwrap();
+    let mut rel = Relation::empty(s);
+    rel.insert_values(vec![Value::NumNull(NumNullId(0))]).unwrap();
+    rel.insert_values(vec![Value::num(9)]).unwrap();
+    db.add_relation(rel).unwrap();
+    db
+}
+
+/// q(a) = ∃x R(a, x) ∧ S(x): a generic join on a numerical column.
+fn join_query(db: &Database) -> Query {
+    Query::new(
+        vec![TypedVar::base("a")],
+        Formula::exists(
+            vec![TypedVar::num("x")],
+            Formula::and(vec![
+                Formula::rel(
+                    "R",
+                    vec![Arg::Base(BaseTerm::var("a")), Arg::Num(NumTerm::var("x"))],
+                ),
+                Formula::rel("S", vec![Arg::Num(NumTerm::var("x"))]),
+            ]),
+        ),
+        &db.catalog(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn zero_one_shortcut_matches_naive_evaluation() {
+    let db = generic_db();
+    let q = join_query(&db);
+    assert!(q.fragment().is_generic());
+
+    let engine = CertaintyEngine::new(MeasureOptions::default());
+    let naive_answers = naive::evaluate(&q, &db).unwrap();
+    // Only tuple (1, ⊤0) joins S (via the shared null ⊤0).
+    assert_eq!(naive_answers, vec![Tuple::new(vec![Value::int(1)])]);
+
+    // Every candidate over the base active domain gets a 0/1 measure
+    // matching naive membership.
+    for cand in [
+        Tuple::new(vec![Value::int(1)]),
+        Tuple::new(vec![Value::int(2)]),
+        Tuple::new(vec![Value::BaseNull(BaseNullId(0))]),
+    ] {
+        let est = engine.measure(&q, &db, &cand).unwrap();
+        assert_eq!(est.method, Method::ZeroOne);
+        let expected = naive_answers.contains(&cand);
+        assert_eq!(est.is_certain(), expected, "candidate {cand}");
+        assert!(est.value == 0.0 || est.value == 1.0, "zero-one law violated");
+    }
+}
+
+#[test]
+fn zero_one_emerges_from_the_general_pipeline() {
+    // Bypass the shortcut: ground + measure the generic query the long
+    // way. Equality atoms between distinct nulls/constants are
+    // measure-zero, so μ must land on exactly 0 or 1 regardless.
+    let db = generic_db();
+    let q = join_query(&db);
+    let engine = CertaintyEngine::new(MeasureOptions {
+        method: MethodChoice::ExactOnly,
+        ..MeasureOptions::default()
+    });
+    for (cand, expected) in [
+        (Tuple::new(vec![Value::int(1)]), 1.0),
+        (Tuple::new(vec![Value::int(2)]), 0.0),
+    ] {
+        let phi = ground::ground(&q, &db, &cand).unwrap();
+        let est = engine.nu(&phi).unwrap();
+        assert_eq!(est.value, expected, "candidate {cand} via grounding");
+    }
+}
+
+#[test]
+fn negation_retains_zero_one_for_generic_queries() {
+    // q(a) = ∃x R(a,x) ∧ ¬S(x): still generic (no arithmetic).
+    let db = generic_db();
+    let q = Query::new(
+        vec![TypedVar::base("a")],
+        Formula::exists(
+            vec![TypedVar::num("x")],
+            Formula::and(vec![
+                Formula::rel(
+                    "R",
+                    vec![Arg::Base(BaseTerm::var("a")), Arg::Num(NumTerm::var("x"))],
+                ),
+                Formula::not(Formula::rel("S", vec![Arg::Num(NumTerm::var("x"))])),
+            ]),
+        ),
+        &db.catalog(),
+    )
+    .unwrap();
+    assert!(q.fragment().is_generic());
+    let engine = CertaintyEngine::new(MeasureOptions::default());
+    // R(2,5): 5 ∉ S naively (S = {⊤0, 9}) ⇒ answer. R(1,⊤0): ⊤0 ∈ S ⇒ not.
+    let est = engine.measure(&q, &db, &Tuple::new(vec![Value::int(2)])).unwrap();
+    assert!(est.is_certain());
+    let est = engine.measure(&q, &db, &Tuple::new(vec![Value::int(1)])).unwrap();
+    assert_eq!(est.value, 0.0);
+}
