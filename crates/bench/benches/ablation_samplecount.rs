@@ -34,7 +34,8 @@ fn sample_count_policies(c: &mut Criterion) {
             ("hoeffding_d25", SampleCount::Hoeffding, 0.25),
             ("hoeffding_d01", SampleCount::Hoeffding, 0.01),
         ] {
-            let opts = AfprasOptions { epsilon: eps, delta, samples: policy, ..AfprasOptions::default() };
+            let opts =
+                AfprasOptions { epsilon: eps, delta, samples: policy, ..AfprasOptions::default() };
             group.bench_with_input(
                 BenchmarkId::new(label, format!("eps_{eps}")),
                 &opts,

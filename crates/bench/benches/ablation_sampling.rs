@@ -28,11 +28,8 @@ fn formula_over_four_nulls() -> QfFormula {
 fn sampling_modes(c: &mut Criterion) {
     let phi = formula_over_four_nulls();
     let mut group = c.benchmark_group("ablation_partial_sampling");
-    let base = AfprasOptions {
-        epsilon: 0.05,
-        samples: SampleCount::Paper,
-        ..AfprasOptions::default()
-    };
+    let base =
+        AfprasOptions { epsilon: 0.05, samples: SampleCount::Paper, ..AfprasOptions::default() };
 
     group.bench_function("partial_(paper_optimization)", |b| {
         b.iter(|| estimate_nu(&phi, &base).unwrap())

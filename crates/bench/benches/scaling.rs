@@ -12,10 +12,9 @@ use qarith_core::afpras::{estimate_nu, AfprasOptions, SampleCount};
 /// Chain formula over n variables: z0 < z1 < … < z_{n−1}.
 fn chain(n: u32) -> QfFormula {
     let z = |i: u32| Polynomial::var(Var(i));
-    QfFormula::and(
-        (0..n - 1)
-            .map(|i| QfFormula::atom(Atom::new(z(i).checked_sub(&z(i + 1)).unwrap(), ConstraintOp::Lt))),
-    )
+    QfFormula::and((0..n - 1).map(|i| {
+        QfFormula::atom(Atom::new(z(i).checked_sub(&z(i + 1)).unwrap(), ConstraintOp::Lt))
+    }))
 }
 
 /// DNF with d disjuncts over 4 variables (mimics a candidate with d

@@ -56,11 +56,7 @@ fn fpras_accuracy_table() {
     println!("== A2: FPRAS (Thm 7.1) vs AFPRAS (Thm 8.1) on CQ(+,<) cones ==");
     println!("{:<28}  {:>8}  {:>10}  {:>10}", "workload", "exact", "FPRAS", "AFPRAS");
     let workloads: Vec<(&str, QfFormula, f64)> = vec![
-        (
-            "halfplane z0<z1",
-            atom(z(0).checked_sub(&z(1)).unwrap(), ConstraintOp::Lt),
-            0.5,
-        ),
+        ("halfplane z0<z1", atom(z(0).checked_sub(&z(1)).unwrap(), ConstraintOp::Lt), 0.5),
         (
             "quadrant (2D)",
             QfFormula::and([atom(z(0), ConstraintOp::Lt), atom(z(1), ConstraintOp::Lt)]),
@@ -110,10 +106,7 @@ fn sample_count_error_table() {
     ]);
     let truth = exact::order::exact_order_measure(&phi).unwrap().to_f64();
     println!("workload: z0<z1<z2, exact ν = {truth:.6}");
-    println!(
-        "{:>6}  {:>22}  {:>9}  {:>10}  {:>10}",
-        "ε", "policy", "m", "mean|err|", "max|err|"
-    );
+    println!("{:>6}  {:>22}  {:>9}  {:>10}  {:>10}", "ε", "policy", "m", "mean|err|", "max|err|");
     for eps in [0.1, 0.05, 0.02] {
         for (label, policy, delta) in [
             ("paper m=eps^-2", SampleCount::Paper, 0.25),
@@ -135,10 +128,7 @@ fn sample_count_error_table() {
                     max = err;
                 }
             }
-            println!(
-                "{eps:>6}  {label:>22}  {m:>9}  {:>10.5}  {max:>10.5}",
-                sum / runs as f64
-            );
+            println!("{eps:>6}  {label:>22}  {m:>9}  {:>10.5}  {max:>10.5}", sum / runs as f64);
         }
     }
     println!();

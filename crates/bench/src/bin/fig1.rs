@@ -73,16 +73,10 @@ fn main() {
 
     let build_start = std::time::Instant::now();
     let harness = Fig1Harness::new(&scale, seed);
-    println!(
-        "  database + candidate generation: {:.3}s total\n",
-        secs(build_start.elapsed())
-    );
+    println!("  database + candidate generation: {:.3}s total\n", secs(build_start.elapsed()));
 
     let stats = harness.db.stats();
-    println!(
-        "  |N_num(D)| = {} numerical nulls across {} tuples\n",
-        stats.num_nulls, stats.tuples
-    );
+    println!("  |N_num(D)| = {} numerical nulls across {} tuples\n", stats.num_nulls, stats.tuples);
 
     let mut csv = String::from("query,epsilon,samples,uncertain_candidates,seconds\n");
     let epsilons = figure1_epsilons();

@@ -113,10 +113,7 @@ impl Fig1Harness {
         let mut compiled_iter = q.compiled.iter();
         for cand in &q.candidates {
             if cand.certain {
-                estimates.push(CertaintyEstimate::exact_rational(
-                    qarith_numeric::Rational::ONE,
-                    0,
-                ));
+                estimates.push(CertaintyEstimate::exact_rational(qarith_numeric::Rational::ONE, 0));
             } else {
                 let compiled = compiled_iter.next().expect("one compiled per uncertain");
                 let out = estimate_nu_compiled(compiled, &opts);

@@ -201,11 +201,8 @@ impl CompiledFormula {
             let terms: Vec<LoweredTerm> = comp
                 .terms()
                 .map(|(m, c)| {
-                    let factors: Box<[(u32, u32)]> = m
-                        .factors()
-                        .iter()
-                        .map(|&(v, e)| (dense[&v], e))
-                        .collect();
+                    let factors: Box<[(u32, u32)]> =
+                        m.factors().iter().map(|&(v, e)| (dense[&v], e)).collect();
                     (c.to_f64(), factors)
                 })
                 .collect();
@@ -331,21 +328,10 @@ mod tests {
             atom(z(0) - c(8), ConstraintOp::Ge),
             atom(point7 * z(1) - z(0), ConstraintOp::Ge),
         ]);
-        let dirs = [
-            [0.5f64, 1.0],
-            [1.0, 1.0],
-            [0.1, 0.9],
-            [-0.3, 0.7],
-            [0.6, 0.65],
-            [0.0, 1.0],
-        ];
+        let dirs = [[0.5f64, 1.0], [1.0, 1.0], [0.1, 0.9], [-0.3, 0.7], [0.6, 0.65], [0.0, 1.0]];
         for dir in dirs {
             let expected = eval_at_scaled(&f, &dir, 1e9);
-            assert_eq!(
-                formula_limit_truth(&f, &dir),
-                expected,
-                "direction {dir:?}"
-            );
+            assert_eq!(formula_limit_truth(&f, &dir), expected, "direction {dir:?}");
         }
     }
 
@@ -381,10 +367,8 @@ mod tests {
     fn compiled_densifies_sparse_vars() {
         // Formula over z5 and z100 compiles to a 2-dimensional direction
         // space — the §9 partial-sampling optimization.
-        let f = QfFormula::and([
-            atom(z(5), ConstraintOp::Gt),
-            atom(z(100) - z(5), ConstraintOp::Gt),
-        ]);
+        let f =
+            QfFormula::and([atom(z(5), ConstraintOp::Gt), atom(z(100) - z(5), ConstraintOp::Gt)]);
         let compiled = CompiledFormula::compile(&f);
         assert_eq!(compiled.dim(), 2);
         assert_eq!(compiled.vars(), &[Var(5), Var(100)]);

@@ -107,7 +107,11 @@ impl Atom {
     }
 
     /// The atom `lhs ⋈ rhs` as `lhs − rhs ⋈ 0`.
-    pub fn compare(lhs: &Polynomial, op: ConstraintOp, rhs: &Polynomial) -> Result<Atom, NumericError> {
+    pub fn compare(
+        lhs: &Polynomial,
+        op: ConstraintOp,
+        rhs: &Polynomial,
+    ) -> Result<Atom, NumericError> {
         Ok(Atom { poly: lhs.checked_sub(rhs)?, op })
     }
 
@@ -235,8 +239,7 @@ mod tests {
     #[test]
     fn rational_eval_is_exact() {
         // 3·z0 − 1 = 0 at z0 = 1/3 — f64 would wobble, rationals do not.
-        let p = Polynomial::constant(Rational::from_int(3)) * z(0)
-            - Polynomial::one();
+        let p = Polynomial::constant(Rational::from_int(3)) * z(0) - Polynomial::one();
         let a = Atom::new(p, ConstraintOp::Eq);
         assert!(a.eval_rational(&[Rational::new(1, 3)]).unwrap());
         assert!(!a.eval_rational(&[Rational::new(1, 2)]).unwrap());

@@ -23,10 +23,9 @@ pub enum FormulaError {
 impl fmt::Display for FormulaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FormulaError::DnfBlowup { reached, limit } => write!(
-                f,
-                "DNF conversion exceeded its size budget ({reached} > {limit} disjuncts)"
-            ),
+            FormulaError::DnfBlowup { reached, limit } => {
+                write!(f, "DNF conversion exceeded its size budget ({reached} > {limit} disjuncts)")
+            }
             FormulaError::Numeric(e) => write!(f, "numeric error: {e}"),
         }
     }

@@ -169,22 +169,36 @@ impl QfFormula {
         fn go(f: &QfFormula, negate: bool) -> QfFormula {
             match f {
                 QfFormula::True => {
-                    if negate { QfFormula::False } else { QfFormula::True }
+                    if negate {
+                        QfFormula::False
+                    } else {
+                        QfFormula::True
+                    }
                 }
                 QfFormula::False => {
-                    if negate { QfFormula::True } else { QfFormula::False }
+                    if negate {
+                        QfFormula::True
+                    } else {
+                        QfFormula::False
+                    }
                 }
-                QfFormula::Atom(a) => {
-                    QfFormula::atom(if negate { a.negated() } else { a.clone() })
-                }
+                QfFormula::Atom(a) => QfFormula::atom(if negate { a.negated() } else { a.clone() }),
                 QfFormula::Not(inner) => go(inner, !negate),
                 QfFormula::And(parts) => {
                     let mapped = parts.iter().map(|p| go(p, negate));
-                    if negate { QfFormula::or(mapped) } else { QfFormula::and(mapped) }
+                    if negate {
+                        QfFormula::or(mapped)
+                    } else {
+                        QfFormula::and(mapped)
+                    }
                 }
                 QfFormula::Or(parts) => {
                     let mapped = parts.iter().map(|p| go(p, negate));
-                    if negate { QfFormula::and(mapped) } else { QfFormula::or(mapped) }
+                    if negate {
+                        QfFormula::and(mapped)
+                    } else {
+                        QfFormula::or(mapped)
+                    }
                 }
             }
         }
@@ -339,9 +353,7 @@ impl Dnf {
     /// `true` iff every atom in every disjunct is linear (degree ≤ 1) —
     /// the prerequisite for the Theorem 7.1 convex-cone FPRAS.
     pub fn is_linear(&self) -> bool {
-        self.disjuncts
-            .iter()
-            .all(|conj| conj.iter().all(|a| a.poly().degree() <= 1))
+        self.disjuncts.iter().all(|conj| conj.iter().all(|a| a.poly().degree() <= 1))
     }
 
     /// Converts back to a tree-shaped formula.
@@ -355,9 +367,7 @@ impl Dnf {
 
     /// Evaluates at an `f64` point.
     pub fn eval_f64(&self, point: &[f64]) -> bool {
-        self.disjuncts
-            .iter()
-            .any(|conj| conj.iter().all(|a| a.eval_f64(point)))
+        self.disjuncts.iter().any(|conj| conj.iter().all(|a| a.eval_f64(point)))
     }
 }
 
@@ -466,9 +476,7 @@ mod tests {
     #[test]
     fn dnf_budget_is_enforced() {
         // (a1|b1) & (a2|b2) & … & (a12|b12) has 2^12 = 4096 disjuncts.
-        let f = QfFormula::and((0..12).map(|i| {
-            QfFormula::or([lt(z(2 * i)), gt(z(2 * i + 1))])
-        }));
+        let f = QfFormula::and((0..12).map(|i| QfFormula::or([lt(z(2 * i)), gt(z(2 * i + 1))])));
         assert!(matches!(f.dnf(100), Err(FormulaError::DnfBlowup { .. })));
         assert_eq!(f.dnf(5000).unwrap().len(), 4096);
     }
@@ -522,17 +530,15 @@ mod tests {
     #[test]
     fn ae_simplification_pushes_through_negation() {
         // ¬(z0 < 0 ∧ z1 = 0) ⇝ (z0 ≥ 0) ∨ (z1 ≠ 0) ⇝ true.
-        let f = QfFormula::and([
-            lt(z(0)),
-            QfFormula::atom(Atom::new(z(1), ConstraintOp::Eq)),
-        ])
-        .negated();
+        let f = QfFormula::and([lt(z(0)), QfFormula::atom(Atom::new(z(1), ConstraintOp::Eq))])
+            .negated();
         assert_eq!(f.ae_simplified(), QfFormula::True);
     }
 
     #[test]
     fn rational_and_f64_eval_agree_on_exact_points() {
-        let f = QfFormula::or([lt(z(0) - z(1)), QfFormula::atom(Atom::new(z(0), ConstraintOp::Eq))]);
+        let f =
+            QfFormula::or([lt(z(0) - z(1)), QfFormula::atom(Atom::new(z(0), ConstraintOp::Eq))]);
         let pts = [(0i64, 0i64), (1, 2), (2, 1), (-3, -3)];
         for (x, y) in pts {
             let fp = [x as f64, y as f64];

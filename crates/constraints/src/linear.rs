@@ -141,10 +141,7 @@ mod tests {
 
     #[test]
     fn merging_and_zero_dropping() {
-        let e = LinearExpr::new(
-            vec![(Var(1), r(2)), (Var(0), r(3)), (Var(1), r(-2))],
-            r(5),
-        );
+        let e = LinearExpr::new(vec![(Var(1), r(2)), (Var(0), r(3)), (Var(1), r(-2))], r(5));
         assert_eq!(e.coeff(Var(0)), r(3));
         assert_eq!(e.coeff(Var(1)), r(0));
         assert_eq!(e.coeffs().len(), 1);

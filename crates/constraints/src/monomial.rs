@@ -114,9 +114,7 @@ impl Monomial {
 /// [`Polynomial`](crate::Polynomial) term maps grouped by degree.
 impl Ord for Monomial {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.degree()
-            .cmp(&other.degree())
-            .then_with(|| self.factors.cmp(&other.factors))
+        self.degree().cmp(&other.degree()).then_with(|| self.factors.cmp(&other.factors))
     }
 }
 

@@ -251,8 +251,7 @@ impl Polynomial {
     pub fn map_vars(&self, mut f: impl FnMut(Var) -> Var) -> Polynomial {
         let mut out = Polynomial::zero();
         for (m, c) in self.terms.iter() {
-            let renamed =
-                Monomial::from_pairs(m.factors().iter().map(|&(v, e)| (f(v), e)));
+            let renamed = Monomial::from_pairs(m.factors().iter().map(|&(v, e)| (f(v), e)));
             out.add_term(renamed, *c).expect("renaming cannot overflow");
         }
         out
@@ -260,10 +259,7 @@ impl Polynomial {
 
     /// Evaluates at a point (slice indexed by [`Var::index`]) in `f64`.
     pub fn eval_f64(&self, point: &[f64]) -> f64 {
-        self.terms
-            .iter()
-            .map(|(m, c)| c.to_f64() * m.eval_f64(point))
-            .sum()
+        self.terms.iter().map(|(m, c)| c.to_f64() * m.eval_f64(point)).sum()
     }
 
     /// Evaluates exactly at a rational point (slice indexed by
@@ -438,9 +434,7 @@ mod tests {
     fn evaluation_f64_and_rational() {
         let p = z(0) * z(0) - c(2) * z(1) + c(1);
         assert_eq!(p.eval_f64(&[3.0, 4.0]), 2.0);
-        let exact = p
-            .eval_rational(&[Rational::from_int(3), Rational::from_int(4)])
-            .unwrap();
+        let exact = p.eval_rational(&[Rational::from_int(3), Rational::from_int(4)]).unwrap();
         assert_eq!(exact, Rational::from_int(2));
     }
 

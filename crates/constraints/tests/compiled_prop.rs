@@ -5,9 +5,7 @@
 
 use proptest::prelude::*;
 
-use qarith_constraints::asymptotic::{
-    eval_at_scaled, formula_limit_truth, CompiledFormula,
-};
+use qarith_constraints::asymptotic::{eval_at_scaled, formula_limit_truth, CompiledFormula};
 use qarith_constraints::{Atom, ConstraintOp, Monomial, Polynomial, QfFormula, Var};
 use qarith_numeric::Rational;
 

@@ -19,9 +19,9 @@
 //!   optimization the paper credits for its practical speed;
 //! * the Gaussian-normalization sampler of \[8\].
 //!
-//! Sampling is optionally parallelized across threads with crossbeam
-//! scopes; each worker owns a deterministically-derived RNG, so results
-//! are reproducible for a fixed seed and thread count.
+//! Sampling is optionally parallelized across threads with
+//! `std::thread::scope`; each worker owns a deterministically-derived
+//! RNG, so results are reproducible for a fixed seed and thread count.
 
 use qarith_constraints::asymptotic::CompiledFormula;
 use qarith_constraints::QfFormula;
@@ -148,15 +148,14 @@ pub fn estimate_nu_compiled(compiled: &CompiledFormula, opts: &AfprasOptions) ->
         let mut counts = vec![0usize; threads];
         let chunk = m / threads;
         let rem = m % threads;
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for (t, slot) in counts.iter_mut().enumerate() {
                 let quota = chunk + usize::from(t < rem);
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     *slot = worker(compiled, opts, t as u64 + 1, quota);
                 });
             }
-        })
-        .expect("sampler threads do not panic");
+        });
         counts.iter().sum()
     };
 
@@ -166,7 +165,8 @@ pub fn estimate_nu_compiled(compiled: &CompiledFormula, opts: &AfprasOptions) ->
 /// Draws `quota` directions and counts asymptotic satisfaction.
 fn worker(compiled: &CompiledFormula, opts: &AfprasOptions, stream: u64, quota: usize) -> usize {
     // Distinct deterministic stream per worker.
-    let mut rng = StdRng::seed_from_u64(opts.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream + 1)));
+    let mut rng =
+        StdRng::seed_from_u64(opts.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream + 1)));
     let dim = compiled.dim();
     let mut memo = compiled.new_memo();
     let mut hits = 0usize;
@@ -232,7 +232,8 @@ mod tests {
 
     #[test]
     fn sample_count_policies() {
-        let mut o = AfprasOptions { samples: SampleCount::Paper, ..AfprasOptions::with_epsilon(0.1) };
+        let mut o =
+            AfprasOptions { samples: SampleCount::Paper, ..AfprasOptions::with_epsilon(0.1) };
         assert_eq!(o.sample_count(), 100);
         o.samples = SampleCount::Hoeffding;
         o.delta = 0.25;
@@ -253,10 +254,7 @@ mod tests {
 
     #[test]
     fn quadrant_measures_one_quarter() {
-        let phi = QfFormula::and([
-            atom(z(0), ConstraintOp::Gt),
-            atom(z(1), ConstraintOp::Gt),
-        ]);
+        let phi = QfFormula::and([atom(z(0), ConstraintOp::Gt), atom(z(1), ConstraintOp::Gt)]);
         let out = estimate_nu(&phi, &AfprasOptions::with_epsilon(0.02)).unwrap();
         assert!((out.estimate - 0.25).abs() < 0.03, "estimate {}", out.estimate);
     }
@@ -264,10 +262,8 @@ mod tests {
     #[test]
     fn constants_are_asymptotically_irrelevant() {
         // z0 > 10⁶ has the same ν as z0 > 0.
-        let phi = atom(
-            z(0) - Polynomial::constant(Rational::from_int(1_000_000)),
-            ConstraintOp::Gt,
-        );
+        let phi =
+            atom(z(0) - Polynomial::constant(Rational::from_int(1_000_000)), ConstraintOp::Gt);
         let out = estimate_nu(&phi, &AfprasOptions::with_epsilon(0.02)).unwrap();
         assert!((out.estimate - 0.5).abs() < 0.03);
     }
@@ -299,10 +295,8 @@ mod tests {
 
     #[test]
     fn parallel_matches_shape() {
-        let phi = QfFormula::and([
-            atom(z(0), ConstraintOp::Gt),
-            atom(z(1) - z(0), ConstraintOp::Gt),
-        ]);
+        let phi =
+            QfFormula::and([atom(z(0), ConstraintOp::Gt), atom(z(1) - z(0), ConstraintOp::Gt)]);
         let mut opts = AfprasOptions::with_epsilon(0.02);
         opts.threads = 4;
         let out = estimate_nu(&phi, &opts).unwrap();
@@ -316,10 +310,7 @@ mod tests {
 
     #[test]
     fn full_dimension_ablation_agrees() {
-        let phi = QfFormula::and([
-            atom(z(3), ConstraintOp::Gt),
-            atom(z(9), ConstraintOp::Lt),
-        ]);
+        let phi = QfFormula::and([atom(z(3), ConstraintOp::Gt), atom(z(9), ConstraintOp::Lt)]);
         let mut fast = AfprasOptions::with_epsilon(0.02);
         fast.seed = 99;
         let mut slow = fast.clone();
@@ -355,10 +346,7 @@ mod tests {
         let phi = QfFormula::True;
         for eps in [0.0, -0.3, 1.5] {
             let o = AfprasOptions { epsilon: eps, ..AfprasOptions::default() };
-            assert!(matches!(
-                estimate_nu(&phi, &o),
-                Err(MeasureError::BadTolerance { .. })
-            ));
+            assert!(matches!(estimate_nu(&phi, &o), Err(MeasureError::BadTolerance { .. })));
         }
     }
 }

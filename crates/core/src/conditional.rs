@@ -58,10 +58,9 @@ impl CertaintyEngine {
 
         // Exact in both parts ⇒ exact ratio.
         let exact = match (&numerator.exact, &denominator.exact) {
-            (Some(n), Some(d)) => Some(
-                n.checked_div(d)
-                    .map_err(|e| MeasureError::Formula(qarith_constraints::FormulaError::Numeric(e)))?,
-            ),
+            (Some(n), Some(d)) => Some(n.checked_div(d).map_err(|e| {
+                MeasureError::Formula(qarith_constraints::FormulaError::Numeric(e))
+            })?),
             _ => None,
         };
         let value = match &exact {

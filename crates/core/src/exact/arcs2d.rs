@@ -108,10 +108,7 @@ mod tests {
 
     #[test]
     fn quadrant_is_quarter() {
-        let phi = QfFormula::and([
-            atom(z(0), ConstraintOp::Gt),
-            atom(z(1), ConstraintOp::Gt),
-        ]);
+        let phi = QfFormula::and([atom(z(0), ConstraintOp::Gt), atom(z(1), ConstraintOp::Gt)]);
         assert!((exact_arc_measure(&phi) - 0.25).abs() < 1e-12);
     }
 
@@ -149,10 +146,7 @@ mod tests {
             ]);
             let expected = (alpha.atan() + PI / 2.0) / (2.0 * PI);
             let got = exact_arc_measure(&phi);
-            assert!(
-                (got - expected).abs() < 1e-9,
-                "α = {alpha}: got {got}, expected {expected}"
-            );
+            assert!((got - expected).abs() < 1e-9, "α = {alpha}: got {got}, expected {expected}");
         }
     }
 
@@ -160,10 +154,7 @@ mod tests {
     fn full_and_empty() {
         let taut = QfFormula::or([atom(z(0), ConstraintOp::Ge), atom(z(0), ConstraintOp::Lt)]);
         assert!((exact_arc_measure(&taut) - 1.0).abs() < 1e-12);
-        let contra = QfFormula::and([
-            atom(z(0), ConstraintOp::Gt),
-            atom(z(0), ConstraintOp::Lt),
-        ]);
+        let contra = QfFormula::and([atom(z(0), ConstraintOp::Gt), atom(z(0), ConstraintOp::Lt)]);
         assert!(exact_arc_measure(&contra).abs() < 1e-12);
         // Lines have measure zero.
         let line = atom(z(0) - z(1), ConstraintOp::Eq);
@@ -183,10 +174,7 @@ mod tests {
     #[test]
     fn disjunctions_union_arcs() {
         // {z0 > 0} ∪ {z1 > 0} = 3/4 of the circle.
-        let phi = QfFormula::or([
-            atom(z(0), ConstraintOp::Gt),
-            atom(z(1), ConstraintOp::Gt),
-        ]);
+        let phi = QfFormula::or([atom(z(0), ConstraintOp::Gt), atom(z(1), ConstraintOp::Gt)]);
         assert!((exact_arc_measure(&phi) - 0.75).abs() < 1e-12);
     }
 

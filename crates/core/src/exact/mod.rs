@@ -47,10 +47,7 @@ pub fn try_exact(phi: &QfFormula, order_limit: usize) -> Option<CertaintyEstimat
         let dense = densify(phi);
         let pos = formula_limit_truth(&dense, &[1.0]) as u32;
         let neg = formula_limit_truth(&dense, &[-1.0]) as u32;
-        return Some(CertaintyEstimate::exact_rational(
-            Rational::new((pos + neg) as i128, 2),
-            1,
-        ));
+        return Some(CertaintyEstimate::exact_rational(Rational::new((pos + neg) as i128, 2), 1));
     }
 
     if n <= order_limit && order::is_order_formula(phi) {

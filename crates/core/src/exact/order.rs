@@ -199,10 +199,8 @@ mod tests {
     #[test]
     fn constants_drop_out() {
         // z0 < z1 + 1000: asymptotically identical to z0 < z1.
-        let phi = atom(
-            z(0) - z(1) - Polynomial::constant(Rational::from_int(1000)),
-            ConstraintOp::Lt,
-        );
+        let phi =
+            atom(z(0) - z(1) - Polynomial::constant(Rational::from_int(1000)), ConstraintOp::Lt);
         assert_eq!(exact_order_measure(&phi).unwrap(), Rational::new(1, 2));
         // z0 > 5 ∧ z0 < 7: both homogenize to z0 ⋈ 0 with conflicting
         // signs … z0 > 5 → z0 > 0 asymptotically; z0 < 7 → z0 < 0: ν = 0.
@@ -234,10 +232,7 @@ mod tests {
     #[test]
     fn mixed_sign_and_order() {
         // z0 > 0 ∧ z1 < 0: independent signs: 1/4.
-        let phi = QfFormula::and([
-            atom(z(0), ConstraintOp::Gt),
-            atom(z(1), ConstraintOp::Lt),
-        ]);
+        let phi = QfFormula::and([atom(z(0), ConstraintOp::Gt), atom(z(1), ConstraintOp::Lt)]);
         assert_eq!(exact_order_measure(&phi).unwrap(), Rational::new(1, 4));
         // z0 > 0 ∧ z1 < 0 ∧ z1 < z0 — the third atom is implied: still 1/4.
         let phi = QfFormula::and([

@@ -98,12 +98,7 @@ pub fn estimate_nu(phi: &QfFormula, opts: &FprasOptions) -> Result<FprasOutcome,
     let cones = build_cones(&dnf, &dense, n)?;
     if cones.iter().any(|c| c.is_none()) {
         // A disjunct with no effective constraints covers the whole ball.
-        return Ok(FprasOutcome {
-            estimate: 1.0,
-            cones: cones.len(),
-            samples: 0,
-            dimension: n,
-        });
+        return Ok(FprasOutcome { estimate: 1.0, cones: cones.len(), samples: 0, dimension: n });
     }
     let cones: Vec<ConvexBody> = cones.into_iter().flatten().collect();
 
@@ -111,8 +106,7 @@ pub fn estimate_nu(phi: &QfFormula, opts: &FprasOptions) -> Result<FprasOutcome,
     // Sample counts scale with 1/ε² (heuristic constants; the formal
     // bound needs per-phase counts ~ phases²/ε² — callers wanting tighter
     // guarantees raise the budget through ε).
-    let per_phase =
-        ((2.0 / (opts.epsilon * opts.epsilon)).ceil() as usize).clamp(200, 50_000);
+    let per_phase = ((2.0 / (opts.epsilon * opts.epsilon)).ceil() as usize).clamp(200, 50_000);
     let vol_opts = VolumeOptions { samples_per_phase: per_phase, ..VolumeOptions::default() };
     let mut union_bodies = Vec::with_capacity(cones.len());
     let mut spent = 0usize;
@@ -188,14 +182,16 @@ fn atom_to_halfspace(atom: &Atom, dense: &HashMap<Var, usize>, n: usize) -> Atom
     let homog = lin.homogenized();
     if homog.is_constant() {
         // Constant-direction atom: `0 ⋈ 0` asymptotically.
-        return if atom.op().holds(0) { AtomGeometry::AlwaysTrue } else { AtomGeometry::AlwaysFalse };
+        return if atom.op().holds(0) {
+            AtomGeometry::AlwaysTrue
+        } else {
+            AtomGeometry::AlwaysFalse
+        };
     }
     let coeffs = homog.dense_coeffs(n, |v| dense[&v]);
     match atom.op() {
         // c·z < 0 (≤ differs by a null set).
-        ConstraintOp::Lt | ConstraintOp::Le => {
-            AtomGeometry::Halfspace(Halfspace::new(coeffs, 0.0))
-        }
+        ConstraintOp::Lt | ConstraintOp::Le => AtomGeometry::Halfspace(Halfspace::new(coeffs, 0.0)),
         ConstraintOp::Gt | ConstraintOp::Ge => {
             let neg: Vec<f64> = coeffs.iter().map(|c| -c).collect();
             AtomGeometry::Halfspace(Halfspace::new(neg, 0.0))
@@ -249,10 +245,7 @@ mod tests {
 
     #[test]
     fn quadrant_cone() {
-        let phi = QfFormula::and([
-            atom(z(0), ConstraintOp::Lt),
-            atom(z(1), ConstraintOp::Lt),
-        ]);
+        let phi = QfFormula::and([atom(z(0), ConstraintOp::Lt), atom(z(1), ConstraintOp::Lt)]);
         let out = estimate_nu(&phi, &opts()).unwrap();
         assert!((out.estimate - 0.25).abs() < 0.05, "estimate {}", out.estimate);
     }
@@ -287,10 +280,8 @@ mod tests {
 
     #[test]
     fn equality_atoms_kill_disjuncts() {
-        let phi = QfFormula::or([
-            atom(z(0) - z(1), ConstraintOp::Eq),
-            atom(z(0), ConstraintOp::Lt),
-        ]);
+        let phi =
+            QfFormula::or([atom(z(0) - z(1), ConstraintOp::Eq), atom(z(0), ConstraintOp::Lt)]);
         let out = estimate_nu(&phi, &opts()).unwrap();
         assert!((out.estimate - 0.5).abs() < 0.05, "estimate {}", out.estimate);
     }
@@ -346,10 +337,6 @@ mod tests {
         ]);
         let exact = crate::exact::arcs2d::exact_arc_measure(&phi);
         let out = estimate_nu(&phi, &opts()).unwrap();
-        assert!(
-            (out.estimate - exact).abs() < 0.04,
-            "fpras {} vs exact {exact}",
-            out.estimate
-        );
+        assert!((out.estimate - exact).abs() < 0.04, "fpras {} vs exact {exact}", out.estimate);
     }
 }

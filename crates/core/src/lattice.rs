@@ -116,10 +116,8 @@ mod tests {
     #[test]
     fn wedge_converges_to_arctan_value() {
         // z0 ≥ 0 ∧ z1 ≤ z0: ν = 3/8 (Prop 6.1 with α = 1).
-        let phi = QfFormula::and([
-            atom(z(0), ConstraintOp::Ge),
-            atom(z(1) - z(0), ConstraintOp::Le),
-        ]);
+        let phi =
+            QfFormula::and([atom(z(0), ConstraintOp::Ge), atom(z(1) - z(0), ConstraintOp::Le)]);
         let ratio = lattice_ratio(&phi, 60).unwrap();
         assert!((ratio - 0.375).abs() < 0.02, "got {ratio}");
     }

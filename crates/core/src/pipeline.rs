@@ -262,11 +262,7 @@ impl CertaintyEngine {
     /// the tuples with μ = 1 by the zero-one law (i.e. naive evaluation,
     /// §2). Errors on queries with arithmetic, where naive evaluation is
     /// unsound.
-    pub fn naive_answers(
-        &self,
-        query: &Query,
-        db: &Database,
-    ) -> Result<Vec<Tuple>, MeasureError> {
+    pub fn naive_answers(&self, query: &Query, db: &Database) -> Result<Vec<Tuple>, MeasureError> {
         Ok(naive::evaluate(query, db)?)
     }
 }
@@ -281,11 +277,9 @@ mod tests {
         // R(a: base, x: num, y: num) with one all-null numeric pair — the
         // paper's σ_{A>B}(R) motivating example.
         let mut db = Database::new();
-        let schema = RelationSchema::new(
-            "R",
-            vec![Column::base("a"), Column::num("x"), Column::num("y")],
-        )
-        .unwrap();
+        let schema =
+            RelationSchema::new("R", vec![Column::base("a"), Column::num("x"), Column::num("y")])
+                .unwrap();
         let mut r = Relation::empty(schema);
         r.insert_values(vec![
             Value::int(1),

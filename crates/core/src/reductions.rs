@@ -45,18 +45,18 @@ impl ThreeSat {
     /// Counts satisfying assignments reading the triples as CNF clauses.
     pub fn count_cnf(&self) -> u64 {
         self.count(|assign| {
-            self.triples.iter().all(|clause| {
-                clause.iter().any(|l| assign >> l.var & 1 == u64::from(l.positive))
-            })
+            self.triples
+                .iter()
+                .all(|clause| clause.iter().any(|l| assign >> l.var & 1 == u64::from(l.positive)))
         })
     }
 
     /// Counts satisfying assignments reading the triples as DNF terms.
     pub fn count_dnf(&self) -> u64 {
         self.count(|assign| {
-            self.triples.iter().any(|term| {
-                term.iter().all(|l| assign >> l.var & 1 == u64::from(l.positive))
-            })
+            self.triples
+                .iter()
+                .any(|term| term.iter().all(|l| assign >> l.var & 1 == u64::from(l.positive)))
         })
     }
 
@@ -185,11 +185,7 @@ pub fn encode_3dnf(psi: &ThreeSat) -> (Query, Database) {
             .collect(),
     )];
     for pair in vars.chunks(2) {
-        conj.push(Formula::cmp(
-            NumTerm::var(pair[0]),
-            CompareOp::Lt,
-            NumTerm::var(pair[1]),
-        ));
+        conj.push(Formula::cmp(NumTerm::var(pair[0]), CompareOp::Lt, NumTerm::var(pair[1])));
     }
     let body = Formula::exists(binders, Formula::and(conj));
     let query = Query::new(head, body, &db.catalog()).expect("gadget query is well-formed");
@@ -245,10 +241,7 @@ mod tests {
     fn brute_force_counters() {
         // ψ = (x0 ∨ x1 ∨ x2): CNF count = 7, DNF count (single term
         // x0∧x1∧x2) = 1.
-        let psi = ThreeSat {
-            vars: 3,
-            triples: vec![[lit(0, true), lit(1, true), lit(2, true)]],
-        };
+        let psi = ThreeSat { vars: 3, triples: vec![[lit(0, true), lit(1, true), lit(2, true)]] };
         assert_eq!(psi.count_cnf(), 7);
         assert_eq!(psi.count_dnf(), 1);
     }
@@ -269,9 +262,10 @@ mod tests {
         for assign in 0u64..8 {
             let point: Vec<f64> =
                 (0..3).map(|i| if assign >> i & 1 == 1 { 1.0 } else { -1.0 }).collect();
-            let expected = psi.triples.iter().all(|clause| {
-                clause.iter().any(|l| (assign >> l.var & 1 == 1) == l.positive)
-            });
+            let expected = psi
+                .triples
+                .iter()
+                .all(|clause| clause.iter().any(|l| (assign >> l.var & 1 == 1) == l.positive));
             assert_eq!(phi.eval_f64(&point), expected, "assignment {assign:#b}");
         }
     }
@@ -291,9 +285,10 @@ mod tests {
         for assign in 0u64..16 {
             let point: Vec<f64> =
                 (0..4).map(|i| if assign >> i & 1 == 1 { 1.0 } else { -1.0 }).collect();
-            let expected = psi.triples.iter().any(|term| {
-                term.iter().all(|l| (assign >> l.var & 1 == 1) == l.positive)
-            });
+            let expected = psi
+                .triples
+                .iter()
+                .any(|term| term.iter().all(|l| (assign >> l.var & 1 == 1) == l.positive));
             assert_eq!(phi.eval_f64(&point), expected, "assignment {assign:#b}");
         }
     }

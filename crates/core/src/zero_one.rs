@@ -31,10 +31,8 @@ pub fn zero_one_measure(
     candidate: &Tuple,
 ) -> Result<CertaintyEstimate, EngineError> {
     let holds = naive::holds_for_candidate(query, db, candidate)?;
-    let mut est = CertaintyEstimate::exact_rational(
-        if holds { Rational::ONE } else { Rational::ZERO },
-        0,
-    );
+    let mut est =
+        CertaintyEstimate::exact_rational(if holds { Rational::ONE } else { Rational::ZERO }, 0);
     est.method = Method::ZeroOne;
     Ok(est)
 }
@@ -47,8 +45,7 @@ mod tests {
 
     fn db() -> Database {
         let mut db = Database::new();
-        let schema =
-            RelationSchema::new("R", vec![Column::base("a"), Column::num("x")]).unwrap();
+        let schema = RelationSchema::new("R", vec![Column::base("a"), Column::num("x")]).unwrap();
         let mut r = Relation::empty(schema);
         r.insert_values(vec![Value::int(1), Value::NumNull(NumNullId(0))]).unwrap();
         r.insert_values(vec![Value::int(2), Value::num(5)]).unwrap();

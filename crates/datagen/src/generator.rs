@@ -143,8 +143,7 @@ impl Generator {
         let schema = RelationSchema::new(&spec.name, columns).expect("unique column names");
         let mut rel = Relation::empty(schema);
         for row in 0..spec.rows {
-            let values: Vec<Value> =
-                spec.columns.iter().map(|c| self.cell(c, row)).collect();
+            let values: Vec<Value> = spec.columns.iter().map(|c| self.cell(c, row)).collect();
             rel.insert(qarith_types::Tuple::new(values)).expect("generated tuples type-check");
         }
         rel
@@ -276,10 +275,7 @@ mod tests {
         for t in rel.tuples() {
             if let Value::Base(b) = t.get(1) {
                 let s = format!("{b}");
-                assert!(
-                    s == "\"s0\"" || s == "\"s1\"" || s == "\"s2\"",
-                    "unexpected segment {s}"
-                );
+                assert!(s == "\"s0\"" || s == "\"s1\"" || s == "\"s2\"", "unexpected segment {s}");
             }
         }
     }

@@ -230,8 +230,12 @@ pub fn execute(
     db: &Database,
     opts: &CqOptions,
 ) -> Result<Vec<CandidateAnswer>, EngineError> {
-    let mut body =
-        CqBody { rel_atoms: Vec::new(), base_eqs: Vec::new(), cmps: Vec::new(), binders: Vec::new() };
+    let mut body = CqBody {
+        rel_atoms: Vec::new(),
+        base_eqs: Vec::new(),
+        cmps: Vec::new(),
+        binders: Vec::new(),
+    };
     decompose(query.body(), &mut body)?;
 
     // Absorb top-level base equalities into shared variables. An
@@ -301,8 +305,7 @@ pub fn execute(
             }
         }
     }
-    let dom =
-        if uncovered.is_empty() { None } else { Some(ActiveDomain::collect(db, query, &[])) };
+    let dom = if uncovered.is_empty() { None } else { Some(ActiveDomain::collect(db, query, &[])) };
 
     let mut exec = Executor {
         plan: &plan,
@@ -332,8 +335,7 @@ pub fn execute(
         let state = candidates.remove(&key).expect("candidate recorded");
         let certain = state.certain;
         let derivations = state.disjuncts.len();
-        let formula =
-            if certain { QfFormula::True } else { QfFormula::or(state.disjuncts) };
+        let formula = if certain { QfFormula::True } else { QfFormula::or(state.disjuncts) };
         out.push(CandidateAnswer {
             tuple: key,
             formula,
@@ -641,17 +643,14 @@ impl<'a> Executor<'a> {
                     Some(Bound::Num(p)) => poly_to_value(p).ok_or_else(|| {
                         EngineError::NullComparison { comparison: format!("head value {p}") }
                     })?,
-                    None => {
-                        return Err(EngineError::UnboundVariable { var: name.to_string() })
-                    }
+                    None => return Err(EngineError::UnboundVariable { var: name.to_string() }),
                 },
             };
             values.push(value);
         }
         let tuple = Tuple::new(values);
 
-        let conj =
-            QfFormula::and(self.residuals.iter().cloned().map(QfFormula::atom));
+        let conj = QfFormula::and(self.residuals.iter().cloned().map(QfFormula::atom));
         let state = match self.candidates.entry(tuple.clone()) {
             Entry::Occupied(e) => e.into_mut(),
             Entry::Vacant(e) => {
@@ -722,8 +721,13 @@ mod tests {
         )
         .unwrap();
         let mut p = Relation::empty(products);
-        p.insert_values(vec![Value::int(1), Value::str("toys"), Value::num(10), Value::decimal("0.8")])
-            .unwrap();
+        p.insert_values(vec![
+            Value::int(1),
+            Value::str("toys"),
+            Value::num(10),
+            Value::decimal("0.8"),
+        ])
+        .unwrap();
         p.insert_values(vec![
             Value::int(2),
             Value::str("toys"),
@@ -731,8 +735,13 @@ mod tests {
             Value::decimal("0.7"),
         ])
         .unwrap();
-        p.insert_values(vec![Value::int(3), Value::str("games"), Value::num(30), Value::decimal("0.9")])
-            .unwrap();
+        p.insert_values(vec![
+            Value::int(3),
+            Value::str("games"),
+            Value::num(30),
+            Value::decimal("0.9"),
+        ])
+        .unwrap();
         db.add_relation(p).unwrap();
 
         let market = RelationSchema::new(
@@ -871,16 +880,13 @@ mod tests {
         // R(a, x, x): the second x occurrence becomes an equality residual
         // when cells differ symbolically, or a crisp check on constants.
         let mut db = Database::new();
-        let schema = RelationSchema::new(
-            "R",
-            vec![Column::base("a"), Column::num("x"), Column::num("y")],
-        )
-        .unwrap();
+        let schema =
+            RelationSchema::new("R", vec![Column::base("a"), Column::num("x"), Column::num("y")])
+                .unwrap();
         let mut r = Relation::empty(schema);
         r.insert_values(vec![Value::int(1), Value::num(3), Value::num(3)]).unwrap();
         r.insert_values(vec![Value::int(2), Value::num(3), Value::num(4)]).unwrap();
-        r.insert_values(vec![Value::int(3), Value::num(5), Value::NumNull(NumNullId(0))])
-            .unwrap();
+        r.insert_values(vec![Value::int(3), Value::num(5), Value::NumNull(NumNullId(0))]).unwrap();
         db.add_relation(r).unwrap();
         let q = Query::new(
             vec![TypedVar::base("a")],
@@ -914,8 +920,7 @@ mod tests {
     fn head_nulls_surface_in_candidates() {
         // q(x) = ∃a R(a, x): the null ⊤0 appears as a candidate value.
         let mut db = Database::new();
-        let schema =
-            RelationSchema::new("R", vec![Column::base("a"), Column::num("x")]).unwrap();
+        let schema = RelationSchema::new("R", vec![Column::base("a"), Column::num("x")]).unwrap();
         let mut r = Relation::empty(schema);
         r.insert_values(vec![Value::int(1), Value::NumNull(NumNullId(0))]).unwrap();
         r.insert_values(vec![Value::int(2), Value::num(9)]).unwrap();
@@ -1140,18 +1145,12 @@ mod unification_tests {
     #[test]
     fn contradictory_constant_equalities_yield_nothing() {
         let db = two_table_db();
-        let q = Query::boolean(
-            Formula::base_eq(BaseTerm::int(1), BaseTerm::int(2)),
-            &db.catalog(),
-        )
-        .unwrap();
+        let q = Query::boolean(Formula::base_eq(BaseTerm::int(1), BaseTerm::int(2)), &db.catalog())
+            .unwrap();
         assert!(execute(&q, &db, &CqOptions::default()).unwrap().is_empty());
         // And a consistent constant equality is a no-op.
-        let q = Query::boolean(
-            Formula::base_eq(BaseTerm::int(1), BaseTerm::int(1)),
-            &db.catalog(),
-        )
-        .unwrap();
+        let q = Query::boolean(Formula::base_eq(BaseTerm::int(1), BaseTerm::int(1)), &db.catalog())
+            .unwrap();
         assert_eq!(execute(&q, &db, &CqOptions::default()).unwrap().len(), 1);
     }
 

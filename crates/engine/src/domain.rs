@@ -53,11 +53,7 @@ impl ActiveDomain {
         ActiveDomain { base: base.into_iter().collect(), num: num.into_iter().collect() }
     }
 
-    fn collect_query_constants(
-        f: &Formula,
-        base: &mut BTreeSet<Value>,
-        num: &mut BTreeSet<Value>,
-    ) {
+    fn collect_query_constants(f: &Formula, base: &mut BTreeSet<Value>, num: &mut BTreeSet<Value>) {
         let mut add_num_term = |t: &NumTerm| {
             // Collect constants from terms recursively.
             fn walk(t: &NumTerm, num: &mut BTreeSet<Value>) {
@@ -130,8 +126,7 @@ mod tests {
 
     fn small_db() -> Database {
         let mut db = Database::new();
-        let schema =
-            RelationSchema::new("R", vec![Column::base("a"), Column::num("x")]).unwrap();
+        let schema = RelationSchema::new("R", vec![Column::base("a"), Column::num("x")]).unwrap();
         let mut r = Relation::empty(schema);
         r.insert_values(vec![Value::str("u"), Value::num(3)]).unwrap();
         r.insert_values(vec![

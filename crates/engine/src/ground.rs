@@ -131,8 +131,9 @@ fn translate(
                             match diff.as_constant() {
                                 Some(c) if c.is_zero() => {}
                                 Some(_) => continue 'tuples,
-                                None => conj
-                                    .push(QfFormula::atom(Atom::new(diff, ConstraintOp::Eq))),
+                                None => {
+                                    conj.push(QfFormula::atom(Atom::new(diff, ConstraintOp::Eq)))
+                                }
                             }
                         }
                     }
@@ -222,8 +223,7 @@ mod tests {
     /// R(a: base, x: num) with the given rows.
     fn db_r(tuples: Vec<Vec<Value>>) -> Database {
         let mut db = Database::new();
-        let schema =
-            RelationSchema::new("R", vec![Column::base("a"), Column::num("x")]).unwrap();
+        let schema = RelationSchema::new("R", vec![Column::base("a"), Column::num("x")]).unwrap();
         let mut r = Relation::empty(schema);
         for t in tuples {
             r.insert_values(t).unwrap();
@@ -291,16 +291,13 @@ mod tests {
 
         for (v0, v1) in [(3i64, 0i64), (7, 0), (9, 0), (7, 7), (0, 5)] {
             // Evaluate φ at (v0, v1).
-            let sat = phi
-                .eval_rational(&[Rational::from_int(v0), Rational::from_int(v1)])
-                .unwrap();
+            let sat = phi.eval_rational(&[Rational::from_int(v0), Rational::from_int(v1)]).unwrap();
             // Evaluate q on v(D) with the valuation ⊤0 ↦ v0, ⊤1 ↦ v1.
             let val = qarith_types::Valuation::new()
                 .with_num(NumNullId(0), v0)
                 .with_num(NumNullId(1), v1);
             let vdb = db.complete(&val).unwrap();
-            let naive_sat =
-                crate::naive::holds_for_candidate(&q, &vdb, &candidate).unwrap();
+            let naive_sat = crate::naive::holds_for_candidate(&q, &vdb, &candidate).unwrap();
             assert_eq!(sat, naive_sat, "valuation ⊤0={v0}, ⊤1={v1}");
         }
     }
@@ -369,10 +366,7 @@ mod tests {
         let db = db_r(vec![vec![Value::str("k"), Value::NumNull(NumNullId(0))]]);
         let q = Query::new(
             vec![TypedVar::num("y")],
-            Formula::rel(
-                "R",
-                vec![Arg::Base(BaseTerm::str("k")), Arg::Num(NumTerm::var("y"))],
-            ),
+            Formula::rel("R", vec![Arg::Base(BaseTerm::str("k")), Arg::Num(NumTerm::var("y"))]),
             &db.catalog(),
         )
         .unwrap();
@@ -423,8 +417,7 @@ mod tests {
             .unwrap();
         db.add_relation(c).unwrap();
         let excluded =
-            RelationSchema::new("Excluded", vec![Column::base("id"), Column::base("seg")])
-                .unwrap();
+            RelationSchema::new("Excluded", vec![Column::base("id"), Column::base("seg")]).unwrap();
         let mut e = Relation::empty(excluded);
         e.insert_values(vec![Value::BaseNull(BaseNullId(0)), Value::str("s")]).unwrap();
         db.add_relation(e).unwrap();

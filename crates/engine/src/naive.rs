@@ -50,7 +50,11 @@ fn classify(p: &Polynomial) -> AtomicNum {
 /// Naive equality between two numerical polynomials: decided when both are
 /// constants or both are atomic (fresh-constant semantics for nulls);
 /// errors otherwise.
-fn naive_num_eq(p: &Polynomial, q: &Polynomial, display: impl Fn() -> String) -> Result<bool, EngineError> {
+fn naive_num_eq(
+    p: &Polynomial,
+    q: &Polynomial,
+    display: impl Fn() -> String,
+) -> Result<bool, EngineError> {
     match (classify(p), classify(q)) {
         (AtomicNum::Const(a), AtomicNum::Const(b)) => Ok(a == b),
         (AtomicNum::Null(a), AtomicNum::Null(b)) => Ok(a == b),
@@ -70,7 +74,12 @@ fn naive_num_eq(p: &Polynomial, q: &Polynomial, display: impl Fn() -> String) ->
 }
 
 /// Evaluates the body of a (validated) query under an environment.
-pub fn holds(f: &Formula, db: &Database, dom: &ActiveDomain, env: &mut Env) -> Result<bool, EngineError> {
+pub fn holds(
+    f: &Formula,
+    db: &Database,
+    dom: &ActiveDomain,
+    env: &mut Env,
+) -> Result<bool, EngineError> {
     match f {
         Formula::True => Ok(true),
         Formula::False => Ok(false),
@@ -80,9 +89,7 @@ pub fn holds(f: &Formula, db: &Database, dom: &ActiveDomain, env: &mut Env) -> R
                 .ok_or_else(|| EngineError::UnknownRelation { relation: relation.to_string() })?;
             rel_match(rel, args, env)
         }
-        Formula::BaseEq(l, r) => {
-            Ok(base_term_value(l, env)? == base_term_value(r, env)?)
-        }
+        Formula::BaseEq(l, r) => Ok(base_term_value(l, env)? == base_term_value(r, env)?),
         Formula::Cmp(l, op, r) => {
             let pl = term_to_polynomial(l, env)?;
             let pr = term_to_polynomial(r, env)?;
@@ -260,8 +267,7 @@ mod tests {
 
     fn db_r(tuples: Vec<Vec<Value>>) -> Database {
         let mut db = Database::new();
-        let schema =
-            RelationSchema::new("R", vec![Column::base("a"), Column::num("x")]).unwrap();
+        let schema = RelationSchema::new("R", vec![Column::base("a"), Column::num("x")]).unwrap();
         let mut r = Relation::empty(schema);
         for t in tuples {
             r.insert_values(t).unwrap();
@@ -273,10 +279,7 @@ mod tests {
     fn q_select_all(db: &Database) -> Query {
         Query::new(
             vec![TypedVar::base("a"), TypedVar::num("x")],
-            Formula::rel(
-                "R",
-                vec![Arg::Base(BaseTerm::var("a")), Arg::Num(NumTerm::var("x"))],
-            ),
+            Formula::rel("R", vec![Arg::Base(BaseTerm::var("a")), Arg::Num(NumTerm::var("x"))]),
             &db.catalog(),
         )
         .unwrap()
@@ -289,18 +292,13 @@ mod tests {
         let db = db_r(vec![vec![Value::int(1), Value::NumNull(NumNullId(0))]]);
         let q = q_select_all(&db);
         let answers = evaluate(&q, &db).unwrap();
-        assert_eq!(
-            answers,
-            vec![Tuple::new(vec![Value::int(1), Value::NumNull(NumNullId(0))])]
-        );
+        assert_eq!(answers, vec![Tuple::new(vec![Value::int(1), Value::NumNull(NumNullId(0))])]);
     }
 
     #[test]
     fn selection_with_comparison_on_constants() {
-        let db = db_r(vec![
-            vec![Value::int(1), Value::num(5)],
-            vec![Value::int(2), Value::num(15)],
-        ]);
+        let db =
+            db_r(vec![vec![Value::int(1), Value::num(5)], vec![Value::int(2), Value::num(15)]]);
         let q = Query::new(
             vec![TypedVar::base("a")],
             Formula::exists(
@@ -338,10 +336,7 @@ mod tests {
             &db.catalog(),
         )
         .unwrap();
-        assert!(matches!(
-            evaluate(&q, &db),
-            Err(EngineError::NullComparison { .. })
-        ));
+        assert!(matches!(evaluate(&q, &db), Err(EngineError::NullComparison { .. })));
     }
 
     #[test]
@@ -452,10 +447,7 @@ mod tests {
     #[test]
     fn arithmetic_on_complete_data_works() {
         // x·x > 20 with x from data.
-        let db = db_r(vec![
-            vec![Value::int(1), Value::num(4)],
-            vec![Value::int(2), Value::num(5)],
-        ]);
+        let db = db_r(vec![vec![Value::int(1), Value::num(4)], vec![Value::int(2), Value::num(5)]]);
         let q = Query::new(
             vec![TypedVar::base("a")],
             Formula::exists(

@@ -217,10 +217,7 @@ mod tests {
     fn neg_quadrant() -> ConvexBody {
         ConvexBody::new(
             2,
-            vec![
-                Halfspace::new(vec![1.0, 0.0], 0.0),
-                Halfspace::new(vec![0.0, 1.0], 0.0),
-            ],
+            vec![Halfspace::new(vec![1.0, 0.0], 0.0), Halfspace::new(vec![0.0, 1.0], 0.0)],
             Some(1.0),
         )
     }
@@ -287,10 +284,7 @@ mod tests {
         // {x ≤ −1} ∩ {−x ≤ −1} = ∅ (x ≤ −1 and x ≥ 1).
         let k = ConvexBody::new(
             1,
-            vec![
-                Halfspace::new(vec![1.0], -1.0),
-                Halfspace::new(vec![-1.0], -1.0),
-            ],
+            vec![Halfspace::new(vec![1.0], -1.0), Halfspace::new(vec![-1.0], -1.0)],
             Some(2.0),
         );
         assert!(matches!(k.interior_point(), Err(GeometryError::EmptyInterior)));
@@ -301,10 +295,7 @@ mod tests {
         // {x ≤ 0} ∩ {−x ≤ 0} = the hyperplane x = 0: no interior.
         let k = ConvexBody::new(
             2,
-            vec![
-                Halfspace::new(vec![1.0, 0.0], 0.0),
-                Halfspace::new(vec![-1.0, 0.0], 0.0),
-            ],
+            vec![Halfspace::new(vec![1.0, 0.0], 0.0), Halfspace::new(vec![-1.0, 0.0], 0.0)],
             Some(1.0),
         );
         assert!(matches!(k.interior_point(), Err(GeometryError::EmptyInterior)));

@@ -81,10 +81,7 @@ mod tests {
     fn neg_quadrant() -> ConvexBody {
         ConvexBody::new(
             2,
-            vec![
-                Halfspace::new(vec![1.0, 0.0], 0.0),
-                Halfspace::new(vec![0.0, 1.0], 0.0),
-            ],
+            vec![Halfspace::new(vec![1.0, 0.0], 0.0), Halfspace::new(vec![0.0, 1.0], 0.0)],
             Some(1.0),
         )
     }

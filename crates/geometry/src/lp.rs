@@ -191,8 +191,7 @@ fn simplex_limited(
             if row[enter] > EPS {
                 let ratio = row[total] / row[enter];
                 let better = ratio < best - EPS
-                    || (ratio < best + EPS
-                        && leave.is_some_and(|l| basis[i] < basis[l]));
+                    || (ratio < best + EPS && leave.is_some_and(|l| basis[i] < basis[l]));
                 if better {
                     best = ratio;
                     leave = Some(i);
@@ -261,12 +260,7 @@ mod tests {
         // max x + y s.t. x ≤ 1, y ≤ 2, −x ≤ 0, −y ≤ 0.
         let out = maximize(
             &[1.0, 1.0],
-            &[
-                vec![1.0, 0.0],
-                vec![0.0, 1.0],
-                vec![-1.0, 0.0],
-                vec![0.0, -1.0],
-            ],
+            &[vec![1.0, 0.0], vec![0.0, 1.0], vec![-1.0, 0.0], vec![0.0, -1.0]],
             &[1.0, 2.0, 0.0, 0.0],
         )
         .unwrap();
@@ -309,13 +303,7 @@ mod tests {
         // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18, x,y ≥ 0 → 36 at (2,6).
         let out = maximize(
             &[3.0, 5.0],
-            &[
-                vec![1.0, 0.0],
-                vec![0.0, 2.0],
-                vec![3.0, 2.0],
-                vec![-1.0, 0.0],
-                vec![0.0, -1.0],
-            ],
+            &[vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 2.0], vec![-1.0, 0.0], vec![0.0, -1.0]],
             &[4.0, 12.0, 18.0, 0.0, 0.0],
         )
         .unwrap();
@@ -353,12 +341,7 @@ mod tests {
     fn empty_cone_has_no_margin() {
         // {x < 0 and −x < 0} is empty: max t s.t. x + t ≤ 0, −x + t ≤ 0 →
         // optimum t = 0 (not positive).
-        let out = maximize(
-            &[0.0, 1.0],
-            &[vec![1.0, 1.0], vec![-1.0, 1.0]],
-            &[0.0, 0.0],
-        )
-        .unwrap();
+        let out = maximize(&[0.0, 1.0], &[vec![1.0, 1.0], vec![-1.0, 1.0]], &[0.0, 0.0]).unwrap();
         match out {
             LpOutcome::Optimal { value, .. } => assert!(value.abs() < 1e-6),
             other => panic!("expected optimal, got {other:?}"),

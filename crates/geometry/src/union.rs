@@ -42,10 +42,8 @@ pub fn estimate_union_fraction(
         return Ok(0.0);
     }
     // Persistent chains: restarting per sample would forfeit mixing.
-    let mut chains: Vec<HitAndRun<'_>> = bodies
-        .iter()
-        .map(|b| HitAndRun::new(&b.body))
-        .collect::<Result<_, _>>()?;
+    let mut chains: Vec<HitAndRun<'_>> =
+        bodies.iter().map(|b| HitAndRun::new(&b.body)).collect::<Result<_, _>>()?;
 
     let mut acc = 0.0f64;
     for _ in 0..samples {
@@ -81,10 +79,7 @@ mod tests {
     fn quadrant(sx: f64, sy: f64) -> ConvexBody {
         ConvexBody::new(
             2,
-            vec![
-                Halfspace::new(vec![sx, 0.0], 0.0),
-                Halfspace::new(vec![0.0, sy], 0.0),
-            ],
+            vec![Halfspace::new(vec![sx, 0.0], 0.0), Halfspace::new(vec![0.0, sy], 0.0)],
             Some(1.0),
         )
     }

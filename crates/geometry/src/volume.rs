@@ -98,8 +98,7 @@ pub fn estimate_volume_fraction(
         let mut hits = 0usize;
         for _ in 0..opts.samples_per_phase {
             let p = chain.sample(rng, opts.walk_steps);
-            let d2: f64 =
-                p.iter().zip(&center).map(|(a, b)| (a - b) * (a - b)).sum();
+            let d2: f64 = p.iter().zip(&center).map(|(a, b)| (a - b) * (a - b)).sum();
             if d2 <= r_small * r_small {
                 hits += 1;
             }
@@ -175,10 +174,7 @@ mod tests {
         // Angle = 2·arctan(1/4) ⇒ fraction = arctan(0.25)/π ≈ 0.0780.
         let body = ConvexBody::new(
             2,
-            vec![
-                Halfspace::new(vec![4.0, 1.0], 0.0),
-                Halfspace::new(vec![-4.0, 1.0], 0.0),
-            ],
+            vec![Halfspace::new(vec![4.0, 1.0], 0.0), Halfspace::new(vec![-4.0, 1.0], 0.0)],
             Some(1.0),
         );
         let mut rng = StdRng::seed_from_u64(24);
@@ -192,10 +188,7 @@ mod tests {
     fn empty_interior_is_an_error() {
         let body = ConvexBody::new(
             2,
-            vec![
-                Halfspace::new(vec![1.0, 0.0], 0.0),
-                Halfspace::new(vec![-1.0, 0.0], 0.0),
-            ],
+            vec![Halfspace::new(vec![1.0, 0.0], 0.0), Halfspace::new(vec![-1.0, 0.0], 0.0)],
             Some(1.0),
         );
         let mut rng = StdRng::seed_from_u64(25);

@@ -7,9 +7,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Random bounded LP: box −B ≤ x ≤ B plus extra random rows.
-fn bounded_lp(
-    n: usize,
-) -> impl Strategy<Value = (Vec<f64>, Vec<Vec<f64>>, Vec<f64>)> {
+fn bounded_lp(n: usize) -> impl Strategy<Value = (Vec<f64>, Vec<Vec<f64>>, Vec<f64>)> {
     let coeff = -3.0f64..3.0;
     (
         prop::collection::vec(coeff.clone(), n),

@@ -59,10 +59,8 @@ mod tests {
     fn display_messages_are_informative() {
         let e = NumericError::Overflow { op: "mul" };
         assert!(e.to_string().contains("mul"));
-        let e = NumericError::Parse {
-            input: "1.2.3".to_string(),
-            reason: "multiple decimal points",
-        };
+        let e =
+            NumericError::Parse { input: "1.2.3".to_string(), reason: "multiple decimal points" };
         assert!(e.to_string().contains("1.2.3"));
         assert!(e.to_string().contains("multiple decimal points"));
         let e = NumericError::CombinatorialOverflow { what: "factorial", n: 40 };

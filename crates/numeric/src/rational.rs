@@ -313,10 +313,7 @@ impl Ord for Rational {
         // reduced database-scale values, but kept total for safety).
         match (self.num.checked_mul(other.den), other.num.checked_mul(self.den)) {
             (Some(l), Some(r)) => l.cmp(&r),
-            _ => self
-                .to_f64()
-                .partial_cmp(&other.to_f64())
-                .expect("rational to_f64 is never NaN"),
+            _ => self.to_f64().partial_cmp(&other.to_f64()).expect("rational to_f64 is never NaN"),
         }
     }
 }
@@ -326,15 +323,13 @@ macro_rules! panicking_binop {
         impl $trait for Rational {
             type Output = Rational;
             fn $method(self, rhs: Rational) -> Rational {
-                self.$checked(&rhs)
-                    .unwrap_or_else(|e| panic!("rational {} failed: {e}", $opname))
+                self.$checked(&rhs).unwrap_or_else(|e| panic!("rational {} failed: {e}", $opname))
             }
         }
         impl $trait<&Rational> for Rational {
             type Output = Rational;
             fn $method(self, rhs: &Rational) -> Rational {
-                self.$checked(rhs)
-                    .unwrap_or_else(|e| panic!("rational {} failed: {e}", $opname))
+                self.$checked(rhs).unwrap_or_else(|e| panic!("rational {} failed: {e}", $opname))
             }
         }
     };

@@ -63,14 +63,12 @@ impl fmt::Display for QueryError {
                 f,
                 "relation {relation} has {expected} columns but the atom has {actual} arguments"
             ),
-            QueryError::ArgSortMismatch { relation, column, expected, actual } => write!(
-                f,
-                "argument {column} of {relation} should be {expected} but is {actual}"
-            ),
-            QueryError::SortConflict { var, bound, used } => write!(
-                f,
-                "variable {var} is bound at sort {bound} but used at sort {used}"
-            ),
+            QueryError::ArgSortMismatch { relation, column, expected, actual } => {
+                write!(f, "argument {column} of {relation} should be {expected} but is {actual}")
+            }
+            QueryError::SortConflict { var, bound, used } => {
+                write!(f, "variable {var} is bound at sort {bound} but used at sort {used}")
+            }
             QueryError::UnboundVariable { var } => write!(f, "unbound variable {var}"),
             QueryError::DuplicateBinding { var } => {
                 write!(f, "variable {var} is already bound in this scope")

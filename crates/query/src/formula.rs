@@ -145,12 +145,20 @@ impl Formula {
 
     /// Existential quantification.
     pub fn exists(vars: Vec<TypedVar>, body: Formula) -> Formula {
-        if vars.is_empty() { body } else { Formula::Exists(vars, Box::new(body)) }
+        if vars.is_empty() {
+            body
+        } else {
+            Formula::Exists(vars, Box::new(body))
+        }
     }
 
     /// Universal quantification.
     pub fn forall(vars: Vec<TypedVar>, body: Formula) -> Formula {
-        if vars.is_empty() { body } else { Formula::Forall(vars, Box::new(body)) }
+        if vars.is_empty() {
+            body
+        } else {
+            Formula::Forall(vars, Box::new(body))
+        }
     }
 
     /// Material implication `antecedent → consequent`.

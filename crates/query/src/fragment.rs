@@ -196,20 +196,13 @@ mod tests {
 
     #[test]
     fn arithmetic_inside_relation_args_counts() {
-        let f = Formula::rel(
-            "R",
-            vec![crate::formula::Arg::Num(x().mul(NumTerm::var("y")))],
-        );
+        let f = Formula::rel("R", vec![crate::formula::Arg::Num(x().mul(NumTerm::var("y")))]);
         assert_eq!(Fragment::classify(&f).arith, ArithLevel::Poly);
     }
 
     #[test]
     fn display_full_fo() {
-        let f = Formula::not(Formula::cmp(
-            x().mul(x()),
-            CompareOp::Gt,
-            NumTerm::int(0),
-        ));
+        let f = Formula::not(Formula::cmp(x().mul(x()), CompareOp::Gt, NumTerm::int(0)));
         assert_eq!(Fragment::classify(&f).to_string(), "FO(+,*,<)");
     }
 }

@@ -74,9 +74,9 @@ impl Query {
         match f {
             Formula::True | Formula::False => Ok(()),
             Formula::Rel { relation, args } => {
-                let schema = catalog
-                    .get(relation)
-                    .ok_or_else(|| QueryError::UnknownRelation { relation: relation.to_string() })?;
+                let schema = catalog.get(relation).ok_or_else(|| QueryError::UnknownRelation {
+                    relation: relation.to_string(),
+                })?;
                 if args.len() != schema.arity() {
                     return Err(QueryError::ArityMismatch {
                         relation: relation.to_string(),
@@ -190,11 +190,8 @@ mod tests {
     fn catalog() -> Catalog {
         let mut cat = Catalog::new();
         cat.add(
-            RelationSchema::new(
-                "R",
-                vec![Column::base("a"), Column::num("x"), Column::num("y")],
-            )
-            .unwrap(),
+            RelationSchema::new("R", vec![Column::base("a"), Column::num("x"), Column::num("y")])
+                .unwrap(),
         )
         .unwrap();
         cat

@@ -258,7 +258,14 @@ mod tests {
         assert!(!CompareOp::Lt.holds(&2, &2));
         assert!(CompareOp::Le.holds(&2, &2));
         assert!(CompareOp::Ne.holds(&1, &2));
-        for op in [CompareOp::Lt, CompareOp::Le, CompareOp::Eq, CompareOp::Ne, CompareOp::Gt, CompareOp::Ge] {
+        for op in [
+            CompareOp::Lt,
+            CompareOp::Le,
+            CompareOp::Eq,
+            CompareOp::Ne,
+            CompareOp::Gt,
+            CompareOp::Ge,
+        ] {
             for (a, b) in [(1, 2), (2, 1), (2, 2)] {
                 assert_eq!(op.holds(&a, &b), !op.negated().holds(&a, &b));
             }

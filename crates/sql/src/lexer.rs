@@ -287,15 +287,7 @@ mod tests {
     fn comparison_operators() {
         assert_eq!(
             toks("= <> != < <= > >="),
-            vec![
-                Token::Eq,
-                Token::Ne,
-                Token::Ne,
-                Token::Lt,
-                Token::Le,
-                Token::Gt,
-                Token::Ge
-            ]
+            vec![Token::Eq, Token::Ne, Token::Ne, Token::Lt, Token::Le, Token::Gt, Token::Ge]
         );
     }
 

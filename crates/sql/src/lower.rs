@@ -294,12 +294,7 @@ mod tests {
         cat.add(
             RelationSchema::new(
                 "Orders",
-                vec![
-                    Column::base("id"),
-                    Column::base("pr"),
-                    Column::num("q"),
-                    Column::num("dis"),
-                ],
+                vec![Column::base("id"), Column::base("pr"), Column::num("q"), Column::num("dis")],
             )
             .unwrap(),
         )
@@ -337,9 +332,7 @@ mod tests {
 
     #[test]
     fn division_is_cross_multiplied() {
-        let lowered = compile(
-            "SELECT O.id FROM Orders O WHERE O.q / O.dis <= 2",
-        );
+        let lowered = compile("SELECT O.id FROM Orders O WHERE O.q / O.dis <= 2");
         // Expect body to contain Cmp(q, ≤, 2·dis) — i.e. no division in
         // the lowered term and the divisor moved across.
         fn find_cmp(f: &F) -> Option<(NumTerm, CompareOp, NumTerm)> {
@@ -354,10 +347,7 @@ mod tests {
         let (l, op, r) = find_cmp(lowered.query.body()).expect("comparison present");
         assert_eq!(op, CompareOp::Le);
         assert_eq!(l, NumTerm::Var("O.q".into()));
-        assert_eq!(
-            r,
-            NumTerm::Const(Rational::from_int(2)).mul(NumTerm::Var("O.dis".into()))
-        );
+        assert_eq!(r, NumTerm::Const(Rational::from_int(2)).mul(NumTerm::Var("O.dis".into())));
     }
 
     #[test]
@@ -368,18 +358,11 @@ mod tests {
 
     #[test]
     fn ambiguous_bare_column_rejected() {
-        let stmt =
-            parse_select("SELECT id FROM Products P, Orders O WHERE P.id = O.pr").unwrap();
-        assert!(matches!(
-            lower(&stmt, &sales_catalog()),
-            Err(SqlError::AmbiguousColumn { .. })
-        ));
+        let stmt = parse_select("SELECT id FROM Products P, Orders O WHERE P.id = O.pr").unwrap();
+        assert!(matches!(lower(&stmt, &sales_catalog()), Err(SqlError::AmbiguousColumn { .. })));
         // `dis` is in all three tables too.
         let stmt = parse_select("SELECT P.id FROM Products P, Orders O WHERE dis > 0").unwrap();
-        assert!(matches!(
-            lower(&stmt, &sales_catalog()),
-            Err(SqlError::AmbiguousColumn { .. })
-        ));
+        assert!(matches!(lower(&stmt, &sales_catalog()), Err(SqlError::AmbiguousColumn { .. })));
     }
 
     #[test]
@@ -387,10 +370,7 @@ mod tests {
         let stmt = parse_select("SELECT x FROM Nope").unwrap();
         assert!(matches!(lower(&stmt, &sales_catalog()), Err(SqlError::UnknownTable { .. })));
         let stmt = parse_select("SELECT P.nope FROM Products P").unwrap();
-        assert!(matches!(
-            lower(&stmt, &sales_catalog()),
-            Err(SqlError::UnknownColumn { .. })
-        ));
+        assert!(matches!(lower(&stmt, &sales_catalog()), Err(SqlError::UnknownColumn { .. })));
     }
 
     #[test]
@@ -441,8 +421,7 @@ mod tests {
         let lowered = compile("SELECT * FROM Market WHERE Market.rrp > 10");
         // Market(seg, rrp, dis): head arity 3, in declaration order.
         assert_eq!(lowered.query.arity(), 3);
-        let names: Vec<&str> =
-            lowered.query.free_vars().iter().map(|v| v.name.as_ref()).collect();
+        let names: Vec<&str> = lowered.query.free_vars().iter().map(|v| v.name.as_ref()).collect();
         assert_eq!(names, vec!["Market.seg", "Market.rrp", "Market.dis"]);
         // Star over a join: all columns of all tables.
         let lowered = compile("SELECT * FROM Products P, Market M WHERE P.seg = M.seg");
@@ -451,9 +430,7 @@ mod tests {
 
     #[test]
     fn or_and_not_lower_to_fo() {
-        let lowered = compile(
-            "SELECT P.id FROM Products P WHERE NOT (P.rrp < 5 OR P.rrp > 50)",
-        );
+        let lowered = compile("SELECT P.id FROM Products P WHERE NOT (P.rrp < 5 OR P.rrp > 50)");
         assert!(!lowered.query.fragment().conjunctive);
     }
 }

@@ -24,10 +24,7 @@ impl Parser {
     }
 
     fn position(&self) -> usize {
-        self.tokens
-            .get(self.pos)
-            .or_else(|| self.tokens.last())
-            .map_or(0, |s| s.position)
+        self.tokens.get(self.pos).or_else(|| self.tokens.last()).map_or(0, |s| s.position)
     }
 
     fn advance(&mut self) -> Option<Token> {
@@ -186,14 +183,7 @@ impl Parser {
                     // arithmetic expression like `(a + b) < c`.
                     if !matches!(
                         self.peek(),
-                        Some(
-                            Token::Eq
-                                | Token::Ne
-                                | Token::Lt
-                                | Token::Le
-                                | Token::Gt
-                                | Token::Ge
-                        )
+                        Some(Token::Eq | Token::Ne | Token::Lt | Token::Le | Token::Gt | Token::Ge)
                     ) {
                         return Ok(inner);
                     }
@@ -348,8 +338,7 @@ mod tests {
 
     #[test]
     fn boolean_structure_or_and_not() {
-        let stmt =
-            parse_select("SELECT x FROM T WHERE NOT a = 1 AND b = 2 OR c = 3").unwrap();
+        let stmt = parse_select("SELECT x FROM T WHERE NOT a = 1 AND b = 2 OR c = 3").unwrap();
         // Parsed as ((NOT a=1) AND b=2) OR c=3.
         match stmt.predicate.unwrap() {
             SqlPredicate::Or(l, _) => match *l {
@@ -378,14 +367,8 @@ mod tests {
         let stmt = parse_select("SELECT x FROM T WHERE seg = 'toys' AND p < -5").unwrap();
         match stmt.predicate.unwrap() {
             SqlPredicate::And(l, r) => {
-                assert!(matches!(
-                    *l,
-                    SqlPredicate::Compare(_, CompareOp::Eq, SqlExpr::Str(_))
-                ));
-                assert!(matches!(
-                    *r,
-                    SqlPredicate::Compare(_, CompareOp::Lt, SqlExpr::Neg(_))
-                ));
+                assert!(matches!(*l, SqlPredicate::Compare(_, CompareOp::Eq, SqlExpr::Str(_))));
+                assert!(matches!(*r, SqlPredicate::Compare(_, CompareOp::Lt, SqlExpr::Neg(_))));
             }
             other => panic!("got {other:?}"),
         }

@@ -189,9 +189,7 @@ impl Database {
 
     /// Convenience: iterate `(relation name, tuple)` pairs.
     pub fn iter_tuples(&self) -> impl Iterator<Item = (&str, &Tuple)> {
-        self.relations
-            .iter()
-            .flat_map(|r| r.tuples().iter().map(move |t| (r.schema().name(), t)))
+        self.relations.iter().flat_map(|r| r.tuples().iter().map(move |t| (r.schema().name(), t)))
     }
 }
 
@@ -244,12 +242,8 @@ mod tests {
         )
         .unwrap();
         let mut c = Relation::empty(competition);
-        c.insert_values(vec![
-            Value::str("c"),
-            Value::str("s"),
-            Value::NumNull(NumNullId(0)),
-        ])
-        .unwrap();
+        c.insert_values(vec![Value::str("c"), Value::str("s"), Value::NumNull(NumNullId(0))])
+            .unwrap();
         db.add_relation(c).unwrap();
 
         let excluded =
@@ -281,9 +275,8 @@ mod tests {
     #[test]
     fn duplicate_relation_names_rejected() {
         let mut db = intro_example();
-        let dup = Relation::empty(
-            RelationSchema::new("Products", vec![Column::base("id")]).unwrap(),
-        );
+        let dup =
+            Relation::empty(RelationSchema::new("Products", vec![Column::base("id")]).unwrap());
         assert!(matches!(db.add_relation(dup), Err(TypeError::DuplicateRelation { .. })));
     }
 

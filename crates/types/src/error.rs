@@ -59,14 +59,12 @@ impl fmt::Display for TypeError {
             TypeError::DuplicateRelation { relation } => {
                 write!(f, "catalog already has a relation named {relation}")
             }
-            TypeError::ArityMismatch { relation, expected, actual } => write!(
-                f,
-                "relation {relation} has arity {expected}, got a tuple of width {actual}"
-            ),
-            TypeError::SortMismatch { relation, column, expected, actual } => write!(
-                f,
-                "column {column} of {relation} has sort {expected}, got a {actual} value"
-            ),
+            TypeError::ArityMismatch { relation, expected, actual } => {
+                write!(f, "relation {relation} has arity {expected}, got a tuple of width {actual}")
+            }
+            TypeError::SortMismatch { relation, column, expected, actual } => {
+                write!(f, "column {column} of {relation} has sort {expected}, got a {actual} value")
+            }
             TypeError::UnknownRelation { relation } => {
                 write!(f, "unknown relation {relation}")
             }

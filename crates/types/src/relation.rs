@@ -118,9 +118,7 @@ mod tests {
     #[test]
     fn nulls_allowed_in_matching_sort() {
         let mut r = Relation::empty(r_schema());
-        assert!(r
-            .insert_values(vec![Value::int(1), Value::NumNull(NumNullId(0))])
-            .unwrap());
+        assert!(r.insert_values(vec![Value::int(1), Value::NumNull(NumNullId(0))]).unwrap());
     }
 
     #[test]

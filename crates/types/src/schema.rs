@@ -168,12 +168,7 @@ mod tests {
     fn sales_products() -> RelationSchema {
         RelationSchema::new(
             "Products",
-            vec![
-                Column::base("id"),
-                Column::base("seg"),
-                Column::num("rrp"),
-                Column::num("dis"),
-            ],
+            vec![Column::base("id"), Column::base("seg"), Column::num("rrp"), Column::num("dis")],
         )
         .unwrap()
     }
@@ -210,10 +205,7 @@ mod tests {
         cat.add(sales_products()).unwrap();
         assert!(cat.get("Products").is_some());
         assert!(cat.get("Orders").is_none());
-        assert!(matches!(
-            cat.add(sales_products()),
-            Err(TypeError::DuplicateRelation { .. })
-        ));
+        assert!(matches!(cat.add(sales_products()), Err(TypeError::DuplicateRelation { .. })));
         assert_eq!(cat.relations().len(), 1);
     }
 }

@@ -136,14 +136,8 @@ mod tests {
             .with_num(NumNullId(1), Rational::new(1, 2));
         assert_eq!(v.apply_value(&Value::BaseNull(BaseNullId(0))), Value::str("x"));
         // Unmapped nulls pass through.
-        assert_eq!(
-            v.apply_value(&Value::BaseNull(BaseNullId(9))),
-            Value::BaseNull(BaseNullId(9))
-        );
-        assert_eq!(
-            v.apply_value(&Value::NumNull(NumNullId(1))),
-            Value::Num(Rational::new(1, 2))
-        );
+        assert_eq!(v.apply_value(&Value::BaseNull(BaseNullId(9))), Value::BaseNull(BaseNullId(9)));
+        assert_eq!(v.apply_value(&Value::NumNull(NumNullId(1))), Value::Num(Rational::new(1, 2)));
         // Constants untouched.
         assert_eq!(v.apply_value(&Value::int(5)), Value::int(5));
     }
@@ -158,13 +152,10 @@ mod tests {
     #[test]
     fn bijectivity_check() {
         let forbidden: HashSet<BaseValue> = [BaseValue::str("taken")].into_iter().collect();
-        let good = Valuation::new()
-            .with_base(BaseNullId(0), "f0")
-            .with_base(BaseNullId(1), "f1");
+        let good = Valuation::new().with_base(BaseNullId(0), "f0").with_base(BaseNullId(1), "f1");
         assert!(good.is_bijective_base(&forbidden));
-        let collides = Valuation::new()
-            .with_base(BaseNullId(0), "f0")
-            .with_base(BaseNullId(1), "f0");
+        let collides =
+            Valuation::new().with_base(BaseNullId(0), "f0").with_base(BaseNullId(1), "f0");
         assert!(!collides.is_bijective_base(&forbidden));
         let hits_constant = Valuation::new().with_base(BaseNullId(0), "taken");
         assert!(!hits_constant.is_bijective_base(&forbidden));

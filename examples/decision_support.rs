@@ -26,20 +26,18 @@ fn main() {
         scale.null_rate * 100.0
     );
 
-    let engine = CertaintyEngine::new(
-        MeasureOptions { afpras: AfprasOptions::with_epsilon(0.02), ..MeasureOptions::default() },
-    );
+    let engine = CertaintyEngine::new(MeasureOptions {
+        afpras: AfprasOptions::with_epsilon(0.02),
+        ..MeasureOptions::default()
+    });
 
     for (name, sql_text) in paper_queries() {
         println!("── {name} ──────────────────────────────────────");
         println!("{sql_text}\n");
         let lowered = sql::compile(sql_text, &catalog).expect("paper query compiles");
-        let candidates = cq::execute(
-            &lowered.query,
-            &db,
-            &CqOptions::with_limit(lowered.limit.unwrap_or(25)),
-        )
-        .expect("execution succeeds");
+        let candidates =
+            cq::execute(&lowered.query, &db, &CqOptions::with_limit(lowered.limit.unwrap_or(25)))
+                .expect("execution succeeds");
 
         let answers = engine.measure_candidates(candidates).expect("measures computed");
         print!("{}", qarith::core::report::render_answers(&answers));

@@ -32,11 +32,9 @@ fn main() {
         let (q, db) = encode_3cnf(&psi);
         let phi = ground::ground(&q, &db, &Tuple::new(vec![])).unwrap();
         let exact = engine.nu(&phi).unwrap();
-        let sampled = afpras::estimate_nu(
-            &phi,
-            &AfprasOptions { epsilon: 0.02, ..AfprasOptions::default() },
-        )
-        .unwrap();
+        let sampled =
+            afpras::estimate_nu(&phi, &AfprasOptions { epsilon: 0.02, ..AfprasOptions::default() })
+                .unwrap();
 
         println!(
             "{vars:>6} {clauses:>8} {count:>8} {expected:>12.6} {:>12.6} {:>12.6}",
@@ -51,10 +49,7 @@ fn main() {
     }
 
     println!("\n== Proposition 6.2 gadget: CQ(<) with μ(q, D) = #ψ/2ᵏ (3DNF) ==\n");
-    println!(
-        "{:>6} {:>8} {:>8} {:>12} {:>12}",
-        "vars", "terms", "#ψ", "#ψ/2ᵏ", "exact μ"
-    );
+    println!("{:>6} {:>8} {:>8} {:>12} {:>12}", "vars", "terms", "#ψ", "#ψ/2ᵏ", "exact μ");
     for (vars, terms, seed) in [(4, 3, 11u64), (5, 4, 12), (6, 6, 13)] {
         let psi = random_instance(vars, terms, seed);
         let count = psi.count_dnf();

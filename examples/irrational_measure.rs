@@ -17,8 +17,7 @@ use qarith::prelude::*;
 
 fn wedge_db() -> Database {
     let mut db = Database::new();
-    let schema =
-        RelationSchema::new("R", vec![Column::num("x"), Column::num("y")]).unwrap();
+    let schema = RelationSchema::new("R", vec![Column::num("x"), Column::num("y")]).unwrap();
     let mut r = Relation::empty(schema);
     r.insert_values(vec![Value::NumNull(NumNullId(0)), Value::NumNull(NumNullId(1))]).unwrap();
     db.add_relation(r).unwrap();
@@ -70,11 +69,9 @@ fn main() {
         // Auto method: the 2-D linear exact arc evaluator.
         let exact = engine.nu(&phi).unwrap();
         // Sampled, for comparison.
-        let sampled = afpras::estimate_nu(
-            &phi,
-            &AfprasOptions { epsilon: 0.01, ..AfprasOptions::default() },
-        )
-        .unwrap();
+        let sampled =
+            afpras::estimate_nu(&phi, &AfprasOptions { epsilon: 0.01, ..AfprasOptions::default() })
+                .unwrap();
 
         let a: f64 = alpha.parse().unwrap();
         let closed = (a.atan() + pi / 2.0) / (2.0 * pi);

@@ -15,11 +15,9 @@ use qarith::prelude::*;
 fn main() {
     // Relation R(a: base, A: num, B: num) with the single tuple (r1, ⊥₁, ⊥₂).
     let mut db = Database::new();
-    let schema = RelationSchema::new(
-        "R",
-        vec![Column::base("a"), Column::num("A"), Column::num("B")],
-    )
-    .unwrap();
+    let schema =
+        RelationSchema::new("R", vec![Column::base("a"), Column::num("A"), Column::num("B")])
+            .unwrap();
     let mut r = Relation::empty(schema);
     r.insert_values(vec![
         Value::str("r1"),

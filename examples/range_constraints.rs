@@ -43,10 +43,8 @@ fn main() {
     println!("unconditional            ν(φ)        = {:.6}", unconditional.value);
 
     // Prices are non-negative: condition on the positive quadrant.
-    let prices_nonneg = QfFormula::and([
-        atom(z(0), ConstraintOp::Ge),
-        atom(z(1), ConstraintOp::Ge),
-    ]);
+    let prices_nonneg =
+        QfFormula::and([atom(z(0), ConstraintOp::Ge), atom(z(1), ConstraintOp::Ge)]);
     let conditional = engine.conditional_nu(&eq1, &prices_nonneg).unwrap();
     println!(
         "prices ≥ 0               ν(φ | ρ)     = {:.6}   (the paper's ≈ 0.388)",

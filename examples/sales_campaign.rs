@@ -40,8 +40,13 @@ fn build_database() -> Database {
     )
     .unwrap();
     let mut p = Relation::empty(products);
-    p.insert_values(vec![Value::str("id1"), Value::str("s"), Value::num(10), Value::decimal("0.8")])
-        .unwrap();
+    p.insert_values(vec![
+        Value::str("id1"),
+        Value::str("s"),
+        Value::num(10),
+        Value::decimal("0.8"),
+    ])
+    .unwrap();
     p.insert_values(vec![
         Value::str("id2"),
         Value::str("s"),
@@ -129,9 +134,9 @@ fn main() {
     // ----- The displayed constraint (1), evaluated exactly -------------
     let seven_tenths = Polynomial::constant(Rational::new(7, 10));
     let eq1 = QfFormula::and([
-        atom(z(1), ConstraintOp::Ge),                                   // α′ ≥ 0
+        atom(z(1), ConstraintOp::Ge), // α′ ≥ 0
         atom(z(0) - Polynomial::constant(Rational::from_int(8)), ConstraintOp::Ge), // α ≥ 8
-        atom(seven_tenths.clone() * z(1) - z(0), ConstraintOp::Ge),     // 0.7·α′ ≥ α
+        atom(seven_tenths.clone() * z(1) - z(0), ConstraintOp::Ge), // 0.7·α′ ≥ α
     ]);
     let nu = arcs2d::exact_arc_measure(&eq1);
     let closed = (pi / 2.0 - (10.0f64 / 7.0).atan()) / (2.0 * pi);
@@ -141,8 +146,9 @@ fn main() {
     assert!((nu - closed).abs() < 1e-12);
     assert!((4.0 * nu - 0.388).abs() < 2e-3);
 
-    // Higher discount (0.7 → 0.5) increases the confidence, as the paper
-    // notes.
+    // Deepening the discount (0.7 → 0.5) shrinks this wedge: being
+    // undersold even at the deeper discount is a stronger condition, so
+    // its measure drops.
     let half = Polynomial::constant(Rational::new(1, 2));
     let eq1_deeper = QfFormula::and([
         atom(z(1), ConstraintOp::Ge),
@@ -151,7 +157,7 @@ fn main() {
     ]);
     let nu_deeper = arcs2d::exact_arc_measure(&eq1_deeper);
     println!(
-        "  with discount 0.5    = {nu_deeper:.6}   (> {nu:.6}: deeper discount, more confidence)"
+        "  with discount 0.5    = {nu_deeper:.6}   (< {nu:.6}: deeper discount, smaller wedge)"
     );
     assert!(nu_deeper < nu, "0.5·α′ ≥ α is a *smaller* wedge");
     // (Geometrically the wedge arctan boundary moves from 10/7 to 2 —
@@ -168,7 +174,10 @@ fn main() {
     let phi = ground::ground(&q_as_written, &db, &candidate).unwrap();
     let est = engine.nu(&phi).unwrap();
     let closed_le = (10.0f64 / 7.0).atan() / (2.0 * pi);
-    println!("\nquery as written (r·d ≤ p): μ(q, D, s) = {:.6} (closed form {closed_le:.6})", est.value);
+    println!(
+        "\nquery as written (r·d ≤ p): μ(q, D, s) = {:.6} (closed form {closed_le:.6})",
+        est.value
+    );
     assert!((est.value - closed_le).abs() < 1e-9);
 
     // With the comparison flipped to match constraint (1)'s wedge, the

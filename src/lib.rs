@@ -45,9 +45,7 @@ pub mod prelude {
     };
     pub use qarith_engine::cq::CqOptions;
     pub use qarith_numeric::Rational;
-    pub use qarith_query::{
-        Arg, BaseTerm, CompareOp, Formula, NumTerm, Query, TypedVar,
-    };
+    pub use qarith_query::{Arg, BaseTerm, CompareOp, Formula, NumTerm, Query, TypedVar};
     pub use qarith_types::{
         BaseNullId, BaseValue, Catalog, Column, Database, NumNullId, Relation, RelationSchema,
         Sort, Tuple, Valuation, Value,

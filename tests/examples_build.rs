@@ -1,0 +1,24 @@
+//! Guards the `examples/` directory against rot: `cargo build --examples`
+//! must succeed, so API changes that break an example fail the test
+//! suite instead of lingering silently (examples are documentation, and
+//! nothing else exercises them).
+//!
+//! CI runs the same command as an explicit step; this test keeps the
+//! guarantee for plain local `cargo test` runs too.
+
+use std::process::Command;
+
+#[test]
+fn all_examples_compile() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let output = Command::new(cargo)
+        .args(["build", "--examples", "--offline"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("cargo is runnable from a test");
+    assert!(
+        output.status.success(),
+        "`cargo build --examples` failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}

@@ -93,19 +93,14 @@ fn dnf_gadget_via_cq_executor() {
     assert_eq!(answers.len(), 1, "Boolean query: one (empty-tuple) candidate");
     let engine = CertaintyEngine::new(MeasureOptions::default());
     let est = engine.nu(&answers[0].formula).unwrap();
-    assert_eq!(
-        est.exact.unwrap(),
-        Rational::new(psi.count_dnf() as i128, 16)
-    );
+    assert_eq!(est.exact.unwrap(), Rational::new(psi.count_dnf() as i128, 16));
 }
 
 #[test]
 fn unsatisfiable_and_valid_formulas_hit_the_measure_endpoints() {
     // (x ∧ ¬x ∧ y)-style DNF term: unsatisfiable ⇒ μ = 0 …
-    let contradiction = ThreeSat {
-        vars: 3,
-        triples: vec![[lit(0, true), lit(0, false), lit(1, true)]],
-    };
+    let contradiction =
+        ThreeSat { vars: 3, triples: vec![[lit(0, true), lit(0, false), lit(1, true)]] };
     // An inconsistent term is satisfied by no assignment.
     assert_eq!(contradiction.count_dnf(), 0);
     let (q, db) = encode_3dnf(&contradiction);
@@ -114,10 +109,8 @@ fn unsatisfiable_and_valid_formulas_hit_the_measure_endpoints() {
     assert_eq!(engine.nu(&phi).unwrap().exact.unwrap(), Rational::ZERO);
 
     // … and a tautologous CNF clause set ⇒ μ = 1.
-    let tautology = ThreeSat {
-        vars: 3,
-        triples: vec![[lit(0, true), lit(0, false), lit(1, true)]],
-    };
+    let tautology =
+        ThreeSat { vars: 3, triples: vec![[lit(0, true), lit(0, false), lit(1, true)]] };
     assert_eq!(tautology.count_cnf(), 8);
     let (q, db) = encode_3cnf(&tautology);
     let phi = ground::ground(&q, &db, &Tuple::new(vec![])).unwrap();

@@ -3,8 +3,8 @@
 
 use qarith::constraints::{Atom, ConstraintOp, Polynomial, QfFormula, Var};
 use qarith::core::exact::arcs2d;
-use qarith::core::{afpras, AfprasOptions, CertaintyEngine, FprasOptions, MeasureOptions};
 use qarith::core::fpras;
+use qarith::core::{afpras, AfprasOptions, CertaintyEngine, FprasOptions, MeasureOptions};
 use qarith::engine::ground;
 use qarith::prelude::*;
 
@@ -43,11 +43,9 @@ fn v1_intro_example_headline_numbers() {
     assert!((auto.value - expected).abs() < 1e-12);
 
     // The Theorem 8.1 sampler agrees within ε.
-    let sampled = afpras::estimate_nu(
-        &eq1,
-        &AfprasOptions { epsilon: 0.01, ..AfprasOptions::default() },
-    )
-    .unwrap();
+    let sampled =
+        afpras::estimate_nu(&eq1, &AfprasOptions { epsilon: 0.01, ..AfprasOptions::default() })
+            .unwrap();
     assert!((sampled.estimate - expected).abs() < 0.02);
 
     // The Theorem 7.1 FPRAS agrees too (the constraint is CQ(+,<)-shaped).
@@ -72,10 +70,8 @@ fn v2_proposition_6_1_values() {
     ];
     for (alpha_text, alpha) in cases {
         let a = Polynomial::constant(Rational::parse_decimal(alpha_text).unwrap());
-        let phi = QfFormula::and([
-            atom(z(0), ConstraintOp::Ge),
-            atom(z(1) - a * z(0), ConstraintOp::Le),
-        ]);
+        let phi =
+            QfFormula::and([atom(z(0), ConstraintOp::Ge), atom(z(1) - a * z(0), ConstraintOp::Le)]);
         let expected = (alpha.atan() + PI / 2.0) / (2.0 * PI);
         let est = engine.nu(&phi).unwrap();
         assert!(
@@ -88,10 +84,8 @@ fn v2_proposition_6_1_values() {
     // α = 0 → 1/4, α = 1 → 3/8, α = −1 → 1/8.
     for (alpha_text, num, den) in [("0", 1i64, 4i64), ("1", 3, 8), ("-1", 1, 8)] {
         let a = Polynomial::constant(Rational::parse_decimal(alpha_text).unwrap());
-        let phi = QfFormula::and([
-            atom(z(0), ConstraintOp::Ge),
-            atom(z(1) - a * z(0), ConstraintOp::Le),
-        ]);
+        let phi =
+            QfFormula::and([atom(z(0), ConstraintOp::Ge), atom(z(1) - a * z(0), ConstraintOp::Le)]);
         let est = engine.nu(&phi).unwrap();
         assert!(
             (est.value - num as f64 / den as f64).abs() < 1e-12,
@@ -112,8 +106,13 @@ fn v1_intro_query_grounded_measure() {
     )
     .unwrap();
     let mut p = Relation::empty(products);
-    p.insert_values(vec![Value::str("id1"), Value::str("s"), Value::num(10), Value::decimal("0.8")])
-        .unwrap();
+    p.insert_values(vec![
+        Value::str("id1"),
+        Value::str("s"),
+        Value::num(10),
+        Value::decimal("0.8"),
+    ])
+    .unwrap();
     p.insert_values(vec![
         Value::str("id2"),
         Value::str("s"),
@@ -128,8 +127,7 @@ fn v1_intro_query_grounded_measure() {
     )
     .unwrap();
     let mut c = Relation::empty(competition);
-    c.insert_values(vec![Value::str("c"), Value::str("s"), Value::NumNull(NumNullId(0))])
-        .unwrap();
+    c.insert_values(vec![Value::str("c"), Value::str("s"), Value::NumNull(NumNullId(0))]).unwrap();
     db.add_relation(c).unwrap();
     let excluded =
         RelationSchema::new("Excluded", vec![Column::base("id"), Column::base("seg")]).unwrap();

@@ -8,11 +8,8 @@ use qarith::prelude::*;
 
 fn db() -> Database {
     let mut db = Database::new();
-    let schema = RelationSchema::new(
-        "Offer",
-        vec![Column::base("seller"), Column::num("price")],
-    )
-    .unwrap();
+    let schema =
+        RelationSchema::new("Offer", vec![Column::base("seller"), Column::num("price")]).unwrap();
     let mut r = Relation::empty(schema);
     r.insert_values(vec![Value::str("a"), Value::num(10)]).unwrap();
     r.insert_values(vec![Value::str("b"), Value::NumNull(NumNullId(0))]).unwrap();
@@ -78,10 +75,8 @@ fn both_routes_agree_on_equivalent_queries() {
     // unconstrained, so the asymptotic measure of ⊤0 < 20 is 1/2.
     // Seller c: 30 < 20 never holds — excluded from both result sets.
     let collect = |answers: &[qarith::core::AnswerWithCertainty]| {
-        let mut v: Vec<(String, Option<Rational>)> = answers
-            .iter()
-            .map(|a| (a.tuple.get(0).to_string(), a.certainty.exact))
-            .collect();
+        let mut v: Vec<(String, Option<Rational>)> =
+            answers.iter().map(|a| (a.tuple.get(0).to_string(), a.certainty.exact)).collect();
         v.sort();
         v
     };
@@ -129,10 +124,8 @@ fn universal_queries_route_through_enumeration() {
     // "a" qualifies certainly; "b" with μ = 1/2; "c" never. The head also
     // ranges over sellers with no failing offer trivially — but every
     // base value in the domain is a seller here.
-    let mut by_seller: Vec<(String, f64)> = answers
-        .iter()
-        .map(|a| (a.tuple.get(0).to_string(), a.certainty.value))
-        .collect();
+    let mut by_seller: Vec<(String, f64)> =
+        answers.iter().map(|a| (a.tuple.get(0).to_string(), a.certainty.value)).collect();
     by_seller.sort_by(|x, y| x.0.cmp(&y.0));
     assert_eq!(by_seller.len(), 2);
     assert_eq!(by_seller[0].0, "\"a\"");

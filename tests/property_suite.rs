@@ -34,21 +34,16 @@ fn rational() -> impl Strategy<Value = Rational> {
 
 fn polynomial(max_vars: u32) -> impl Strategy<Value = Polynomial> {
     // Sum of up to 4 terms: coefficient × (var^e [ × var^e ]).
-    prop::collection::vec(
-        (rational(), 0..max_vars, 0u32..=2, 0..max_vars, 0u32..=1),
-        0..4,
-    )
-    .prop_map(|terms| {
-        let mut p = Polynomial::zero();
-        for (c, v1, e1, v2, e2) in terms {
-            let mono = qarith::constraints::Monomial::from_pairs([
-                (Var(v1), e1),
-                (Var(v2), e2),
-            ]);
-            p.add_term(mono, c).unwrap();
-        }
-        p
-    })
+    prop::collection::vec((rational(), 0..max_vars, 0u32..=2, 0..max_vars, 0u32..=1), 0..4)
+        .prop_map(|terms| {
+            let mut p = Polynomial::zero();
+            for (c, v1, e1, v2, e2) in terms {
+                let mono =
+                    qarith::constraints::Monomial::from_pairs([(Var(v1), e1), (Var(v2), e2)]);
+                p.add_term(mono, c).unwrap();
+            }
+            p
+        })
 }
 
 fn op() -> impl Strategy<Value = ConstraintOp> {
@@ -63,8 +58,7 @@ fn op() -> impl Strategy<Value = ConstraintOp> {
 }
 
 fn formula(max_vars: u32) -> impl Strategy<Value = QfFormula> {
-    let leaf = (polynomial(max_vars), op())
-        .prop_map(|(p, o)| QfFormula::atom(Atom::new(p, o)));
+    let leaf = (polynomial(max_vars), op()).prop_map(|(p, o)| QfFormula::atom(Atom::new(p, o)));
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 1..3).prop_map(QfFormula::and),
@@ -232,10 +226,7 @@ fn join_cmp_query(db: &Database, cmp: CompareOp) -> Query {
         Formula::exists(
             vec![TypedVar::num("x"), TypedVar::num("y")],
             Formula::and(vec![
-                Formula::rel(
-                    "R",
-                    vec![Arg::Base(BaseTerm::var("a")), Arg::Num(NumTerm::var("x"))],
-                ),
+                Formula::rel("R", vec![Arg::Base(BaseTerm::var("a")), Arg::Num(NumTerm::var("x"))]),
                 Formula::rel("S", vec![Arg::Num(NumTerm::var("y"))]),
                 Formula::cmp(NumTerm::var("x"), cmp, NumTerm::var("y")),
             ]),

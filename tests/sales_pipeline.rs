@@ -22,17 +22,15 @@ fn all_three_paper_queries_run_end_to_end() {
         assert!(lowered.query.fragment().conjunctive, "{name} must be a CQ");
 
         let opts = CqOptions::with_limit(lowered.limit.unwrap());
-        let candidates = cq::execute(&lowered.query, &db, &opts)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let candidates =
+            cq::execute(&lowered.query, &db, &opts).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(!candidates.is_empty(), "{name} should return candidates");
         assert!(candidates.len() <= 25);
 
-        let engine = CertaintyEngine::new(
-            MeasureOptions {
-                afpras: AfprasOptions::with_epsilon(0.05),
-                ..MeasureOptions::default()
-            },
-        );
+        let engine = CertaintyEngine::new(MeasureOptions {
+            afpras: AfprasOptions::with_epsilon(0.05),
+            ..MeasureOptions::default()
+        });
         let answers = engine.measure_candidates(candidates).unwrap();
         for a in &answers {
             assert!(
@@ -66,18 +64,14 @@ fn uncertain_answers_get_strict_fractional_measures() {
     )
     .unwrap();
     let candidates = cq::execute(&lowered.query, &db, &CqOptions::default()).unwrap();
-    let engine = CertaintyEngine::new(
-        MeasureOptions { afpras: AfprasOptions::with_epsilon(0.03), ..MeasureOptions::default() },
-    );
+    let engine = CertaintyEngine::new(MeasureOptions {
+        afpras: AfprasOptions::with_epsilon(0.03),
+        ..MeasureOptions::default()
+    });
     let answers = engine.measure_candidates(candidates).unwrap();
-    let fractional: Vec<&AnswerWithCertainty> = answers
-        .iter()
-        .filter(|a| a.certainty.value > 0.02 && a.certainty.value < 0.98)
-        .collect();
-    assert!(
-        !fractional.is_empty(),
-        "with 50% nulls some candidates must be genuinely uncertain"
-    );
+    let fractional: Vec<&AnswerWithCertainty> =
+        answers.iter().filter(|a| a.certainty.value > 0.02 && a.certainty.value < 0.98).collect();
+    assert!(!fractional.is_empty(), "with 50% nulls some candidates must be genuinely uncertain");
 }
 
 #[test]

@@ -32,10 +32,7 @@ fn join_query(db: &Database) -> Query {
         Formula::exists(
             vec![TypedVar::num("x")],
             Formula::and(vec![
-                Formula::rel(
-                    "R",
-                    vec![Arg::Base(BaseTerm::var("a")), Arg::Num(NumTerm::var("x"))],
-                ),
+                Formula::rel("R", vec![Arg::Base(BaseTerm::var("a")), Arg::Num(NumTerm::var("x"))]),
                 Formula::rel("S", vec![Arg::Num(NumTerm::var("x"))]),
             ]),
         ),
@@ -81,10 +78,9 @@ fn zero_one_emerges_from_the_general_pipeline() {
         method: MethodChoice::ExactOnly,
         ..MeasureOptions::default()
     });
-    for (cand, expected) in [
-        (Tuple::new(vec![Value::int(1)]), 1.0),
-        (Tuple::new(vec![Value::int(2)]), 0.0),
-    ] {
+    for (cand, expected) in
+        [(Tuple::new(vec![Value::int(1)]), 1.0), (Tuple::new(vec![Value::int(2)]), 0.0)]
+    {
         let phi = ground::ground(&q, &db, &cand).unwrap();
         let est = engine.nu(&phi).unwrap();
         assert_eq!(est.value, expected, "candidate {cand} via grounding");
@@ -100,10 +96,7 @@ fn negation_retains_zero_one_for_generic_queries() {
         Formula::exists(
             vec![TypedVar::num("x")],
             Formula::and(vec![
-                Formula::rel(
-                    "R",
-                    vec![Arg::Base(BaseTerm::var("a")), Arg::Num(NumTerm::var("x"))],
-                ),
+                Formula::rel("R", vec![Arg::Base(BaseTerm::var("a")), Arg::Num(NumTerm::var("x"))]),
                 Formula::not(Formula::rel("S", vec![Arg::Num(NumTerm::var("x"))])),
             ]),
         ),

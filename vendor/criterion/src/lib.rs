@@ -1,0 +1,292 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of criterion's API the qarith benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkId`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — with the same shapes, so the real crate
+//! can be swapped back in without touching bench code.
+//!
+//! Measurement is intentionally simple: each benchmark is warmed up
+//! briefly, then timed over `sample_size` samples whose iteration counts
+//! are sized to a per-sample time budget; the mean, minimum, and maximum
+//! per-iteration times are printed. There are no HTML reports, no
+//! statistical regression analysis, and no baseline comparisons.
+//!
+//! `cargo bench` filter arguments are honored as substring matches on
+//! the full benchmark id, so `cargo bench -p qarith-bench fig1 -- 0.1`
+//! style invocations behave as expected.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::{self, Display};
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// An opaque barrier against compiler optimization, re-exported from
+/// `std::hint` (criterion's own `black_box` predates the std version).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a name and a parameter, rendered `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { name: Some(name.into()), parameter: Some(parameter.to_string()) }
+    }
+
+    /// An id carrying only a parameter (the group name provides context).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { name: None, parameter: Some(parameter.to_string()) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { name: Some(name.to_owned()), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name: Some(name), parameter: None }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.name, &self.parameter) {
+            (Some(n), Some(p)) => write!(f, "{n}/{p}"),
+            (Some(n), None) => f.write_str(n),
+            (None, Some(p)) => f.write_str(p),
+            (None, None) => f.write_str("?"),
+        }
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` target functions.
+pub struct Criterion {
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes filters as plain arguments.
+        // Flags are not filters: cargo itself injects `--bench`, and
+        // upstream criterion accepts a family of value-carrying options
+        // this subset does not implement. Skipping a value flag's value
+        // silently would turn it into a filter that deselects every
+        // benchmark, so unimplemented value flags are a hard error.
+        const BARE_FLAGS: &[&str] = &["--bench", "--test", "--noplot", "--quiet", "--verbose"];
+        const VALUE_FLAGS: &[&str] = &[
+            "--save-baseline",
+            "--baseline",
+            "--load-baseline",
+            "--sample-size",
+            "--measurement-time",
+            "--warm-up-time",
+            "--significance-level",
+            "--noise-threshold",
+            "--color",
+            "--output-format",
+            "--profile-time",
+        ];
+        let mut filters = Vec::new();
+        for arg in std::env::args().skip(1) {
+            if VALUE_FLAGS.contains(&arg.as_str()) {
+                eprintln!("error: `{arg}` is not supported by the vendored criterion subset");
+                std::process::exit(2);
+            } else if arg.starts_with('-') {
+                if !BARE_FLAGS.contains(&arg.as_str()) {
+                    eprintln!("warning: ignoring unrecognized flag `{arg}`");
+                }
+            } else {
+                filters.push(arg);
+            }
+        }
+        Criterion { filters }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = self.benchmark_group(id.to_string());
+        group.run(String::new(), f);
+        self
+    }
+
+    fn matches(&self, full_id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| full_id.contains(f.as_str()))
+    }
+}
+
+/// A group of benchmarks sharing a name and sampling configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the time budget the samples together aim for.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks a closure under an id within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into().to_string(), f);
+        self
+    }
+
+    /// Benchmarks a closure that receives a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (prints nothing extra; exists for API parity).
+    pub fn finish(self) {}
+
+    fn run<F>(&mut self, id: String, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id =
+            if id.is_empty() { self.name.clone() } else { format!("{}/{}", self.name, id) };
+        if !self.criterion.matches(&full_id) {
+            return;
+        }
+
+        // Warm-up: also calibrates how many iterations fit one sample.
+        let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            warm_iters += bencher.iters;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = (per_sample / per_iter.max(1e-9)).ceil().max(1.0) as u64;
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.iters = iters_per_sample;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            samples.push(bencher.elapsed.as_secs_f64() / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{full_id:<60} time: [{} {} {}]",
+            format_time(samples[0]),
+            format_time(mean),
+            format_time(*samples.last().expect("sample_size >= 2")),
+        );
+    }
+}
+
+/// Times the closure handed to `Bencher::iter`.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs the routine the harness-chosen number of times, timing it.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} µs", secs * 1e6)
+    } else {
+        format!("{:.2} ns", secs * 1e9)
+    }
+}
+
+/// Declares a group of benchmark target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,160 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of proptest's API that the qarith test suites
+//! use, keeping names and shapes identical so the real crate can be
+//! swapped back in without touching test code:
+//!
+//! * the [`Strategy`] trait with `prop_map`, `prop_recursive`, `boxed`;
+//! * strategies for numeric ranges, tuples (arity ≤ 6), [`Just`],
+//!   [`collection::vec`], [`option::of`], and [`prop_oneof!`] unions;
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//!   [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`];
+//! * [`test_runner::ProptestConfig`] with `with_cases`.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **no shrinking** — a failing case reports its case index and the
+//!   deterministic per-test seed instead of a minimized input (generated
+//!   values carry no `Debug` bound, so inputs are replayed by re-running
+//!   the seeded sequence rather than printed);
+//! * cases are generated from a seed derived from the test name, so
+//!   failures reproduce exactly across runs (upstream defaults to a
+//!   fresh entropy seed per run).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// Re-exports for `use proptest::prelude::*`, mirroring upstream.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop` module alias (`prop::collection::vec`, `prop::option::of`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Defines property tests: `proptest! { #[test] fn f(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::deterministic_rng(stringify!($name));
+                let __strat = ($($strat,)+);
+                for __case in 0..__config.cases {
+                    let ($($pat,)+) = $crate::strategy::Strategy::generate(&__strat, &mut __rng);
+                    let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(e) = __result {
+                        ::core::panic!(
+                            "proptest {} failed at case {}/{} (rng seed {:#x}): {}",
+                            stringify!($name), __case + 1, __config.cases,
+                            $crate::test_runner::deterministic_seed(stringify!($name)), e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case with a formatted message unless the condition
+/// holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: `{} == {}`",
+                    stringify!($left),
+                    stringify!($right)
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(*l == *r, $($fmt)*);
+            }
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions compare unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "assertion failed: `{} != {}`",
+                    stringify!($left),
+                    stringify!($right)
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(*l != *r, $($fmt)*);
+            }
+        }
+    };
+}
+
+/// A uniform choice between strategies with the same value type:
+/// `prop_oneof![a, b, c]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(
+            ::std::vec![$($crate::strategy::Strategy::boxed($strat)),+],
+        )
+    };
+}

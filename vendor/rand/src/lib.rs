@@ -1,0 +1,146 @@
+//! Offline stand-in for the `rand` 0.8 crate.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so this vendored crate implements exactly the subset of the `rand`
+//! 0.8 API that the qarith workspace uses, with the same names and
+//! signatures so that swapping in the real crate is a one-line
+//! `Cargo.toml` change:
+//!
+//! * [`RngCore`] / [`Rng`] with `gen`, `gen_range` (range syntax, both
+//!   half-open and inclusive) and `gen_bool`;
+//! * [`SeedableRng::seed_from_u64`];
+//! * [`rngs::StdRng`] — here a xoshiro256++ generator seeded via
+//!   SplitMix64 (the real `StdRng` is ChaCha12; both are deterministic
+//!   for a fixed seed, which is all the workspace relies on);
+//! * [`distributions::Standard`] / [`distributions::Distribution`] for
+//!   `f64`/`f32` in `[0,1)`, integers, and `bool`.
+//!
+//! The statistical quality of xoshiro256++ comfortably exceeds what the
+//! Monte-Carlo estimators here need; streams differ from upstream
+//! `rand`, so seeded expectations must not be ported verbatim between
+//! the two implementations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod rngs;
+mod uniform;
+
+pub use uniform::SampleRange;
+
+use distributions::{Distribution, Standard};
+
+/// The core of a random number generator: a source of `u64`s.
+pub trait RngCore {
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next random `u32` (high bits of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        R::next_u64(self)
+    }
+}
+
+/// A generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a `u64` seed (deterministic).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing randomness methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+        Self: Sized,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples uniformly from a range (`lo..hi` or `lo..=hi`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} out of range");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<f64>().to_bits(), b.gen::<f64>().to_bits());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let first: f64 = StdRng::seed_from_u64(42).gen();
+        assert_ne!(first.to_bits(), c.gen::<f64>().to_bits());
+    }
+
+    #[test]
+    fn unit_interval_and_mean() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        let n = 20_000;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / n as f64 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn int_ranges_hit_all_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let w = rng.gen_range(-3i128..=3);
+            assert!((-3..=3).contains(&w));
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_inside() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-2.5f64..4.0);
+            assert!((-2.5..4.0).contains(&x));
+            let y = rng.gen_range(0.0f64..=1.0);
+            assert!((0.0..=1.0).contains(&y));
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Uniform sampling from range expressions (`Rng::gen_range`).
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::distributions::{Distribution, Standard};
+use crate::RngCore;
+
+/// A range that can produce uniformly distributed values of type `T`.
+/// Mirrors `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one value from the range. Panics on an empty range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform `u128` below `span` (rejection sampling, no modulo bias).
+fn below<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    // Largest multiple of `span` that fits in a u128.
+    let zone = u128::MAX - (u128::MAX - span + 1) % span;
+    loop {
+        let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        if wide <= zone {
+            return wide % span;
+        }
+    }
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                self.start.wrapping_add(below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = ((hi as i128).wrapping_sub(lo as i128) as u128).wrapping_add(1);
+                if span == 0 {
+                    // Full-domain i128/u128 range: every bit pattern is valid.
+                    let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                    return wide as $t;
+                }
+                lo.wrapping_add(below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit: $t = Standard.sample(rng);
+                self.start + (self.end - self.start) * unit
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let unit: $t = Standard.sample(rng);
+                lo + (hi - lo) * unit
+            }
+        }
+    )*};
+}
+
+float_range!(f32, f64);
