@@ -3,8 +3,15 @@
 //! decision-support queries over a ~200K-tuple synthetic sales database.
 //!
 //! ```text
-//! cargo run -p qarith-bench --release --bin fig1 [-- --scale small|paper] [--seed N] [--csv PATH]
+//! cargo run -p qarith-bench --release --bin fig1 [-- --scale small|paper] [--seed N] [--csv PATH] [--batch]
 //! ```
+//!
+//! With `--batch`, every ε point is additionally run through the batch
+//! measurement engine (canonical dedup, 4 worker threads, shared
+//! ν-cache) and the per-point speedup, group counts, and cache hits are
+//! reported, followed by a warm-cache serving pass over the whole
+//! workload. Batch estimates are bit-identical to the sequential ones
+//! (checked per point).
 //!
 //! Output: one series per query (19 ε-points from 0.100 down to 0.010),
 //! printed as the paper reports them and optionally written as CSV.
@@ -13,14 +20,20 @@
 //! growth and the per-query ordering.
 
 use std::io::Write;
+use std::sync::Arc;
 
 use qarith_bench::{figure1_epsilons, secs, Fig1Harness};
+use qarith_core::{BatchOptions, NuCache};
 use qarith_datagen::sales::SalesScale;
+
+/// The batch configuration `--batch` exercises.
+const BATCH: BatchOptions = BatchOptions { threads: 4, dedup: true };
 
 fn main() {
     let mut scale = SalesScale::paper();
     let mut seed = 2020u64;
     let mut csv_path: Option<String> = None;
+    let mut batch_mode = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -52,6 +65,7 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--batch" => batch_mode = true,
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -78,8 +92,11 @@ fn main() {
     let stats = harness.db.stats();
     println!("  |N_num(D)| = {} numerical nulls across {} tuples\n", stats.num_nulls, stats.tuples);
 
-    let mut csv = String::from("query,epsilon,samples,uncertain_candidates,seconds\n");
+    let mut csv = String::from(
+        "query,epsilon,samples,uncertain_candidates,seconds,batch_seconds,groups,cache_hits\n",
+    );
     let epsilons = figure1_epsilons();
+    let cache = Arc::new(NuCache::new());
 
     for (qi, q) in harness.queries.iter().enumerate() {
         println!("Query: {}", q.name);
@@ -90,25 +107,100 @@ fn main() {
             harness.uncertain_count(qi),
             secs(q.candidate_time)
         );
-        println!("  {:>8}  {:>9}  {:>12}", "ε·10³", "samples", "time (s)");
+        if batch_mode {
+            println!(
+                "  {:>8}  {:>9}  {:>12}  {:>12}  {:>7}  {:>6}  {:>9}",
+                "ε·10³", "samples", "seq (s)", "batch (s)", "speedup", "groups", "cache-hit"
+            );
+        } else {
+            println!("  {:>8}  {:>9}  {:>12}", "ε·10³", "samples", "time (s)");
+        }
         for &eps in &epsilons {
             let point = harness.run_epsilon(qi, eps, seed ^ 0xF1616);
-            println!(
-                "  {:>8.0}  {:>9}  {:>12.6}",
-                eps * 1000.0,
-                point.samples_per_candidate,
-                secs(point.time)
-            );
-            csv.push_str(&format!(
-                "{},{},{},{},{}\n",
-                q.name,
-                eps,
-                point.samples_per_candidate,
-                harness.uncertain_count(qi),
-                secs(point.time)
-            ));
+            if batch_mode {
+                let batch =
+                    harness.run_epsilon_batch(qi, eps, seed ^ 0xF1616, BATCH, Some(cache.clone()));
+                for (s, b) in point.estimates.iter().zip(&batch.estimates) {
+                    assert_eq!(
+                        s.value.to_bits(),
+                        b.value.to_bits(),
+                        "batch must be bit-identical to sequential ({}, ε = {eps})",
+                        q.name
+                    );
+                }
+                println!(
+                    "  {:>8.0}  {:>9}  {:>12.6}  {:>12.6}  {:>6.2}x  {:>6}  {:>9}",
+                    eps * 1000.0,
+                    point.samples_per_candidate,
+                    secs(point.time),
+                    secs(batch.time),
+                    secs(point.time) / secs(batch.time).max(1e-9),
+                    batch.stats.groups,
+                    batch.stats.cache_hits,
+                );
+                csv.push_str(&format!(
+                    "{},{},{},{},{},{},{},{}\n",
+                    q.name,
+                    eps,
+                    point.samples_per_candidate,
+                    harness.uncertain_count(qi),
+                    secs(point.time),
+                    secs(batch.time),
+                    batch.stats.groups,
+                    batch.stats.cache_hits,
+                ));
+            } else {
+                println!(
+                    "  {:>8.0}  {:>9}  {:>12.6}",
+                    eps * 1000.0,
+                    point.samples_per_candidate,
+                    secs(point.time)
+                );
+                csv.push_str(&format!(
+                    "{},{},{},{},{},,,\n",
+                    q.name,
+                    eps,
+                    point.samples_per_candidate,
+                    harness.uncertain_count(qi),
+                    secs(point.time)
+                ));
+            }
         }
         println!();
+    }
+
+    if batch_mode {
+        // Warm-cache serving pass: the whole workload again at the finest
+        // ε, every canonical formula already cached.
+        let eps = *epsilons.last().expect("non-empty grid");
+        let seq_start = std::time::Instant::now();
+        for qi in 0..harness.queries.len() {
+            harness.run_epsilon(qi, eps, seed ^ 0xF1616);
+        }
+        let seq_time = secs(seq_start.elapsed());
+        let warm_start = std::time::Instant::now();
+        let mut hits = 0usize;
+        let mut groups = 0usize;
+        for qi in 0..harness.queries.len() {
+            let point =
+                harness.run_epsilon_batch(qi, eps, seed ^ 0xF1616, BATCH, Some(cache.clone()));
+            hits += point.stats.cache_hits;
+            groups += point.stats.groups;
+        }
+        let warm_time = secs(warm_start.elapsed());
+        println!(
+            "warm-cache serving pass (ε = {eps:.3}): sequential {seq_time:.6}s, \
+             batch {warm_time:.6}s ({:.1}x), {hits}/{groups} groups served from the ν-cache",
+            seq_time / warm_time.max(1e-9)
+        );
+        let stats = cache.stats();
+        println!(
+            "ν-cache totals: {} entries, {} hits / {} misses ({:.0}% hit rate)",
+            stats.entries,
+            stats.hits,
+            stats.misses,
+            stats.hit_rate() * 100.0
+        );
     }
 
     if let Some(path) = csv_path {

@@ -15,12 +15,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use qarith_core::afpras::{estimate_nu_compiled, AfprasOptions, SampleCount};
-use qarith_core::CertaintyEstimate;
+use qarith_core::{
+    BatchOptions, BatchStats, CertaintyEngine, CertaintyEstimate, MeasureOptions, MethodChoice,
+    NuCache,
+};
 use qarith_datagen::sales::{paper_queries, sales_catalog, sales_database, SalesScale};
-use qarith_engine::cq::{self, CandidateAnswer, CqOptions};
+use qarith_engine::cq::{self, CandidateAnswer};
 use qarith_types::Database;
 
 pub use qarith_constraints::asymptotic::CompiledFormula;
@@ -80,7 +84,7 @@ impl Fig1Harness {
             // Candidate-counting LIMIT: the analyst sees 25 *distinct*
             // results (nested-loop row order would otherwise fill the
             // window with duplicates of the first result).
-            let opts = CqOptions::with_candidate_limit(lowered.limit.unwrap_or(25));
+            let opts = lowered.cq_options();
             let started = Instant::now();
             let candidates =
                 cq::execute(&lowered.query, &db, &opts).expect("paper queries execute");
@@ -125,6 +129,7 @@ impl Fig1Harness {
                     delta: Some(opts.delta),
                     samples: out.samples,
                     dimension: out.dimension,
+                    cached: false,
                 });
             }
         }
@@ -141,6 +146,63 @@ impl Fig1Harness {
     pub fn uncertain_count(&self, query_idx: usize) -> usize {
         self.queries[query_idx].compiled.len()
     }
+
+    /// An engine configured like [`Fig1Harness::run_epsilon`]'s
+    /// measurement phase — forced AFPRAS, the paper's `m = ⌈ε⁻²⌉`
+    /// prescription — with the given batch fan-out.
+    pub fn paper_engine(epsilon: f64, seed: u64, batch: BatchOptions) -> CertaintyEngine {
+        CertaintyEngine::new(MeasureOptions {
+            method: MethodChoice::Afpras,
+            afpras: AfprasOptions {
+                epsilon,
+                samples: SampleCount::Paper,
+                seed,
+                ..AfprasOptions::default()
+            },
+            batch,
+            ..MeasureOptions::default()
+        })
+    }
+
+    /// Runs the approximation phase of one query at one ε through the
+    /// batch engine (canonical dedup + parallel fan-out + optional
+    /// ν-cache), timing it. For a fixed seed the estimates are
+    /// bit-identical to [`Fig1Harness::run_epsilon`].
+    pub fn run_epsilon_batch(
+        &self,
+        query_idx: usize,
+        epsilon: f64,
+        seed: u64,
+        batch: BatchOptions,
+        cache: Option<Arc<NuCache>>,
+    ) -> BatchPoint {
+        let mut engine = Fig1Harness::paper_engine(epsilon, seed, batch);
+        if let Some(cache) = cache {
+            engine = engine.with_cache(cache);
+        }
+        let candidates = self.queries[query_idx].candidates.clone();
+        let started = Instant::now();
+        let outcome = engine.measure_batch(candidates).expect("AFPRAS accepts any formula");
+        BatchPoint {
+            epsilon,
+            time: started.elapsed(),
+            stats: outcome.stats,
+            estimates: outcome.answers.into_iter().map(|a| a.certainty).collect(),
+        }
+    }
+}
+
+/// One measured point of the batch path.
+#[derive(Debug, Clone)]
+pub struct BatchPoint {
+    /// Error level.
+    pub epsilon: f64,
+    /// Wall-clock time of the batch measurement phase.
+    pub time: Duration,
+    /// Dedup/cache/parallelism accounting.
+    pub stats: BatchStats,
+    /// The certainty estimates (one per candidate, certain ones = 1).
+    pub estimates: Vec<CertaintyEstimate>,
 }
 
 /// Formats a duration in seconds with millisecond resolution (the
@@ -177,6 +239,28 @@ mod tests {
             for e in &point.estimates {
                 assert!((0.0..=1.0).contains(&e.value));
             }
+        }
+    }
+
+    #[test]
+    fn batch_path_matches_sequential_bit_for_bit() {
+        let harness = Fig1Harness::new(&SalesScale::tiny(), 11);
+        for (qi, _) in harness.queries.iter().enumerate() {
+            let sequential = harness.run_epsilon(qi, 0.1, 7);
+            let batch = harness.run_epsilon_batch(
+                qi,
+                0.1,
+                7,
+                BatchOptions { threads: 4, dedup: true },
+                Some(Arc::new(NuCache::new())),
+            );
+            assert_eq!(sequential.estimates.len(), batch.estimates.len());
+            for (s, b) in sequential.estimates.iter().zip(&batch.estimates) {
+                assert_eq!(s.value.to_bits(), b.value.to_bits(), "query {qi}");
+                assert_eq!(s.samples, b.samples);
+                assert_eq!(s.dimension, b.dimension);
+            }
+            assert!(batch.stats.groups <= batch.stats.candidates - batch.stats.certain);
         }
     }
 

@@ -1,0 +1,389 @@
+//! Canonical forms and interning for quantifier-free formulas.
+//!
+//! Ground formulas of different candidate answers frequently coincide up
+//! to the *identity of their nulls*: `0.8·z₃ − 27 ≤ 0` for one product
+//! and `0.8·z₉ − 27 ≤ 0` for another describe the same measurement
+//! problem, because `ν` is invariant under permutations of the direction
+//! coordinates. The batch measurement engine exploits this by mapping
+//! every ground formula to a canonical representative, measuring each
+//! representative once, and sharing the result across the class.
+//!
+//! Two levels of canonicalization are provided, with different
+//! guarantees:
+//!
+//! * the **structural form** ([`Canonical::formula`]): negation normal
+//!   form plus *order-preserving* dense renumbering of the variables
+//!   (the variable of rank `i` becomes `z_i`). Every measurement
+//!   algorithm in `qarith-core` densifies variables by exactly this rank
+//!   order before doing any numeric work, so measuring the structural
+//!   form is **bit-identical** to measuring the original formula — for
+//!   the exact evaluators, the FPRAS, and the AFPRAS alike, for any
+//!   fixed seed. Formulas with equal structural forms are
+//!   interchangeable everywhere.
+//!
+//! * the **asymptotic key** ([`Canonical::asymptotic_key`]): on top of
+//!   the structural form, every homogeneous component of every atom is
+//!   rescaled (exactly, in ℚ) so its graded-lex-leading coefficient has
+//!   absolute value 1, and the children of `And`/`Or` nodes are sorted
+//!   and deduplicated. Positive per-component rescaling preserves the
+//!   *sign* of each component along every direction, hence the entire
+//!   asymptotic truth function of Lemma 8.4; child order and repetition
+//!   are irrelevant to Boolean evaluation. Formulas sharing an
+//!   asymptotic key therefore have identical asymptotic truth at every
+//!   direction — the quantity the Theorem 8.1 sampler evaluates — which
+//!   makes the key the right dedup granularity for the *sampling* route:
+//!   constants like `27` vs `31` vanish into `±1` and the sales
+//!   workload's per-tuple constants stop defeating the cache. The key
+//!   must **not** be used to group formulas for the geometric FPRAS or
+//!   the 2-D arc evaluator, whose `f64` intermediates are
+//!   scale-sensitive; the batch engine falls back to the structural key
+//!   there.
+//!
+//! [`FormulaInterner`] maintains the canonical-form table: it assigns a
+//! small dense id per distinct structural form and memoizes the (mildly
+//! expensive) canonicalization itself.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use qarith_numeric::Rational;
+
+use crate::atom::Atom;
+use crate::formula::QfFormula;
+use crate::polynomial::Polynomial;
+use crate::var::Var;
+
+/// A formula in canonical form, with its cache keys.
+#[derive(Clone, Debug)]
+pub struct Canonical {
+    /// The structural canonical representative: NNF with variables
+    /// densely renumbered in rank order. Measuring this formula is
+    /// bit-identical to measuring the original (see module docs).
+    pub formula: QfFormula,
+    /// Number of distinct variables (the sampling dimension).
+    pub dim: usize,
+    /// Serialization of [`Canonical::formula`]; equal strings ⇔ equal
+    /// structural forms.
+    pub structural_key: String,
+}
+
+impl Canonical {
+    /// The scale- and order-insensitive key: equal strings ⇒ identical
+    /// asymptotic truth functions (the converse need not hold).
+    /// Computed on demand — only the sampling route pays for it.
+    pub fn asymptotic_key(&self) -> String {
+        asymptotic_key(&self.formula)
+    }
+}
+
+/// Canonicalizes a formula: NNF, order-preserving dense renumbering, and
+/// the structural key.
+pub fn canonicalize(phi: &QfFormula) -> Canonical {
+    let nnf = phi.nnf();
+    let vars: Vec<Var> = nnf.vars().into_iter().collect();
+    let rank: HashMap<Var, Var> =
+        vars.iter().enumerate().map(|(i, &v)| (v, Var(i as u32))).collect();
+    let formula = rename(&nnf, &rank);
+    let dim = vars.len();
+    let structural_key = formula.to_string();
+    Canonical { formula, dim, structural_key }
+}
+
+/// Renames variables through the given map (order-preserving maps keep
+/// graded-lex term order, hence atom structure, intact).
+fn rename(f: &QfFormula, map: &HashMap<Var, Var>) -> QfFormula {
+    match f {
+        QfFormula::True => QfFormula::True,
+        QfFormula::False => QfFormula::False,
+        QfFormula::Atom(a) => QfFormula::atom(Atom::new(a.poly().map_vars(|v| map[&v]), a.op())),
+        QfFormula::Not(inner) => rename(inner, map).negated(),
+        QfFormula::And(parts) => QfFormula::and(parts.iter().map(|p| rename(p, map))),
+        QfFormula::Or(parts) => QfFormula::or(parts.iter().map(|p| rename(p, map))),
+    }
+}
+
+/// Rescales every homogeneous component of `p` so that its
+/// graded-lex-leading coefficient has absolute value 1. Exact in ℚ; the
+/// sign of each component at every point is preserved, so the asymptotic
+/// sign function of the polynomial (Lemma 8.4) is unchanged.
+pub fn scale_normalized(p: &Polynomial) -> Polynomial {
+    let mut out = Polynomial::zero();
+    for d in 0..=p.degree() {
+        let comp = p.homogeneous_component(d);
+        if comp.is_zero() {
+            continue;
+        }
+        let lead = comp.terms().next().map(|(_, c)| c.abs()).expect("nonzero component");
+        let scaled = comp.checked_scale(&(Rational::ONE / lead)).expect("unit rescale");
+        out = out.checked_add(&scaled).expect("disjoint degrees");
+    }
+    out
+}
+
+/// Builds the asymptotic grouping key of an (already renumbered, NNF)
+/// formula: atoms are scale-normalized, `And`/`Or` children are
+/// serialized, sorted, and deduplicated.
+fn asymptotic_key(f: &QfFormula) -> String {
+    fn walk(f: &QfFormula, out: &mut String) {
+        match f {
+            QfFormula::True => out.push('T'),
+            QfFormula::False => out.push('F'),
+            QfFormula::Atom(a) => {
+                let _ = write!(out, "{} {}", scale_normalized(a.poly()), a.op());
+            }
+            QfFormula::Not(inner) => {
+                // NNF input leaves no Not nodes, but stay total.
+                out.push('!');
+                out.push('(');
+                walk(inner, out);
+                out.push(')');
+            }
+            QfFormula::And(parts) | QfFormula::Or(parts) => {
+                out.push(if matches!(f, QfFormula::And(_)) { '&' } else { '|' });
+                let mut kids: Vec<String> = parts
+                    .iter()
+                    .map(|p| {
+                        let mut s = String::new();
+                        walk(p, &mut s);
+                        s
+                    })
+                    .collect();
+                kids.sort();
+                kids.dedup();
+                out.push('[');
+                for (i, k) in kids.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(k);
+                }
+                out.push(']');
+            }
+        }
+    }
+    let mut out = String::new();
+    walk(f, &mut out);
+    out
+}
+
+/// How often the interner found an existing entry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InternStats {
+    /// Lookups that found an existing canonical form.
+    pub hits: usize,
+    /// Lookups that created a new entry.
+    pub misses: usize,
+}
+
+impl InternStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> usize {
+        self.hits + self.misses
+    }
+}
+
+/// An interning table for canonical formulas: one dense id per distinct
+/// *structural* form, with a front map on the raw formulas so literally
+/// repeated inputs skip canonicalization entirely.
+#[derive(Debug, Default)]
+pub struct FormulaInterner {
+    raw: HashMap<QfFormula, u32>,
+    by_structural: HashMap<String, u32>,
+    entries: Vec<Canonical>,
+    stats: InternStats,
+}
+
+impl FormulaInterner {
+    /// An empty interner.
+    pub fn new() -> FormulaInterner {
+        FormulaInterner::default()
+    }
+
+    /// Canonicalizes `phi` (memoized) and interns the result, returning
+    /// the dense id of its structural class.
+    pub fn intern(&mut self, phi: &QfFormula) -> u32 {
+        if let Some(&id) = self.raw.get(phi) {
+            self.stats.hits += 1;
+            return id;
+        }
+        let canon = canonicalize(phi);
+        let id = match self.by_structural.get(&canon.structural_key) {
+            Some(&id) => {
+                self.stats.hits += 1;
+                id
+            }
+            None => {
+                let id = self.entries.len() as u32;
+                self.by_structural.insert(canon.structural_key.clone(), id);
+                self.entries.push(canon);
+                self.stats.misses += 1;
+                id
+            }
+        };
+        self.raw.insert(phi.clone(), id);
+        id
+    }
+
+    /// The canonical entry for an id returned by
+    /// [`FormulaInterner::intern`].
+    pub fn get(&self, id: u32) -> &Canonical {
+        &self.entries[id as usize]
+    }
+
+    /// Number of distinct structural classes interned.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> InternStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::ConstraintOp;
+
+    fn z(i: u32) -> Polynomial {
+        Polynomial::var(Var(i))
+    }
+
+    fn c(n: i64) -> Polynomial {
+        Polynomial::constant(Rational::from_int(n))
+    }
+
+    fn atom(p: Polynomial, op: ConstraintOp) -> QfFormula {
+        QfFormula::atom(Atom::new(p, op))
+    }
+
+    #[test]
+    fn renumbering_is_order_preserving() {
+        // z5 − z3 < 0 renumbers to z1 − z0 < 0 (rank order kept).
+        let f = atom(z(5) - z(3), ConstraintOp::Lt);
+        let canon = canonicalize(&f);
+        assert_eq!(canon.dim, 2);
+        assert_eq!(canon.formula, atom(z(1) - z(0), ConstraintOp::Lt));
+    }
+
+    #[test]
+    fn null_renaming_shares_structural_key() {
+        // Monotone renamings of the same shape intern to one class.
+        let a = atom(c(4) * z(2) - c(27), ConstraintOp::Le);
+        let b = atom(c(4) * z(9) - c(27), ConstraintOp::Le);
+        let ca = canonicalize(&a);
+        let cb = canonicalize(&b);
+        assert_eq!(ca.structural_key, cb.structural_key);
+        assert_eq!(ca.formula, cb.formula);
+    }
+
+    #[test]
+    fn structural_form_preserves_semantics() {
+        let f = QfFormula::and([
+            atom(z(7) - z(2), ConstraintOp::Lt),
+            atom(z(2) * z(7) - c(5), ConstraintOp::Gt),
+        ])
+        .negated();
+        let canon = canonicalize(&f);
+        // Same semantics under the rank substitution z2 ↦ z0, z7 ↦ z1.
+        for (a, b) in [(1.0, 2.0), (3.0, 1.0), (2.0, 4.0), (-1.0, -2.0)] {
+            let orig = f.eval_f64(&[0.0, 0.0, a, 0.0, 0.0, 0.0, 0.0, b]);
+            let got = canon.formula.eval_f64(&[a, b]);
+            assert_eq!(orig, got, "at ({a}, {b})");
+        }
+    }
+
+    #[test]
+    fn scale_normalization_is_per_component() {
+        // 0.8·z0 − 27 ⇝ z0 − 1: each component scaled independently.
+        let p = Polynomial::constant(Rational::new(4, 5)) * z(0) - c(27);
+        assert_eq!(scale_normalized(&p), z(0) - c(1));
+        // Leading coefficient sign survives (only magnitudes normalize).
+        let q = c(-3) * z(0) - c(27);
+        assert_eq!(scale_normalized(&q), c(-1) * z(0) - c(1));
+    }
+
+    #[test]
+    fn asymptotic_key_ignores_constants_and_scales() {
+        let a = atom(Polynomial::constant(Rational::new(4, 5)) * z(3) - c(27), ConstraintOp::Le);
+        let b = atom(Polynomial::constant(Rational::new(9, 10)) * z(8) - c(31), ConstraintOp::Le);
+        assert_eq!(canonicalize(&a).asymptotic_key(), canonicalize(&b).asymptotic_key());
+        // … but the structural keys differ (different coefficients).
+        assert_ne!(canonicalize(&a).structural_key, canonicalize(&b).structural_key);
+    }
+
+    #[test]
+    fn asymptotic_key_sorts_and_dedups_children() {
+        let p = atom(z(0), ConstraintOp::Gt);
+        let q = atom(z(1), ConstraintOp::Lt);
+        let f = QfFormula::or([p.clone(), q.clone()]);
+        let g = QfFormula::or([q.clone(), p.clone(), q]);
+        assert_eq!(canonicalize(&f).asymptotic_key(), canonicalize(&g).asymptotic_key());
+    }
+
+    #[test]
+    fn asymptotic_key_distinguishes_sign_and_op() {
+        let a = atom(z(0), ConstraintOp::Gt);
+        let b = atom(c(-1) * z(0), ConstraintOp::Gt);
+        let c_ = atom(z(0), ConstraintOp::Ge);
+        assert_ne!(canonicalize(&a).asymptotic_key(), canonicalize(&b).asymptotic_key());
+        assert_ne!(canonicalize(&a).asymptotic_key(), canonicalize(&c_).asymptotic_key());
+    }
+
+    #[test]
+    fn scale_normalization_preserves_asymptotic_truth() {
+        use crate::asymptotic::formula_limit_truth;
+        let f = QfFormula::and([
+            atom(Polynomial::constant(Rational::new(4, 5)) * z(0) - c(27), ConstraintOp::Le),
+            atom(c(3) * z(0) * z(1) - c(8), ConstraintOp::Gt),
+        ]);
+        let g = QfFormula::and([
+            atom(z(0) - c(1), ConstraintOp::Le),
+            atom(z(0) * z(1) - c(1), ConstraintOp::Gt),
+        ]);
+        assert_eq!(canonicalize(&f).asymptotic_key(), canonicalize(&g).asymptotic_key());
+        for dir in [[0.5, 0.5], [-0.5, 0.5], [0.5, -0.5], [-1.0, -1.0], [0.0, 1.0], [1.0, 0.0]] {
+            assert_eq!(formula_limit_truth(&f, &dir), formula_limit_truth(&g, &dir), "at {dir:?}");
+        }
+    }
+
+    #[test]
+    fn interner_dedups_and_counts() {
+        let mut interner = FormulaInterner::new();
+        let a = atom(z(2) - c(5), ConstraintOp::Lt);
+        let b = atom(z(6) - c(5), ConstraintOp::Lt); // renamed copy
+        let distinct = atom(z(2) - c(6), ConstraintOp::Lt);
+        let ia = interner.intern(&a);
+        let ib = interner.intern(&b);
+        let ic = interner.intern(&distinct);
+        assert_eq!(ia, ib);
+        assert_ne!(ia, ic);
+        assert_eq!(interner.len(), 2);
+        assert_eq!(interner.stats(), InternStats { hits: 1, misses: 2 });
+        assert_eq!(interner.get(ia).dim, 1);
+    }
+
+    #[test]
+    fn nnf_makes_negated_comparisons_coincide() {
+        // ¬(z0 < 0) and z0 ≥ 0 share a structural class.
+        let a = atom(z(0), ConstraintOp::Lt).negated();
+        let b = atom(z(0), ConstraintOp::Ge);
+        assert_eq!(canonicalize(&a).structural_key, canonicalize(&b).structural_key);
+    }
+
+    #[test]
+    fn constants_canonicalize() {
+        let t = canonicalize(&QfFormula::True);
+        assert_eq!(t.dim, 0);
+        assert_eq!(t.formula, QfFormula::True);
+        let f = canonicalize(&QfFormula::False);
+        assert_eq!(f.formula, QfFormula::False);
+        assert_ne!(t.asymptotic_key(), f.asymptotic_key());
+    }
+}

@@ -25,13 +25,17 @@
 //! * [`Atom`], [`ConstraintOp`] — polynomial constraints `p ⋈ 0`;
 //! * [`QfFormula`] — quantifier-free formulas with NNF/DNF conversion,
 //!   simplification and evaluation;
-//! * [`asymptotic`] — Lemma 8.2–8.4: direction-wise limits.
+//! * [`asymptotic`] — Lemma 8.2–8.4: direction-wise limits;
+//! * [`canonical`] — canonical forms and interning: dense renumbering,
+//!   scale-insensitive asymptotic keys, and the [`FormulaInterner`] table
+//!   backing the batch measurement engine's ν-cache.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod asymptotic;
 mod atom;
+pub mod canonical;
 mod error;
 mod formula;
 mod linear;
@@ -40,6 +44,7 @@ mod polynomial;
 mod var;
 
 pub use atom::{Atom, ConstraintOp};
+pub use canonical::{Canonical, FormulaInterner, InternStats};
 pub use error::FormulaError;
 pub use formula::{Dnf, QfFormula};
 pub use linear::LinearExpr;

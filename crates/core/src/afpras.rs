@@ -213,6 +213,7 @@ pub fn afpras_estimate(
         delta: Some(opts.delta),
         samples: out.samples,
         dimension: out.dimension,
+        cached: false,
     })
 }
 

@@ -80,6 +80,7 @@ impl CertaintyEngine {
             delta: numerator.delta.or(denominator.delta),
             samples: numerator.samples + denominator.samples,
             dimension: numerator.dimension.max(denominator.dimension),
+            cached: numerator.cached && denominator.cached,
         })
     }
 }

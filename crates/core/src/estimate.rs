@@ -47,6 +47,11 @@ pub struct CertaintyEstimate {
     /// Dimension of the sampled direction space (number of numerical
     /// nulls that actually occur in the ground formula).
     pub dimension: usize,
+    /// `true` iff the value was served by the ν-cache (or by batch
+    /// deduplication) instead of a fresh computation. Cached values are
+    /// bit-identical to fresh ones; this flag is provenance only and is
+    /// ignored when comparing estimates for identity.
+    pub cached: bool,
 }
 
 impl CertaintyEstimate {
@@ -60,6 +65,7 @@ impl CertaintyEstimate {
             delta: None,
             samples: 0,
             dimension,
+            cached: false,
         }
     }
 
@@ -74,6 +80,7 @@ impl CertaintyEstimate {
             delta: None,
             samples: 0,
             dimension,
+            cached: false,
         }
     }
 
@@ -130,6 +137,7 @@ mod tests {
             delta: Some(0.25),
             samples: 10_000,
             dimension: 2,
+            cached: false,
         };
         assert!(a.to_string().contains("AFPRAS"));
         assert!(a.to_string().contains("0.3891"));

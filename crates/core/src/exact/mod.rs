@@ -25,40 +25,71 @@ use qarith_numeric::Rational;
 
 use crate::estimate::CertaintyEstimate;
 
+/// Which exact evaluator handles a formula. Routing is ordered: the
+/// order fragment wins over the 2-D arc evaluator when both apply
+/// (rational beats closed-form `f64`).
+enum ExactRoute {
+    /// Variable-free: `ν ∈ {0, 1}` by direct evaluation.
+    Dim0,
+    /// One variable: only the directions `±1` exist.
+    Dim1,
+    /// The order fragment (`n` variables): exact cell counting.
+    Order(usize),
+    /// Two-variable linear: exact arc arithmetic.
+    Arcs2d,
+}
+
+/// The single routing decision shared by [`try_exact`] and
+/// [`exact_applicable`] — keeping them one definition is what the batch
+/// engine's bit-identity argument relies on.
+fn exact_route(phi: &QfFormula, order_limit: usize) -> Option<ExactRoute> {
+    let n = phi.vars().len();
+    match n {
+        0 => Some(ExactRoute::Dim0),
+        1 => Some(ExactRoute::Dim1),
+        _ if n <= order_limit && order::is_order_formula(phi) => Some(ExactRoute::Order(n)),
+        2 if arcs2d::is_linear_formula(phi) => Some(ExactRoute::Arcs2d),
+        _ => None,
+    }
+}
+
+/// Would an exact evaluator handle this formula? Used by the batch
+/// engine to pick a cache-key granularity without computing the measure.
+/// Conservative in one direction only: [`try_exact`] can still return
+/// `None` when the order-fragment permutation count overflows, which
+/// there merely costs a dedup opportunity, never correctness.
+pub fn exact_applicable(phi: &QfFormula, order_limit: usize) -> bool {
+    exact_route(phi, order_limit).is_some()
+}
+
 /// Attempts an exact evaluation; returns `None` when no exact method
 /// applies. `order_limit` bounds the cell enumeration (the number of
 /// cells is `n!·(n+1)·…`; 8 variables ≈ 3.3M cells is the practical
 /// ceiling).
 pub fn try_exact(phi: &QfFormula, order_limit: usize) -> Option<CertaintyEstimate> {
-    let vars = phi.vars();
-    let n = vars.len();
-
-    if n == 0 {
-        let truth = phi.eval_f64(&[]);
-        return Some(CertaintyEstimate::exact_rational(
-            if truth { Rational::ONE } else { Rational::ZERO },
-            0,
-        ));
+    match exact_route(phi, order_limit)? {
+        ExactRoute::Dim0 => {
+            let truth = phi.eval_f64(&[]);
+            Some(CertaintyEstimate::exact_rational(
+                if truth { Rational::ONE } else { Rational::ZERO },
+                0,
+            ))
+        }
+        ExactRoute::Dim1 => {
+            // ν = (limit at +∞ + limit at −∞) / 2, evaluated on the
+            // dense 1-D direction space.
+            let dense = densify(phi);
+            let pos = formula_limit_truth(&dense, &[1.0]) as u32;
+            let neg = formula_limit_truth(&dense, &[-1.0]) as u32;
+            Some(CertaintyEstimate::exact_rational(Rational::new((pos + neg) as i128, 2), 1))
+        }
+        ExactRoute::Order(n) => {
+            order::exact_order_measure(phi).map(|r| CertaintyEstimate::exact_rational(r, n))
+        }
+        ExactRoute::Arcs2d => {
+            Some(CertaintyEstimate::exact_real(arcs2d::exact_arc_measure(phi), 2))
+        }
     }
-
-    if n == 1 {
-        // ν = (limit at +∞ + limit at −∞) / 2, evaluated on the dense
-        // 1-D direction space.
-        let dense = densify(phi);
-        let pos = formula_limit_truth(&dense, &[1.0]) as u32;
-        let neg = formula_limit_truth(&dense, &[-1.0]) as u32;
-        return Some(CertaintyEstimate::exact_rational(Rational::new((pos + neg) as i128, 2), 1));
-    }
-
-    if n <= order_limit && order::is_order_formula(phi) {
-        return order::exact_order_measure(phi).map(|r| CertaintyEstimate::exact_rational(r, n));
-    }
-
-    if n == 2 && arcs2d::is_linear_formula(phi) {
-        return Some(CertaintyEstimate::exact_real(arcs2d::exact_arc_measure(phi), 2));
-    }
-
-    None
 }
 
 /// Renames the formula's variables onto `0..n` so direction vectors can be

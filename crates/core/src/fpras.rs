@@ -215,6 +215,7 @@ pub fn fpras_estimate(
         delta: Some(opts.delta),
         samples: out.samples,
         dimension: out.dimension,
+        cached: false,
     })
 }
 

@@ -66,7 +66,10 @@
 //!   (Theorem 6.3, Proposition 6.2), used as validation workloads;
 //! * [`pipeline`] — the [`CertaintyEngine`]: query + database →
 //!   candidates → ground formulas → measures, with automatic method
-//!   selection;
+//!   selection and the batch measurement path (canonical dedup +
+//!   parallel fan-out, [`CertaintyEngine::measure_batch`]);
+//! * [`nucache`] — the ν-cache: memoized, bit-identical measures keyed
+//!   by canonical formula and options fingerprint;
 //! * [`conditional`] — the §10 extension: conditional measures
 //!   `ν(φ | ρ)` under scale-insensitive attribute constraints
 //!   (sign/ratio restrictions);
@@ -83,6 +86,7 @@ mod estimate;
 pub mod exact;
 pub mod fpras;
 pub mod lattice;
+pub mod nucache;
 pub mod pipeline;
 pub mod reductions;
 pub mod report;
@@ -92,4 +96,8 @@ pub use afpras::{AfprasOptions, SampleCount};
 pub use error::MeasureError;
 pub use estimate::{CertaintyEstimate, Method};
 pub use fpras::FprasOptions;
-pub use pipeline::{AnswerWithCertainty, CertaintyEngine, MeasureOptions, MethodChoice};
+pub use nucache::{CacheStats, NuCache};
+pub use pipeline::{
+    AnswerWithCertainty, BatchOptions, BatchOutcome, BatchStats, CertaintyEngine, MeasureOptions,
+    MethodChoice,
+};

@@ -13,6 +13,12 @@
 //! | CQ(+,<) when multiplicative guarantees are requested | FPRAS (Thm 7.1) |
 //! | everything else | AFPRAS (Thm 8.1) |
 
+use std::collections::hash_map::{DefaultHasher, Entry};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use qarith_constraints::canonical::{self, Canonical};
 use qarith_constraints::QfFormula;
 use qarith_engine::cq::{self, CandidateAnswer, CqOptions};
 use qarith_engine::{ground, naive, ActiveDomain};
@@ -20,11 +26,12 @@ use qarith_numeric::Rational;
 use qarith_query::Query;
 use qarith_types::{Database, Sort, Tuple, Value};
 
-use crate::afpras::{afpras_estimate, AfprasOptions};
+use crate::afpras::{afpras_estimate, AfprasOptions, SampleCount};
 use crate::error::MeasureError;
 use crate::estimate::CertaintyEstimate;
-use crate::exact::try_exact;
+use crate::exact::{exact_applicable, try_exact};
 use crate::fpras::{fpras_estimate, FprasOptions};
+use crate::nucache::NuCache;
 use crate::zero_one::zero_one_measure;
 
 /// Which measure algorithm to use.
@@ -45,6 +52,25 @@ pub enum MethodChoice {
     ExactOnly,
 }
 
+/// Options for the batch measurement path
+/// ([`CertaintyEngine::measure_batch`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchOptions {
+    /// Worker threads measuring unique formulas concurrently
+    /// (1 = in-place, no spawning).
+    pub threads: usize,
+    /// Canonical deduplication: candidates whose ground formulas share a
+    /// cache key are measured once. Disabling this reproduces the plain
+    /// per-candidate loop (the "sequential uncached" baseline).
+    pub dedup: bool,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions { threads: 1, dedup: true }
+    }
+}
+
 /// Options for the pipeline.
 #[derive(Clone, Debug)]
 pub struct MeasureOptions {
@@ -59,6 +85,8 @@ pub struct MeasureOptions {
     pub exact_order_limit: usize,
     /// Candidate generation for conjunctive queries.
     pub cq: CqOptions,
+    /// Batch measurement (dedup + parallel fan-out).
+    pub batch: BatchOptions,
 }
 
 impl Default for MeasureOptions {
@@ -69,6 +97,7 @@ impl Default for MeasureOptions {
             fpras: FprasOptions::default(),
             exact_order_limit: 7,
             cq: CqOptions::default(),
+            batch: BatchOptions::default(),
         }
     }
 }
@@ -80,6 +109,52 @@ impl MeasureOptions {
         self.fpras.epsilon = epsilon;
         self
     }
+
+    /// Sets the batch fan-out width.
+    pub fn with_batch_threads(mut self, threads: usize) -> MeasureOptions {
+        self.batch.threads = threads;
+        self
+    }
+
+    /// A fingerprint of every option that can influence the *bits* of an
+    /// estimate — the method choice, tolerances, seeds, thread counts,
+    /// and budgets of both schemes. Two engines with equal fingerprints
+    /// produce bit-identical estimates for the same formula, which is
+    /// what keys the [`NuCache`].
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        (self.method as u8).hash(&mut h);
+        self.afpras.epsilon.to_bits().hash(&mut h);
+        self.afpras.delta.to_bits().hash(&mut h);
+        match self.afpras.samples {
+            SampleCount::Hoeffding => 0u8.hash(&mut h),
+            SampleCount::Paper => 1u8.hash(&mut h),
+            SampleCount::Fixed(n) => {
+                2u8.hash(&mut h);
+                n.hash(&mut h);
+            }
+        }
+        self.afpras.seed.hash(&mut h);
+        self.afpras.threads.hash(&mut h);
+        self.afpras.full_dimension.hash(&mut h);
+        self.fpras.epsilon.to_bits().hash(&mut h);
+        self.fpras.delta.to_bits().hash(&mut h);
+        self.fpras.dnf_limit.hash(&mut h);
+        self.fpras.seed.hash(&mut h);
+        self.exact_order_limit.hash(&mut h);
+        h.finish()
+    }
+}
+
+/// The shared admission predicate of [`CertaintyEngine::answers_auto`]
+/// and [`CertaintyEngine::answers_enumerated`]: **strictly greater**.
+/// A candidate whose measure equals the threshold exactly is excluded —
+/// in particular `min_certainty = 0.0` drops impossible answers (μ = 0)
+/// while keeping every candidate with positive measure. Both the
+/// conjunctive fast path and the enumeration fallback use this one
+/// definition, so the two routes cannot drift.
+pub fn exceeds_min_certainty(estimate: &CertaintyEstimate, min_certainty: f64) -> bool {
+    estimate.value > min_certainty
 }
 
 /// A candidate answer with its certainty.
@@ -93,16 +168,60 @@ pub struct AnswerWithCertainty {
     pub formula: QfFormula,
 }
 
+/// Per-batch accounting from [`CertaintyEngine::measure_batch`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Candidates in the batch.
+    pub candidates: usize,
+    /// Candidates flagged certain by the executor (μ = 1, no sampling).
+    pub certain: usize,
+    /// Distinct formula groups among the uncertain candidates.
+    pub groups: usize,
+    /// Groups actually measured this call (the rest came from the
+    /// ν-cache).
+    pub measured: usize,
+    /// Candidates served by in-batch deduplication (a group member after
+    /// the first).
+    pub dedup_hits: usize,
+    /// Groups served by the engine's persistent [`NuCache`].
+    pub cache_hits: usize,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+/// Result of a batch measurement: per-candidate answers plus accounting.
+#[derive(Clone, Debug)]
+pub struct BatchOutcome {
+    /// One entry per input candidate, in input order.
+    pub answers: Vec<AnswerWithCertainty>,
+    /// Dedup/cache/parallelism accounting.
+    pub stats: BatchStats,
+}
+
 /// The measure-of-certainty engine.
 #[derive(Clone, Debug, Default)]
 pub struct CertaintyEngine {
     options: MeasureOptions,
+    cache: Option<Arc<NuCache>>,
 }
 
 impl CertaintyEngine {
     /// An engine with the given options.
     pub fn new(options: MeasureOptions) -> CertaintyEngine {
-        CertaintyEngine { options }
+        CertaintyEngine { options, cache: None }
+    }
+
+    /// Attaches a persistent ν-cache, shared across batches (and across
+    /// engine clones). Cached values are bit-identical to fresh runs —
+    /// see [`crate::nucache`].
+    pub fn with_cache(mut self, cache: Arc<NuCache>) -> CertaintyEngine {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached ν-cache, if any.
+    pub fn cache(&self) -> Option<&NuCache> {
+        self.cache.as_deref()
     }
 
     /// The configured options.
@@ -183,29 +302,227 @@ impl CertaintyEngine {
     ) -> Result<Vec<AnswerWithCertainty>, MeasureError> {
         if query.fragment().conjunctive {
             let mut answers = self.answers(query, db)?;
-            answers.retain(|a| a.certainty.value > min_certainty);
+            answers.retain(|a| exceeds_min_certainty(&a.certainty, min_certainty));
             Ok(answers)
         } else {
             self.answers_enumerated(query, db, min_certainty)
         }
     }
 
-    /// Measures a batch of pre-computed candidates (used by benches to
-    /// separate candidate generation from the Monte-Carlo phase).
+    /// Measures a batch of pre-computed candidates through the batch
+    /// engine, returning per-candidate answers in input order (the
+    /// accounting of [`CertaintyEngine::measure_batch`] is dropped).
     pub fn measure_candidates(
         &self,
         candidates: Vec<CandidateAnswer>,
     ) -> Result<Vec<AnswerWithCertainty>, MeasureError> {
-        let mut out = Vec::with_capacity(candidates.len());
-        for cand in candidates {
-            let certainty = if cand.certain {
-                CertaintyEstimate::exact_rational(Rational::ONE, 0)
-            } else {
-                self.nu(&cand.formula)?
-            };
-            out.push(AnswerWithCertainty { tuple: cand.tuple, certainty, formula: cand.formula });
+        Ok(self.measure_batch(candidates)?.answers)
+    }
+
+    /// The cache key granularity for a canonical formula under the
+    /// engine's method. The structural key is bit-safe everywhere; the
+    /// coarser asymptotic key is used only on the *sampling* route,
+    /// where asymptotic-truth-equal formulas evaluate identically per
+    /// direction (see `qarith_constraints::canonical`). The geometric
+    /// FPRAS and the exact evaluators keep the structural key: their
+    /// `f64` intermediates are scale-sensitive. Keys are prefixed so the
+    /// two granularities never collide.
+    fn group_key(&self, canon: &Canonical) -> String {
+        let sampling = match self.options.method {
+            MethodChoice::Afpras => true,
+            MethodChoice::Fpras | MethodChoice::ExactOnly => false,
+            MethodChoice::Auto => {
+                !exact_applicable(&canon.formula.ae_simplified(), self.options.exact_order_limit)
+            }
+        };
+        if sampling {
+            format!("a:{}", canon.asymptotic_key())
+        } else {
+            format!("s:{}", canon.structural_key)
         }
-        Ok(out)
+    }
+
+    /// Measures a batch of candidates with canonical deduplication, the
+    /// ν-cache, and parallel fan-out over unique formulas.
+    ///
+    /// Pipeline per call:
+    ///
+    /// 1. every uncertain candidate's ground formula is canonicalized
+    ///    (`qarith_constraints::canonical`) and grouped by cache key;
+    /// 2. groups found in the engine's [`NuCache`] are served directly;
+    /// 3. the remaining unique formulas are measured concurrently by
+    ///    [`BatchOptions::threads`] scoped workers, each running the
+    ///    engine's configured method — one `CompiledFormula` per unique
+    ///    formula instead of one per candidate;
+    /// 4. per-candidate results are rehydrated in input order, with
+    ///    [`CertaintyEstimate::cached`] marking values that were shared
+    ///    rather than recomputed.
+    ///
+    /// For a fixed seed the answers are **bit-identical** to the plain
+    /// sequential per-candidate loop (`dedup: false, threads: 1`): the
+    /// measured representative is the structural canonical form, which
+    /// every evaluator treats exactly like the original formula, and
+    /// asymptotic grouping is restricted to the sampling route where
+    /// group members evaluate identically at every direction
+    /// (`tests/method_consistency.rs` locks this in). Errors surface as
+    /// the first failing candidate's error, as in the sequential loop.
+    pub fn measure_batch(
+        &self,
+        candidates: Vec<CandidateAnswer>,
+    ) -> Result<BatchOutcome, MeasureError> {
+        /// Where a candidate's estimate comes from.
+        enum Slot {
+            /// Executor-certain: μ = 1 without measuring.
+            Certain,
+            /// Index into `groups`; the flag marks the group's first,
+            /// freshly-measured candidate (false ⇒ served from dedup or
+            /// cache ⇒ flagged `cached`).
+            Group(usize, bool),
+        }
+
+        let fingerprint = self.options.fingerprint();
+        let mut stats = BatchStats {
+            candidates: candidates.len(),
+            threads: self.options.batch.threads.max(1),
+            ..BatchStats::default()
+        };
+
+        // Groups: the formula to measure (the structural canonical form
+        // when dedup is on — bit-identical to the member formulas — or
+        // the original formula verbatim when dedup is off) plus the
+        // ν-cache key (`None` with dedup off: nothing is shared).
+        let mut groups: Vec<(QfFormula, Option<String>)> = Vec::new();
+        let mut results: Vec<Option<Result<CertaintyEstimate, MeasureError>>> = Vec::new();
+        let mut by_key: HashMap<String, usize> = HashMap::new();
+        let mut slots: Vec<Slot> = Vec::with_capacity(candidates.len());
+        // Structural interning memoizes canonicalization across literal
+        // repeats; route selection (ae-simplify + key build) runs once
+        // per structural class, not per candidate.
+        let mut interner = canonical::FormulaInterner::new();
+        let mut key_of_class: HashMap<u32, String> = HashMap::new();
+
+        for cand in &candidates {
+            if cand.certain {
+                stats.certain += 1;
+                slots.push(Slot::Certain);
+                continue;
+            }
+            if !self.options.batch.dedup {
+                groups.push((cand.formula.clone(), None));
+                results.push(None);
+                slots.push(Slot::Group(groups.len() - 1, true));
+                continue;
+            }
+            let class = interner.intern(&cand.formula);
+            let key = key_of_class
+                .entry(class)
+                .or_insert_with(|| self.group_key(interner.get(class)))
+                .clone();
+            match by_key.entry(key) {
+                Entry::Occupied(e) => {
+                    stats.dedup_hits += 1;
+                    slots.push(Slot::Group(*e.get(), false));
+                }
+                Entry::Vacant(e) => {
+                    let served = self.cache.as_ref().and_then(|c| c.get(e.key(), fingerprint));
+                    let fresh = served.is_none();
+                    if !fresh {
+                        stats.cache_hits += 1;
+                    }
+                    groups.push((interner.get(class).formula.clone(), Some(e.key().clone())));
+                    results.push(served.map(Ok));
+                    e.insert(groups.len() - 1);
+                    slots.push(Slot::Group(groups.len() - 1, fresh));
+                }
+            }
+        }
+        stats.groups = groups.len();
+
+        // Fan the not-yet-known groups out across scoped workers.
+        let pending: Vec<usize> =
+            results.iter().enumerate().filter_map(|(i, r)| r.is_none().then_some(i)).collect();
+        stats.measured = pending.len();
+        let threads = stats.threads.min(pending.len().max(1));
+        if threads <= 1 {
+            for &gi in &pending {
+                let result = self.nu(&groups[gi].0);
+                let failed = result.is_err();
+                results[gi] = Some(result);
+                if failed {
+                    // Groups are in first-occurrence order, so this error
+                    // is the first one in candidate order: later groups
+                    // would be discarded anyway.
+                    break;
+                }
+            }
+        } else {
+            // Atomic work queue: formulas have heterogeneous cost
+            // (dimension-dependent sample loops), so workers pop the next
+            // pending group instead of owning a static chunk. Results are
+            // per-group, hence deterministic regardless of which worker
+            // measures what.
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let (groups, pending, next) = (&groups, &pending, &next);
+            let fresh: Vec<Vec<(usize, Result<CertaintyEstimate, MeasureError>)>> =
+                std::thread::scope(|scope| {
+                    let workers: Vec<_> = (0..threads)
+                        .map(|_| {
+                            scope.spawn(move || {
+                                let mut local = Vec::new();
+                                loop {
+                                    let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                    let Some(&gi) = pending.get(k) else { break };
+                                    local.push((gi, self.nu(&groups[gi].0)));
+                                }
+                                local
+                            })
+                        })
+                        .collect();
+                    workers.into_iter().map(|w| w.join().expect("batch worker")).collect()
+                });
+            for (gi, result) in fresh.into_iter().flatten() {
+                results[gi] = Some(result);
+            }
+        }
+
+        // Publish fresh results to the persistent cache.
+        if let Some(cache) = self.cache.as_ref() {
+            for &gi in &pending {
+                if let (Some(Ok(est)), Some(key)) = (&results[gi], &groups[gi].1) {
+                    cache.insert(key.clone(), fingerprint, est.clone());
+                }
+            }
+        }
+
+        // Rehydrate per-candidate answers in input order; the first error
+        // in candidate order aborts, matching the sequential loop.
+        let mut answers = Vec::with_capacity(candidates.len());
+        for (cand, slot) in candidates.into_iter().zip(slots) {
+            let certainty = match slot {
+                Slot::Certain => CertaintyEstimate::exact_rational(Rational::ONE, 0),
+                Slot::Group(gi, fresh) => match &results[gi] {
+                    Some(Ok(est)) => {
+                        let mut est = est.clone();
+                        est.cached |= !fresh;
+                        est
+                    }
+                    Some(Err(_)) => {
+                        return Err(results[gi].take().expect("checked").expect_err("is error"));
+                    }
+                    // Only reachable past an early error break, and the
+                    // erroring group's first candidate precedes every
+                    // unmeasured group's candidates, so the Err branch
+                    // above returns first.
+                    None => unreachable!("unmeasured group after error return"),
+                },
+            };
+            answers.push(AnswerWithCertainty {
+                tuple: cand.tuple,
+                certainty,
+                formula: cand.formula,
+            });
+        }
+        Ok(BatchOutcome { answers, stats })
     }
 
     /// Candidate answers for an **arbitrary** FO(+,·,<) query by
@@ -241,7 +558,7 @@ impl CertaintyEngine {
             let tuple = Tuple::new(candidate.clone());
             let phi = ground::ground(query, db, &tuple)?;
             let certainty = self.nu(&phi)?;
-            if certainty.value > min_certainty {
+            if exceeds_min_certainty(&certainty, min_certainty) {
                 out.push(AnswerWithCertainty { tuple, certainty, formula: phi });
             }
             return Ok(());
@@ -373,6 +690,153 @@ mod tests {
         });
         let est = fpras.measure(&q, &db, &t).unwrap();
         assert!((est.value - 0.5).abs() < 0.1);
+    }
+
+    fn uncertain_candidate(formula: QfFormula, id: i64) -> CandidateAnswer {
+        CandidateAnswer {
+            tuple: Tuple::new(vec![Value::int(id)]),
+            formula,
+            derivations: 1,
+            certain: false,
+            truncated: false,
+        }
+    }
+
+    /// μ-relevant fields only (`cached` is provenance, not identity).
+    fn fingerprint_of(est: &CertaintyEstimate) -> (u64, Option<Rational>, usize, usize) {
+        (est.value.to_bits(), est.exact, est.samples, est.dimension)
+    }
+
+    fn renamed_pair() -> (CandidateAnswer, CandidateAnswer) {
+        use qarith_constraints::{Atom, ConstraintOp, Polynomial, Var};
+        // Same shape over different nulls and different constants: the
+        // asymptotic key merges them on the sampling route.
+        let mk = |v: u32, c: i64| {
+            QfFormula::atom(Atom::new(
+                Polynomial::var(Var(v)) - Polynomial::constant(Rational::from_int(c)),
+                ConstraintOp::Gt,
+            ))
+        };
+        (uncertain_candidate(mk(3, 27), 1), uncertain_candidate(mk(9, 31), 2))
+    }
+
+    #[test]
+    fn batch_dedups_renamed_formulas_on_the_sampling_route() {
+        let (a, b) = renamed_pair();
+        let engine = CertaintyEngine::new(MeasureOptions {
+            method: MethodChoice::Afpras,
+            ..MeasureOptions::default()
+        });
+        let outcome = engine.measure_batch(vec![a, b]).unwrap();
+        assert_eq!(outcome.stats.candidates, 2);
+        assert_eq!(outcome.stats.groups, 1, "one canonical class");
+        assert_eq!(outcome.stats.dedup_hits, 1);
+        assert_eq!(outcome.stats.measured, 1);
+        assert!(!outcome.answers[0].certainty.cached);
+        assert!(outcome.answers[1].certainty.cached, "second member is served, not recomputed");
+        assert_eq!(
+            fingerprint_of(&outcome.answers[0].certainty),
+            fingerprint_of(&outcome.answers[1].certainty),
+        );
+    }
+
+    #[test]
+    fn batch_matches_sequential_bitwise() {
+        let (a, b) = renamed_pair();
+        for method in [MethodChoice::Auto, MethodChoice::Afpras, MethodChoice::Fpras] {
+            let options = MeasureOptions { method, ..MeasureOptions::default() };
+            let sequential = CertaintyEngine::new(MeasureOptions {
+                batch: BatchOptions { threads: 1, dedup: false },
+                ..options.clone()
+            });
+            let batched = CertaintyEngine::new(MeasureOptions {
+                batch: BatchOptions { threads: 4, dedup: true },
+                ..options
+            });
+            let s = sequential.measure_candidates(vec![a.clone(), b.clone()]).unwrap();
+            let p = batched.measure_candidates(vec![a.clone(), b.clone()]).unwrap();
+            for (x, y) in s.iter().zip(&p) {
+                assert_eq!(
+                    fingerprint_of(&x.certainty),
+                    fingerprint_of(&y.certainty),
+                    "{method:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nu_cache_serves_across_batches() {
+        let (a, b) = renamed_pair();
+        let cache = std::sync::Arc::new(NuCache::new());
+        let engine = CertaintyEngine::new(MeasureOptions {
+            method: MethodChoice::Afpras,
+            ..MeasureOptions::default()
+        })
+        .with_cache(cache.clone());
+
+        let first = engine.measure_batch(vec![a.clone()]).unwrap();
+        assert_eq!(first.stats.cache_hits, 0);
+        let second = engine.measure_batch(vec![b.clone()]).unwrap();
+        assert_eq!(second.stats.cache_hits, 1, "served from the persistent cache");
+        assert_eq!(second.stats.measured, 0);
+        assert!(second.answers[0].certainty.cached);
+        assert_eq!(
+            fingerprint_of(&first.answers[0].certainty),
+            fingerprint_of(&second.answers[0].certainty),
+        );
+        assert_eq!(cache.stats().entries, 1);
+
+        // A different ε is a different fingerprint: no false sharing.
+        let other = CertaintyEngine::new(
+            MeasureOptions { method: MethodChoice::Afpras, ..MeasureOptions::default() }
+                .with_epsilon(0.03),
+        )
+        .with_cache(cache.clone());
+        let third = other.measure_batch(vec![a]).unwrap();
+        assert_eq!(third.stats.cache_hits, 0);
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn batch_handles_certain_and_errors() {
+        use qarith_constraints::{Atom, ConstraintOp, Polynomial, Var};
+        let certain = CandidateAnswer {
+            tuple: Tuple::new(vec![Value::int(0)]),
+            formula: QfFormula::True,
+            derivations: 0,
+            certain: true,
+            truncated: false,
+        };
+        let nonlinear = uncertain_candidate(
+            QfFormula::atom(Atom::new(
+                Polynomial::var(Var(0)) * Polynomial::var(Var(1)),
+                ConstraintOp::Lt,
+            )),
+            1,
+        );
+        // FPRAS rejects nonlinear formulas: the batch surfaces the error.
+        let engine = CertaintyEngine::new(MeasureOptions {
+            method: MethodChoice::Fpras,
+            ..MeasureOptions::default()
+        });
+        let err = engine.measure_batch(vec![certain.clone(), nonlinear]).unwrap_err();
+        assert!(matches!(err, MeasureError::NotLinear));
+        // Certain candidates never sample.
+        let ok = engine.measure_batch(vec![certain]).unwrap();
+        assert_eq!(ok.stats.certain, 1);
+        assert_eq!(ok.stats.groups, 0);
+        assert!(ok.answers[0].certainty.is_certain());
+    }
+
+    #[test]
+    fn min_certainty_predicate_is_strict() {
+        let half = CertaintyEstimate::exact_rational(Rational::new(1, 2), 1);
+        assert!(exceeds_min_certainty(&half, 0.0));
+        assert!(exceeds_min_certainty(&half, 0.49));
+        assert!(!exceeds_min_certainty(&half, 0.5), "boundary is excluded");
+        let zero = CertaintyEstimate::exact_rational(Rational::ZERO, 0);
+        assert!(!exceeds_min_certainty(&zero, 0.0), "impossible answers drop at 0.0");
     }
 
     #[test]

@@ -81,6 +81,18 @@ impl CqOptions {
             ..CqOptions::default()
         }
     }
+
+    /// Options for an optional statement-level `LIMIT` — the one helper
+    /// that carries a lowered SQL statement's limit into execution.
+    /// `Some(n)` gives candidate-counting `LIMIT n` (the analyst sees `n`
+    /// *distinct* results, as in the paper's §9 experiment); `None` scans
+    /// exhaustively.
+    pub fn for_limit(limit: Option<usize>) -> CqOptions {
+        match limit {
+            Some(n) => CqOptions::with_candidate_limit(n),
+            None => CqOptions::default(),
+        }
+    }
 }
 
 /// One candidate answer with its ground formula.

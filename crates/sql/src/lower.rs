@@ -1,3 +1,4 @@
+use qarith_engine::cq::CqOptions;
 use qarith_numeric::Rational;
 use qarith_query::{Arg, BaseTerm, CompareOp, Formula, NumTerm, Query, TypedVar};
 use qarith_types::{Catalog, RelationSchema, Sort};
@@ -14,6 +15,16 @@ pub struct LoweredQuery {
     pub query: Query,
     /// The `LIMIT n`, if present.
     pub limit: Option<usize>,
+}
+
+impl LoweredQuery {
+    /// Execution options carrying this statement's `LIMIT` into the CQ
+    /// executor (candidate-counting semantics, via
+    /// [`CqOptions::for_limit`]). This is the one place a lowered
+    /// statement's limit crosses from parsing into execution.
+    pub fn cq_options(&self) -> CqOptions {
+        CqOptions::for_limit(self.limit)
+    }
 }
 
 /// Lowers a parsed statement against a catalog.
@@ -328,6 +339,19 @@ mod tests {
         assert!(frag.conjunctive);
         // rrp·dis is a product of two variables: degree 2.
         assert_eq!(frag.arith, ArithLevel::Poly);
+    }
+
+    #[test]
+    fn cq_options_carry_the_limit() {
+        let lowered = compile("SELECT P.seg FROM Products P LIMIT 7");
+        let opts = lowered.cq_options();
+        assert_eq!(opts.limit, Some(7));
+        assert!(opts.count_candidates, "statement LIMIT counts distinct candidates");
+        assert!(!opts.exhaustive);
+        let unlimited = compile("SELECT P.seg FROM Products P");
+        let opts = unlimited.cq_options();
+        assert_eq!(opts.limit, None);
+        assert!(opts.exhaustive, "no LIMIT scans everything");
     }
 
     #[test]

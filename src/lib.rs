@@ -39,9 +39,10 @@ pub use qarith_types as types;
 
 /// The most common imports, for examples and downstream users.
 pub mod prelude {
+    pub use qarith_constraints::canonical::{canonicalize, Canonical, FormulaInterner};
     pub use qarith_core::{
-        AnswerWithCertainty, CertaintyEngine, CertaintyEstimate, MeasureOptions, Method,
-        MethodChoice,
+        AnswerWithCertainty, BatchOptions, BatchOutcome, BatchStats, CacheStats, CertaintyEngine,
+        CertaintyEstimate, MeasureOptions, Method, MethodChoice, NuCache,
     };
     pub use qarith_engine::cq::CqOptions;
     pub use qarith_numeric::Rational;

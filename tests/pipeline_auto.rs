@@ -101,6 +101,39 @@ fn min_certainty_filters_both_routes() {
 }
 
 #[test]
+fn min_certainty_boundary_is_exclusive_on_both_routes() {
+    // Seller b's measure is exactly 1/2 (one unconstrained null). The
+    // admission predicate (`qarith::core::pipeline::exceeds_min_certainty`)
+    // is documented as *strictly greater*, shared by the conjunctive fast
+    // path and the enumeration fallback: a candidate sitting exactly at
+    // the threshold is excluded by both, and nudging the threshold just
+    // below readmits it on both.
+    let db = db();
+    let engine = CertaintyEngine::new(MeasureOptions::default());
+
+    let cq = cheap_offers(&db);
+    assert!(cq.fragment().conjunctive);
+    let fo = cheap_offers_negated(&db);
+    assert!(!fo.fragment().conjunctive);
+
+    for (query, route) in [(&cq, "conjunctive"), (&fo, "enumerated")] {
+        let at_half = engine.answers_auto(query, &db, 0.5).unwrap();
+        assert_eq!(at_half.len(), 1, "{route}: μ = 1/2 is excluded at min_certainty = 1/2");
+        assert_eq!(at_half[0].tuple.get(0).to_string(), "\"a\"");
+
+        let below_half = engine.answers_auto(query, &db, 0.4999).unwrap();
+        assert_eq!(below_half.len(), 2, "{route}: μ = 1/2 passes a threshold just below");
+
+        // μ = 0 candidates (seller c) stay excluded even at 0.0.
+        let at_zero = engine.answers_auto(query, &db, 0.0).unwrap();
+        assert!(
+            at_zero.iter().all(|a| a.tuple.get(0).to_string() != "\"c\""),
+            "{route}: impossible answers are excluded at min_certainty = 0.0"
+        );
+    }
+}
+
+#[test]
 fn universal_queries_route_through_enumeration() {
     // q(s) = ∀p Offer(s,p) → p < 20: sellers whose *every* offer is cheap.
     let db = db();
