@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 use qarith_core::afpras::{estimate_nu_compiled, AfprasOptions, SampleCount};
 use qarith_core::{
     BatchOptions, BatchStats, CertaintyEngine, CertaintyEstimate, MeasureOptions, MethodChoice,
-    NuCache,
+    NuCache, RewriteOptions,
 };
 use qarith_datagen::sales::{paper_queries, sales_catalog, sales_database, SalesScale};
 use qarith_engine::cq::{self, CandidateAnswer};
@@ -130,6 +130,7 @@ impl Fig1Harness {
                     samples: out.samples,
                     dimension: out.dimension,
                     cached: false,
+                    rewritten: false,
                 });
             }
         }
@@ -176,7 +177,36 @@ impl Fig1Harness {
         batch: BatchOptions,
         cache: Option<Arc<NuCache>>,
     ) -> BatchPoint {
+        self.run_engine(Fig1Harness::paper_engine(epsilon, seed, batch), query_idx, epsilon, cache)
+    }
+
+    /// Like [`Fig1Harness::run_epsilon_batch`] but with the
+    /// `qarith-rewrite` pipeline enabled (full pass set): formulas are
+    /// simplified and decomposed before measurement, factors route to
+    /// exact evaluators where possible, and the ν-cache keys pick up the
+    /// rewritten forms. Estimates are **not** bit-identical to the
+    /// unrewritten paths but carry the same ε-additive guarantee.
+    pub fn run_epsilon_rewritten(
+        &self,
+        query_idx: usize,
+        epsilon: f64,
+        seed: u64,
+        batch: BatchOptions,
+        cache: Option<Arc<NuCache>>,
+    ) -> BatchPoint {
         let mut engine = Fig1Harness::paper_engine(epsilon, seed, batch);
+        let options = engine.options().clone().with_rewrite(RewriteOptions::full());
+        engine = CertaintyEngine::new(options);
+        self.run_engine(engine, query_idx, epsilon, cache)
+    }
+
+    fn run_engine(
+        &self,
+        mut engine: CertaintyEngine,
+        query_idx: usize,
+        epsilon: f64,
+        cache: Option<Arc<NuCache>>,
+    ) -> BatchPoint {
         if let Some(cache) = cache {
             engine = engine.with_cache(cache);
         }

@@ -18,6 +18,8 @@
 
 use std::collections::HashMap;
 
+use qarith_numeric::Rational;
+
 use crate::atom::{Atom, ConstraintOp};
 use crate::formula::QfFormula;
 use crate::polynomial::Polynomial;
@@ -33,13 +35,18 @@ pub fn limit_sign_along(p: &Polynomial, dir: &[f64]) -> i32 {
     if p.is_zero() {
         return 0;
     }
-    let max_d = p.degree();
-    for d in (0..=max_d).rev() {
-        let comp = p.homogeneous_component(d);
-        if comp.is_zero() {
-            continue;
-        }
-        let v = comp.eval_f64(dir);
+    // One pass over the term map, bucketing per-degree sums — avoids
+    // materializing a `Polynomial` per homogeneous component, which
+    // dominated the exact evaluators (they call this once per cell/arc).
+    // Terms of equal degree are visited in the same (graded) order the
+    // component polynomials would store them, and each term is evaluated
+    // as `coeff · monomial`, so every per-degree sum is bit-identical to
+    // `homogeneous_component(d).eval_f64(dir)`.
+    let mut by_degree = vec![0.0f64; p.degree() as usize + 1];
+    for (m, c) in p.terms() {
+        by_degree[m.degree() as usize] += c.to_f64() * m.eval_f64(dir);
+    }
+    for v in by_degree.into_iter().rev() {
         if v > 0.0 {
             return 1;
         }
@@ -56,6 +63,74 @@ pub fn limit_sign_along(p: &Polynomial, dir: &[f64]) -> i32 {
 /// `lim_{k→∞} [a ⋈ 0 at k·dir]` for a single atom (Lemma 8.4).
 pub fn atom_limit_truth(a: &Atom, dir: &[f64]) -> bool {
     a.op().holds(limit_sign_along(a.poly(), dir))
+}
+
+/// The limit sign of `p` along **almost every** direction, when exact ℚ
+/// bound propagation can determine it; `None` when it cannot.
+///
+/// The a.e. limit sign is the sign of the top nonzero homogeneous
+/// component `h` of `p`: for a.e. direction `a`, `h(a) ≠ 0` (the zero
+/// set of a nonzero polynomial is a null set of the sphere) and then
+/// [`limit_sign_along`] reads the sign off `h`. Whether that sign is
+/// constant is decided by interval propagation over `|aᵢ| ≤ 1` (true on
+/// the unit sphere): a monomial with all-even exponents ranges over
+/// `[0, 1]`, any other monomial over `[−1, 1]`; scaling by the
+/// coefficient and summing bounds `h` from both sides, exactly in ℚ.
+/// If the lower bound is ≥ 0 then `h ≥ 0` everywhere, so the a.e. limit
+/// sign is `+1` (dually `−1` for an upper bound ≤ 0).
+///
+/// The propagation is conservative: a `None` only costs a
+/// simplification opportunity, never correctness. A `Some` is exact
+/// with respect to the direction measure `ν` — replacing `p ⋈ 0` by the
+/// constant `⋈`-truth of the returned sign changes the formula's limit
+/// truth only on a null set of directions, so `ν` is preserved exactly
+/// (the same argument that justifies the equality/disequality
+/// elimination of the almost-everywhere simplifier).
+pub fn constant_limit_sign(p: &Polynomial) -> Option<i32> {
+    if p.is_zero() {
+        return Some(0);
+    }
+    // The top component's terms are exactly the terms of maximal total
+    // degree (the representation is canonical: no zero terms are
+    // stored), so one filtered pass suffices — this runs per atom in
+    // the rewrite pipeline's fold pass, so no intermediate polynomials
+    // are materialized.
+    let top = p.degree();
+    if top == 0 {
+        return p.as_constant().map(|c| c.signum());
+    }
+    let mut low = Rational::ZERO;
+    let mut high = Rational::ZERO;
+    for (m, c) in p.terms() {
+        if m.degree() != top {
+            continue;
+        }
+        let even = m.factors().iter().all(|&(_, e)| e % 2 == 0);
+        if even {
+            if c.signum() > 0 {
+                high += *c;
+            } else {
+                low += *c;
+            }
+        } else {
+            let a = c.abs();
+            low -= a;
+            high += a;
+        }
+    }
+    if low.signum() >= 0 {
+        Some(1)
+    } else if high.signum() <= 0 {
+        Some(-1)
+    } else {
+        None
+    }
+}
+
+/// The truth of `a` along almost every direction, when
+/// [`constant_limit_sign`] determines the sign of its polynomial.
+pub fn constant_limit_truth(a: &Atom) -> Option<bool> {
+    constant_limit_sign(a.poly()).map(|s| a.op().holds(s))
 }
 
 /// `lim_{k→∞} f_{φ,dir}(k)` for a formula (Lemma 8.2 guarantees the limit
@@ -394,6 +469,42 @@ mod tests {
         assert!(t.limit_truth(&[], &mut t.new_memo()));
         let f = CompiledFormula::compile(&QfFormula::False);
         assert!(!f.limit_truth(&[], &mut f.new_memo()));
+    }
+
+    #[test]
+    fn constant_limit_sign_bound_propagation() {
+        // Sums of even powers with uniform coefficient sign are decided.
+        assert_eq!(constant_limit_sign(&(z(0) * z(0) + z(1) * z(1))), Some(1));
+        assert_eq!(constant_limit_sign(&(c(-2) * z(0) * z(0) - z(1) * z(1))), Some(-1));
+        // Constants in lower components are asymptotically irrelevant.
+        assert_eq!(constant_limit_sign(&(z(0) * z(0) - c(1_000_000))), Some(1));
+        // Mixed even/odd terms stay conservative: z0² + z0z1 + z1² is in
+        // fact positive semidefinite, but the interval bound is [−1, 2],
+        // so the analysis declines (soundly) to decide it.
+        assert_eq!(constant_limit_sign(&(z(0) * z(0) + z(0) * z(1) + z(1) * z(1))), None);
+        assert_eq!(constant_limit_sign(&(c(2) * z(0) * z(0) + z(0) * z(1))), None);
+        // Odd monomials alone are undecided; zero is decided.
+        assert_eq!(constant_limit_sign(&z(0)), None);
+        assert_eq!(constant_limit_sign(&Polynomial::zero()), Some(0));
+        // Constant polynomials read their own sign.
+        assert_eq!(constant_limit_sign(&c(3)), Some(1));
+        assert_eq!(constant_limit_sign(&c(-3)), Some(-1));
+    }
+
+    #[test]
+    fn constant_limit_truth_matches_sampled_directions() {
+        let a = Atom::new(z(0) * z(0) + z(1) * z(1) - c(5), ConstraintOp::Gt);
+        assert_eq!(constant_limit_truth(&a), Some(true));
+        let b = Atom::new(z(0) * z(0) - c(5), ConstraintOp::Le);
+        assert_eq!(constant_limit_truth(&b), Some(false));
+        for dir in [[0.6, 0.8], [-0.9, 0.1], [0.0, -1.0], [1.0, 0.0]] {
+            assert!(atom_limit_truth(&a, &dir), "at {dir:?}");
+        }
+        // (The a.e. claim: along a null set — here a₀ = 0 — the sign can
+        // differ; everywhere else it matches.)
+        for dir in [[0.6], [-0.9], [1.0]] {
+            assert!(!atom_limit_truth(&b, &dir), "at {dir:?}");
+        }
     }
 
     #[test]

@@ -79,14 +79,32 @@ impl Canonical {
 /// Canonicalizes a formula: NNF, order-preserving dense renumbering, and
 /// the structural key.
 pub fn canonicalize(phi: &QfFormula) -> Canonical {
+    let formula = renumbered(phi);
+    let dim = formula.vars().len();
+    let structural_key = formula.to_string();
+    Canonical { formula, dim, structural_key }
+}
+
+/// The structural canonical *formula* alone — NNF plus order-preserving
+/// dense renumbering — without serializing the structural key. For
+/// callers that go on to build a different key (e.g. the batch engine's
+/// rewritten asymptotic keys via [`asymptotic_key_of`]), skipping the
+/// serialization saves the most expensive part of [`canonicalize`].
+pub fn renumbered(phi: &QfFormula) -> QfFormula {
     let nnf = phi.nnf();
     let vars: Vec<Var> = nnf.vars().into_iter().collect();
     let rank: HashMap<Var, Var> =
         vars.iter().enumerate().map(|(i, &v)| (v, Var(i as u32))).collect();
-    let formula = rename(&nnf, &rank);
-    let dim = vars.len();
-    let structural_key = formula.to_string();
-    Canonical { formula, dim, structural_key }
+    rename(&nnf, &rank)
+}
+
+/// The asymptotic grouping key of an already-renumbered NNF formula
+/// (the output of [`renumbered`] or [`Canonical::formula`]). Equal keys
+/// ⇒ identical asymptotic truth functions, exactly as for
+/// [`Canonical::asymptotic_key`] — this is the same computation without
+/// requiring the full [`Canonical`].
+pub fn asymptotic_key_of(phi: &QfFormula) -> String {
+    asymptotic_key(phi)
 }
 
 /// Renames variables through the given map (order-preserving maps keep
@@ -107,15 +125,18 @@ fn rename(f: &QfFormula, map: &HashMap<Var, Var>) -> QfFormula {
 /// sign of each component at every point is preserved, so the asymptotic
 /// sign function of the polynomial (Lemma 8.4) is unchanged.
 pub fn scale_normalized(p: &Polynomial) -> Polynomial {
+    // Single pass, no per-component polynomials: the leading coefficient
+    // of a component is the first term of that degree in the (graded)
+    // term order, which a filtered scan visits first as well. This runs
+    // per atom on every asymptotic-key build — the batch engine's
+    // grouping hot path.
+    let mut lead: HashMap<u32, Rational> = HashMap::new();
+    for (m, c) in p.terms() {
+        lead.entry(m.degree()).or_insert_with(|| c.abs());
+    }
     let mut out = Polynomial::zero();
-    for d in 0..=p.degree() {
-        let comp = p.homogeneous_component(d);
-        if comp.is_zero() {
-            continue;
-        }
-        let lead = comp.terms().next().map(|(_, c)| c.abs()).expect("nonzero component");
-        let scaled = comp.checked_scale(&(Rational::ONE / lead)).expect("unit rescale");
-        out = out.checked_add(&scaled).expect("disjoint degrees");
+    for (m, c) in p.terms() {
+        out.add_term(m.clone(), *c / lead[&m.degree()]).expect("unit rescale");
     }
     out
 }

@@ -220,6 +220,16 @@ impl QfFormula {
     ///
     /// (Identically-zero equalities never survive to this point: the
     /// [`QfFormula::atom`] constructor folds constant atoms.)
+    ///
+    /// **Deprecated:** this pass is subsumed by the `qarith-rewrite`
+    /// crate's pipeline (`qarith_rewrite::ae_simplify` reproduces it
+    /// bit for bit; `qarith_rewrite::Rewriter` adds constant-sign
+    /// folding, Boolean normalization, and independence decomposition
+    /// on top). The body below is frozen so existing callers keep the
+    /// exact historical behavior; new code should go through
+    /// `qarith-rewrite`, which is the one live simplifier.
+    #[deprecated(note = "use qarith_rewrite::ae_simplify (bit-identical) or \
+                         qarith_rewrite::Rewriter for the full pass pipeline")]
     pub fn ae_simplified(&self) -> QfFormula {
         fn go(f: &QfFormula) -> QfFormula {
             match f {
@@ -506,6 +516,9 @@ mod tests {
         assert_eq!(f.atom_count(), 2);
     }
 
+    // The shim's behavior is frozen; these tests pin it (and
+    // tests/rewrite_soundness.rs pins qarith_rewrite::ae_simplify to it).
+    #[allow(deprecated)]
     #[test]
     fn ae_simplification_replaces_equalities() {
         use crate::atom::ConstraintOp;
@@ -521,12 +534,14 @@ mod tests {
         assert_eq!(eq.negated().ae_simplified(), QfFormula::True);
     }
 
+    #[allow(deprecated)]
     #[test]
     fn ae_simplification_keeps_inequalities_intact() {
         let f = QfFormula::and([lt(z(0) + z(1)), gt(z(1) * z(1))]);
         assert_eq!(f.ae_simplified(), f);
     }
 
+    #[allow(deprecated)]
     #[test]
     fn ae_simplification_pushes_through_negation() {
         // ¬(z0 < 0 ∧ z1 = 0) ⇝ (z0 ≥ 0) ∨ (z1 ≠ 0) ⇝ true.

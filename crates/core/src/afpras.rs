@@ -214,6 +214,7 @@ pub fn afpras_estimate(
         samples: out.samples,
         dimension: out.dimension,
         cached: false,
+        rewritten: false,
     })
 }
 

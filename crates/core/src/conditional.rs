@@ -81,6 +81,7 @@ impl CertaintyEngine {
             samples: numerator.samples + denominator.samples,
             dimension: numerator.dimension.max(denominator.dimension),
             cached: numerator.cached && denominator.cached,
+            rewritten: numerator.rewritten || denominator.rewritten,
         })
     }
 }

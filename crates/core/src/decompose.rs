@@ -1,0 +1,422 @@
+//! Decomposed measurement: the rewrite pipeline's executor.
+//!
+//! [`measure_rewritten`] is what `CertaintyEngine::nu` runs when
+//! `MeasureOptions::rewrite.enabled` is set. It rewrites the formula
+//! through `qarith-rewrite` (simplification + independence
+//! decomposition), measures each variable-disjoint factor separately —
+//! routing factors to the exact evaluators wherever they apply, which
+//! the decomposition makes far more frequent — and multiplies, which is
+//! exact because the factors' asymptotic events are independent under
+//! the uniform direction measure (see `qarith_rewrite::decompose`).
+//!
+//! **Error accounting.** Exactly-evaluated factors contribute zero
+//! error, and multiplying an estimate by exact constants in `[0, 1]`
+//! never grows its error, so the full ε/δ budget goes to whatever still
+//! needs sampling. Under the default [`FactorBudget::Residual`] policy
+//! the sampled factors are rejoined and measured once with the full
+//! budget: `|ν̂ᵣ·∏νₑ − νᵣ·∏νₑ| = ∏νₑ·|ν̂ᵣ − νᵣ| ≤ ε`, and the run draws
+//! no more directions than the unrewritten one (over a no-larger
+//! formula in a no-larger direction space). [`FactorBudget::Split`]
+//! instead samples each of the `k` residual factors with an `ε/k`
+//! additive budget and `δ/k` failure probability: since every
+//! `νᵢ, ν̂ᵢ ∈ [0, 1]`, telescoping gives
+//! `|∏ν̂ᵢ − ∏νᵢ| ≤ Σ|ν̂ᵢ − νᵢ| ≤ ε`, with total failure probability
+//! ≤ δ by the union bound. For the multiplicative FPRAS only the
+//! residual policy is used: the exact factors are relative-error-free,
+//! so the joint residual keeps the full relative budget.
+//!
+//! **Determinism.** Every factor measurement is a deterministic
+//! function of (factor, options) — exact closed forms, or Monte-Carlo
+//! with the configured seed — and the combination multiplies the factor
+//! values in ascending `f64` order, so the product does not depend on
+//! the (renaming-sensitive) factor discovery order. Estimates are
+//! therefore reproducible and safe to memoize in the ν-cache under a
+//! fingerprint that includes the [`qarith_rewrite::RewriteOptions`].
+
+use qarith_constraints::QfFormula;
+use qarith_numeric::Rational;
+use qarith_rewrite::{Combination, FactorBudget, RewriteOutcome, Rewriter};
+
+use crate::afpras::{afpras_estimate, AfprasOptions};
+use crate::error::MeasureError;
+use crate::estimate::{CertaintyEstimate, Method};
+use crate::exact::try_exact_extended;
+use crate::fpras::fpras_estimate;
+use crate::pipeline::{MeasureOptions, MethodChoice};
+
+/// Per-formula accounting of one rewritten measurement, aggregated into
+/// `BatchStats::rewrite` by the batch engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RewriteTrace {
+    /// Variable-disjoint factors the formula split into (0 for
+    /// constants, 1 when no decomposition applied).
+    pub factors: usize,
+    /// Factors measured by an exact evaluator.
+    pub exact_factors: usize,
+    /// Distinct variables before rewriting.
+    pub dim_before: usize,
+    /// Distinct variables after simplification (= Σ factor dimensions).
+    pub dim_after: usize,
+}
+
+/// Aggregate rewrite accounting over a batch (freshly measured groups
+/// only — ν-cache hits skip measurement and therefore leave no trace).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RewriteStats {
+    /// Groups measured through the rewrite pipeline.
+    pub groups: usize,
+    /// Groups that decomposed into ≥ 2 factors.
+    pub factored: usize,
+    /// Total factors across those groups.
+    pub factors: usize,
+    /// Factors routed to an exact evaluator.
+    pub exact_factors: usize,
+    /// Σ pre-rewrite dimensions.
+    pub dim_before: usize,
+    /// Σ post-rewrite dimensions.
+    pub dim_after: usize,
+}
+
+impl RewriteStats {
+    /// Folds one formula's trace into the aggregate.
+    pub fn absorb(&mut self, trace: &RewriteTrace) {
+        self.groups += 1;
+        if trace.factors >= 2 {
+            self.factored += 1;
+        }
+        self.factors += trace.factors;
+        self.exact_factors += trace.exact_factors;
+        self.dim_before += trace.dim_before;
+        self.dim_after += trace.dim_after;
+    }
+}
+
+/// Measures `ν(φ)` through the rewrite pipeline: simplify, decompose,
+/// route each factor (exact where possible), multiply. See the module
+/// docs for the error accounting and determinism arguments.
+pub fn measure_rewritten(
+    phi: &QfFormula,
+    options: &MeasureOptions,
+) -> Result<(CertaintyEstimate, RewriteTrace), MeasureError> {
+    measure_prepared(&Rewriter::new(options.rewrite).rewrite(phi), options)
+}
+
+/// [`measure_rewritten`] for an already-rewritten formula — the batch
+/// engine prepares the [`RewriteOutcome`] once per canonical class
+/// (while building the group key) and measures from it directly, so the
+/// pass pipeline never runs twice on the same formula.
+pub fn measure_prepared(
+    out: &RewriteOutcome,
+    options: &MeasureOptions,
+) -> Result<(CertaintyEstimate, RewriteTrace), MeasureError> {
+    let combination = out.decomposition.combination;
+    let factors = &out.decomposition.factors;
+    let trace = RewriteTrace {
+        factors: factors.len(),
+        exact_factors: 0,
+        dim_before: out.dim_before,
+        dim_after: out.dim_after,
+    };
+
+    // Constants are decided, not measured.
+    if factors.is_empty() {
+        let truth = matches!(out.formula, QfFormula::True);
+        let mut est = CertaintyEstimate::exact_rational(
+            if truth { Rational::ONE } else { Rational::ZERO },
+            0,
+        );
+        est.rewritten = true;
+        return Ok((est, trace));
+    }
+
+    // Route: exact evaluators per factor, the rest into the residual.
+    let mut trace = trace;
+    let mut parts: Vec<CertaintyEstimate> = Vec::with_capacity(factors.len());
+    let mut residual: Vec<&QfFormula> = Vec::new();
+    for factor in factors {
+        match try_exact_extended(factor, options.exact_order_limit) {
+            Some(est) => {
+                trace.exact_factors += 1;
+                parts.push(est);
+            }
+            None => residual.push(factor),
+        }
+    }
+
+    // Measure the residual under the configured scheme and budget. The
+    // rejoin connective matches the decomposition root, so the joint
+    // residual is exactly the undecomposed remainder.
+    if !residual.is_empty() {
+        let rejoin = |fs: &[&QfFormula]| {
+            let owned = fs.iter().map(|f| (*f).clone());
+            match combination {
+                Combination::Product => QfFormula::and(owned),
+                Combination::DualProduct => QfFormula::or(owned),
+            }
+        };
+        match options.method {
+            MethodChoice::ExactOnly => {
+                return Err(MeasureError::ExactUnavailable {
+                    reason: "a factor is not order/2-D-linear and has dimension > 1",
+                });
+            }
+            MethodChoice::Fpras => {
+                // Joint residual, full multiplicative budget: the exact
+                // factors are relative-error-free, and for the dual rule
+                // `1 − (1−ν̂ᵣ)·∏(1−νₑ)` the additive residual error
+                // `ε·νᵣ·∏(1−νₑ)` is bounded by ε times the true value.
+                parts.push(fpras_estimate(&rejoin(&residual), &options.fpras)?);
+            }
+            MethodChoice::Auto | MethodChoice::Afpras => match options.rewrite.budget {
+                FactorBudget::Residual => {
+                    parts.push(afpras_estimate(&rejoin(&residual), &options.afpras)?);
+                }
+                FactorBudget::Split => {
+                    let k = residual.len() as f64;
+                    let split = AfprasOptions {
+                        epsilon: options.afpras.epsilon / k,
+                        delta: options.afpras.delta / k,
+                        ..options.afpras.clone()
+                    };
+                    for factor in residual {
+                        parts.push(afpras_estimate(factor, &split)?);
+                    }
+                }
+            },
+        }
+    }
+
+    Ok((combine(&parts, combination, options), trace))
+}
+
+/// Combines factor estimates into one [`CertaintyEstimate`]: a product
+/// for conjunction factors, a complement product for disjunction
+/// factors.
+fn combine(
+    parts: &[CertaintyEstimate],
+    combination: Combination,
+    options: &MeasureOptions,
+) -> CertaintyEstimate {
+    // A single part needs no combination at all — pass it through (this
+    // also keeps exact single-factor values bit-identical to their
+    // evaluator's output, e.g. across `1 − (1 − ν)` double rounding).
+    if let [single] = parts {
+        let mut est = single.clone();
+        est.rewritten = true;
+        return est;
+    }
+
+    // Exact rational combination when every factor has one (degrading to
+    // the f64 path on the astronomically unlikely i128 overflow).
+    let exact = match combination {
+        Combination::Product => parts.iter().try_fold(Rational::ONE, |acc, p| {
+            p.exact.as_ref().and_then(|r| acc.checked_mul(r).ok())
+        }),
+        Combination::DualProduct => parts
+            .iter()
+            .try_fold(Rational::ONE, |acc, p| {
+                p.exact.as_ref().and_then(|r| acc.checked_mul(&(Rational::ONE - *r)).ok())
+            })
+            .map(|complement| Rational::ONE - complement),
+    };
+
+    // Ascending-order multiplication: f64 products are order-sensitive,
+    // and factor discovery order is not canonical under renaming.
+    let mut values: Vec<f64> = match combination {
+        Combination::Product => parts.iter().map(|p| p.value).collect(),
+        Combination::DualProduct => parts.iter().map(|p| 1.0 - p.value).collect(),
+    };
+    values.sort_unstable_by(f64::total_cmp);
+    let product: f64 = values.into_iter().product();
+    let value = match (&exact, combination) {
+        (Some(r), _) => r.to_f64(),
+        (None, Combination::Product) => product,
+        (None, Combination::DualProduct) => 1.0 - product,
+    };
+
+    let sampled = parts.iter().find(|p| p.method != Method::Exact);
+    let mut est = CertaintyEstimate {
+        value,
+        exact,
+        method: match sampled {
+            None => Method::Exact,
+            Some(p) => p.method,
+        },
+        // The *total* guaranteed budgets, not the per-factor slices.
+        epsilon: sampled.and_then(|p| p.epsilon).map(|_| match options.method {
+            MethodChoice::Fpras => options.fpras.epsilon,
+            _ => options.afpras.epsilon,
+        }),
+        delta: sampled.and_then(|p| p.delta).map(|_| match options.method {
+            MethodChoice::Fpras => options.fpras.delta,
+            _ => options.afpras.delta,
+        }),
+        samples: parts.iter().map(|p| p.samples).sum(),
+        dimension: parts.iter().map(|p| p.dimension).sum(),
+        cached: false,
+        rewritten: true,
+    };
+    if est.exact.is_none() {
+        // Factor values are in [0, 1] but a float product can round a
+        // hair outside.
+        est.value = est.value.clamp(0.0, 1.0);
+    }
+    est
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qarith_constraints::{Atom, ConstraintOp, Polynomial, Var};
+    use qarith_rewrite::RewriteOptions;
+
+    fn z(i: u32) -> Polynomial {
+        Polynomial::var(Var(i))
+    }
+
+    fn atom(p: Polynomial, op: ConstraintOp) -> QfFormula {
+        QfFormula::atom(Atom::new(p, op))
+    }
+
+    fn rewritten_options() -> MeasureOptions {
+        MeasureOptions { rewrite: RewriteOptions::full(), ..MeasureOptions::default() }
+    }
+
+    #[test]
+    fn product_of_exact_halves() {
+        // (z0 > 0) ∧ (z1 > 0) ∧ (z2 > 0): three 1-D factors, ν = 1/8.
+        let f = QfFormula::and([
+            atom(z(0), ConstraintOp::Gt),
+            atom(z(1), ConstraintOp::Gt),
+            atom(z(2), ConstraintOp::Gt),
+        ]);
+        let (est, trace) = measure_rewritten(&f, &rewritten_options()).unwrap();
+        assert_eq!(est.exact, Some(Rational::new(1, 8)));
+        assert_eq!(est.method, Method::Exact);
+        assert_eq!(est.samples, 0);
+        assert!(est.rewritten);
+        assert_eq!(trace.factors, 3);
+        assert_eq!(trace.exact_factors, 3);
+        assert_eq!(trace.dim_after, 3);
+    }
+
+    #[test]
+    fn dual_product_on_disjoint_disjunctions() {
+        // (z0 > 0) ∨ (z1 > 0): ν = 1 − (1 − ½)(1 − ½) = 3/4, exactly.
+        let f = QfFormula::or([atom(z(0), ConstraintOp::Gt), atom(z(1), ConstraintOp::Gt)]);
+        let (est, trace) = measure_rewritten(&f, &rewritten_options()).unwrap();
+        assert_eq!(est.exact, Some(Rational::new(3, 4)));
+        assert_eq!(est.method, Method::Exact);
+        assert_eq!(trace.factors, 2);
+        assert_eq!(trace.exact_factors, 2);
+        // Three-way: 1 − (1/2)³ = 7/8.
+        let g = QfFormula::or([
+            atom(z(0), ConstraintOp::Gt),
+            atom(z(1), ConstraintOp::Gt),
+            atom(z(2), ConstraintOp::Gt),
+        ]);
+        let (est, _) = measure_rewritten(&g, &rewritten_options()).unwrap();
+        assert_eq!(est.exact, Some(Rational::new(7, 8)));
+    }
+
+    #[test]
+    fn trivial_atoms_fold_before_routing() {
+        // The quadratic conjunct is a.e. true; what remains is exact 1-D.
+        let f = QfFormula::and([
+            atom(z(0) * z(0) + z(1) * z(1), ConstraintOp::Gt),
+            atom(z(2), ConstraintOp::Lt),
+        ]);
+        let (est, trace) = measure_rewritten(&f, &rewritten_options()).unwrap();
+        assert_eq!(est.exact, Some(Rational::new(1, 2)));
+        assert_eq!(trace.dim_before, 3);
+        assert_eq!(trace.dim_after, 1);
+    }
+
+    #[test]
+    fn constants_yield_exact_zero_or_one() {
+        // A complement pair annihilates to the constant `false` — no
+        // factors to measure at all.
+        let contradiction =
+            QfFormula::and([atom(z(0), ConstraintOp::Gt), atom(z(0), ConstraintOp::Le)]);
+        let (est, trace) = measure_rewritten(&contradiction, &rewritten_options()).unwrap();
+        assert_eq!(est.exact, Some(Rational::ZERO));
+        assert_eq!(trace.factors, 0);
+        // z0 > 0 ∧ z0 < 0 is not a complement pair (complement of > is
+        // ≤); it survives normalization and the 1-D exact evaluator
+        // still lands on zero.
+        let near = QfFormula::and([atom(z(0), ConstraintOp::Gt), atom(z(0), ConstraintOp::Lt)]);
+        let (est, trace) = measure_rewritten(&near, &rewritten_options()).unwrap();
+        assert_eq!(est.exact, Some(Rational::ZERO));
+        assert_eq!(trace.factors, 1);
+        assert_eq!(trace.exact_factors, 1);
+    }
+
+    #[test]
+    fn split_budget_telescopes() {
+        // Two sampled 3-D factors under the Split policy: each runs at
+        // ε/2, so the product carries the full-ε additive guarantee.
+        // (Multi-term quadratic tops keep the factors out of reach of
+        // every exact evaluator, including the spherical one.)
+        let cross = |a: u32, b: u32, c: u32| {
+            QfFormula::or([
+                QfFormula::and([
+                    atom(z(a) * z(a) + z(a) * z(b), ConstraintOp::Gt),
+                    atom(z(c), ConstraintOp::Lt),
+                ]),
+                atom(z(a) - z(c), ConstraintOp::Gt),
+            ])
+        };
+        let f = QfFormula::and([cross(0, 1, 2), cross(3, 4, 5)]);
+        let mut options = rewritten_options();
+        options.rewrite.budget = FactorBudget::Split;
+        options.method = MethodChoice::Afpras;
+        options.afpras.epsilon = 0.04;
+        let (est, trace) = measure_rewritten(&f, &options).unwrap();
+        assert_eq!(trace.factors, 2);
+        assert_eq!(trace.exact_factors, 0);
+        assert_eq!(est.epsilon, Some(0.04), "reported ε is the total budget");
+        assert!(est.samples > 0);
+        // Cross-check against the residual policy (same total guarantee).
+        options.rewrite.budget = FactorBudget::Residual;
+        let (joint, _) = measure_rewritten(&f, &options).unwrap();
+        assert!((est.value - joint.value).abs() < 2.0 * 0.04 + 0.02);
+    }
+
+    #[test]
+    fn exact_only_requires_every_factor_exact() {
+        let hard = atom(z(0) * z(0) + z(0) * z(1) - z(2), ConstraintOp::Lt);
+        let easy = atom(z(3), ConstraintOp::Gt);
+        let f = QfFormula::and([hard, easy]);
+        let mut options = rewritten_options();
+        options.method = MethodChoice::ExactOnly;
+        assert!(matches!(
+            measure_rewritten(&f, &options),
+            Err(MeasureError::ExactUnavailable { .. })
+        ));
+    }
+
+    #[test]
+    fn mixed_exact_and_sampled_factors_multiply() {
+        // (z0 > 0) — exact 1/2 — times a genuinely sampled 3-D factor
+        // (its multi-term quadratic top defeats every exact evaluator).
+        let sampled = QfFormula::or([
+            QfFormula::and([
+                atom(z(1) * z(1) + z(1) * z(2), ConstraintOp::Gt),
+                atom(z(3), ConstraintOp::Lt),
+            ]),
+            atom(z(1) - z(3), ConstraintOp::Gt),
+        ]);
+        let f = QfFormula::and([atom(z(0), ConstraintOp::Gt), sampled.clone()]);
+        let mut options = rewritten_options();
+        options.method = MethodChoice::Afpras;
+        let (est, trace) = measure_rewritten(&f, &options).unwrap();
+        assert_eq!(trace.factors, 2);
+        assert_eq!(trace.exact_factors, 1);
+        assert_eq!(est.method, Method::Afpras);
+        assert!(est.exact.is_none());
+        // The sampled factor alone, scaled by the exact 1/2.
+        let alone = afpras_estimate(&sampled, &options.afpras).unwrap();
+        let expected: f64 = [0.5, alone.value].iter().product();
+        assert_eq!(est.value.to_bits(), expected.to_bits(), "deterministic product");
+    }
+}

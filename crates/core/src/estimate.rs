@@ -52,6 +52,15 @@ pub struct CertaintyEstimate {
     /// bit-identical to fresh ones; this flag is provenance only and is
     /// ignored when comparing estimates for identity.
     pub cached: bool,
+    /// `true` iff the rewrite pipeline (`qarith-rewrite` simplification
+    /// and independence decomposition, `MeasureOptions::rewrite`)
+    /// produced this estimate. Rewritten estimates keep the ε/δ guarantee
+    /// but are **not** bit-identical to unrewritten ones — the sampled
+    /// formula, its dimension, and the sample budget all change — so the
+    /// flag (and the rewrite options folded into
+    /// `MeasureOptions::fingerprint`) says which pipeline a value came
+    /// from.
+    pub rewritten: bool,
 }
 
 impl CertaintyEstimate {
@@ -66,6 +75,7 @@ impl CertaintyEstimate {
             samples: 0,
             dimension,
             cached: false,
+            rewritten: false,
         }
     }
 
@@ -81,6 +91,7 @@ impl CertaintyEstimate {
             samples: 0,
             dimension,
             cached: false,
+            rewritten: false,
         }
     }
 
@@ -95,11 +106,12 @@ impl CertaintyEstimate {
 
 impl fmt::Display for CertaintyEstimate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rw = if self.rewritten { ", rewritten" } else { "" };
         match &self.exact {
-            Some(r) => write!(f, "μ = {r} ({})", self.method),
+            Some(r) => write!(f, "μ = {r} ({}{rw})", self.method),
             None => match self.epsilon {
-                Some(eps) => write!(f, "μ ≈ {:.4} (±{eps}, {})", self.value, self.method),
-                None => write!(f, "μ = {:.6} ({})", self.value, self.method),
+                Some(eps) => write!(f, "μ ≈ {:.4} (±{eps}, {}{rw})", self.value, self.method),
+                None => write!(f, "μ = {:.6} ({}{rw})", self.value, self.method),
             },
         }
     }
@@ -138,6 +150,7 @@ mod tests {
             samples: 10_000,
             dimension: 2,
             cached: false,
+            rewritten: false,
         };
         assert!(a.to_string().contains("AFPRAS"));
         assert!(a.to_string().contains("0.3891"));

@@ -42,9 +42,8 @@ pub fn exact_arc_measure(phi: &QfFormula) -> f64 {
     // linear part.
     let mut cuts: Vec<f64> = Vec::new();
     dense.visit_atoms(&mut |a| {
-        let lin = a.poly().homogeneous_component(1);
         let mut c = [0.0f64; 2];
-        for (m, coeff) in lin.terms() {
+        for (m, coeff) in a.poly().terms().filter(|(m, _)| m.degree() == 1) {
             let (v, _) = m.factors()[0];
             c[v.index()] = coeff.to_f64();
         }

@@ -18,6 +18,7 @@
 
 pub mod arcs2d;
 pub mod order;
+pub mod sphere3d;
 
 use qarith_constraints::asymptotic::formula_limit_truth;
 use qarith_constraints::QfFormula;
@@ -60,6 +61,25 @@ fn exact_route(phi: &QfFormula, order_limit: usize) -> Option<ExactRoute> {
 /// there merely costs a dedup opportunity, never correctness.
 pub fn exact_applicable(phi: &QfFormula, order_limit: usize) -> bool {
     exact_route(phi, order_limit).is_some()
+}
+
+/// The wider evaluator set used by the rewrite pipeline's factor
+/// routing: everything [`try_exact`] covers, plus the spherical
+/// solid-angle evaluator ([`sphere3d`]) for 2–3-variable factors whose
+/// atoms have linear or monomial leading forms (it declines anything
+/// else). Kept out of [`try_exact`] deliberately: the unrewritten
+/// `Auto` route's evaluator set is frozen (its estimates are pinned
+/// bit-for-bit by the golden suites), while rewritten estimates are
+/// already a separately-fingerprinted family.
+pub fn try_exact_extended(phi: &QfFormula, order_limit: usize) -> Option<CertaintyEstimate> {
+    try_exact(phi, order_limit).or_else(|| {
+        let n = phi.vars().len();
+        (2..=3)
+            .contains(&n)
+            .then(|| sphere3d::exact_sphere_measure(phi))
+            .flatten()
+            .map(|v| CertaintyEstimate::exact_real(v, n))
+    })
 }
 
 /// Attempts an exact evaluation; returns `None` when no exact method

@@ -216,6 +216,7 @@ pub fn fpras_estimate(
         samples: out.samples,
         dimension: out.dimension,
         cached: false,
+        rewritten: false,
     })
 }
 

@@ -70,6 +70,12 @@
 //!   parallel fan-out, [`CertaintyEngine::measure_batch`]);
 //! * [`nucache`] — the ν-cache: memoized, bit-identical measures keyed
 //!   by canonical formula and options fingerprint;
+//! * [`decompose`] — the rewrite pipeline's executor
+//!   (`MeasureOptions::rewrite`): `qarith-rewrite` simplifies and
+//!   splits formulas into variable-disjoint factors, whose asymptotic
+//!   events are independent under the direction measure; factors are
+//!   routed to exact evaluators wherever possible and the measures
+//!   multiply;
 //! * [`conditional`] — the §10 extension: conditional measures
 //!   `ν(φ | ρ)` under scale-insensitive attribute constraints
 //!   (sign/ratio restrictions);
@@ -81,6 +87,7 @@
 
 pub mod afpras;
 pub mod conditional;
+pub mod decompose;
 mod error;
 mod estimate;
 pub mod exact;
@@ -93,6 +100,7 @@ pub mod report;
 pub mod zero_one;
 
 pub use afpras::{AfprasOptions, SampleCount};
+pub use decompose::RewriteStats;
 pub use error::MeasureError;
 pub use estimate::{CertaintyEstimate, Method};
 pub use fpras::FprasOptions;
@@ -101,3 +109,4 @@ pub use pipeline::{
     AnswerWithCertainty, BatchOptions, BatchOutcome, BatchStats, CertaintyEngine, MeasureOptions,
     MethodChoice,
 };
+pub use qarith_rewrite::{FactorBudget, RewriteOptions};

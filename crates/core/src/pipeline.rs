@@ -24,9 +24,11 @@ use qarith_engine::cq::{self, CandidateAnswer, CqOptions};
 use qarith_engine::{ground, naive, ActiveDomain};
 use qarith_numeric::Rational;
 use qarith_query::Query;
+use qarith_rewrite::{ae_simplify, RewriteOptions, RewriteOutcome, Rewriter};
 use qarith_types::{Database, Sort, Tuple, Value};
 
 use crate::afpras::{afpras_estimate, AfprasOptions, SampleCount};
+use crate::decompose::{measure_prepared, measure_rewritten, RewriteStats, RewriteTrace};
 use crate::error::MeasureError;
 use crate::estimate::CertaintyEstimate;
 use crate::exact::{exact_applicable, try_exact};
@@ -87,6 +89,13 @@ pub struct MeasureOptions {
     pub cq: CqOptions,
     /// Batch measurement (dedup + parallel fan-out).
     pub batch: BatchOptions,
+    /// The `qarith-rewrite` pipeline: ν-preserving simplification and
+    /// independence decomposition ahead of measurement. Disabled by
+    /// default — rewritten estimates carry the same ε/δ guarantee but
+    /// are not bit-identical to unrewritten ones, so the switch is part
+    /// of [`MeasureOptions::fingerprint`] and of each estimate's
+    /// provenance ([`CertaintyEstimate::rewritten`]).
+    pub rewrite: RewriteOptions,
 }
 
 impl Default for MeasureOptions {
@@ -98,6 +107,7 @@ impl Default for MeasureOptions {
             exact_order_limit: 7,
             cq: CqOptions::default(),
             batch: BatchOptions::default(),
+            rewrite: RewriteOptions::default(),
         }
     }
 }
@@ -113,6 +123,12 @@ impl MeasureOptions {
     /// Sets the batch fan-out width.
     pub fn with_batch_threads(mut self, threads: usize) -> MeasureOptions {
         self.batch.threads = threads;
+        self
+    }
+
+    /// Sets the rewrite configuration (e.g. [`RewriteOptions::full`]).
+    pub fn with_rewrite(mut self, rewrite: RewriteOptions) -> MeasureOptions {
+        self.rewrite = rewrite;
         self
     }
 
@@ -142,6 +158,10 @@ impl MeasureOptions {
         self.fpras.dnf_limit.hash(&mut h);
         self.fpras.seed.hash(&mut h);
         self.exact_order_limit.hash(&mut h);
+        // The whole rewrite configuration: enabling any pass (or changing
+        // the factor budget) changes which formula is sampled and with
+        // what budget, hence the bits of the estimate.
+        self.rewrite.hash(&mut h);
         h.finish()
     }
 }
@@ -187,6 +207,10 @@ pub struct BatchStats {
     pub cache_hits: usize,
     /// Worker threads used.
     pub threads: usize,
+    /// Rewrite-pipeline accounting (all zeros unless
+    /// [`MeasureOptions::rewrite`] is enabled; covers freshly measured
+    /// groups only — cache hits skip measurement).
+    pub rewrite: RewriteStats,
 }
 
 /// Result of a batch measurement: per-candidate answers plus accounting.
@@ -196,6 +220,17 @@ pub struct BatchOutcome {
     pub answers: Vec<AnswerWithCertainty>,
     /// Dedup/cache/parallelism accounting.
     pub stats: BatchStats,
+}
+
+/// A unit of measurement work in a batch: a bare formula (measured via
+/// [`CertaintyEngine::nu`]'s routing), or — with rewriting enabled — the
+/// rewrite outcome prepared once per canonical class while building the
+/// group key, so the pass pipeline never runs twice on a formula.
+enum Work {
+    /// Measure this formula under the configured method.
+    Formula(QfFormula),
+    /// Measure this prepared decomposition (rewrite pipeline).
+    Prepared(Box<RewriteOutcome>),
 }
 
 /// The measure-of-certainty engine.
@@ -232,31 +267,49 @@ impl CertaintyEngine {
     /// `ν(φ)` for a quantifier-free formula over the reals, using the
     /// configured method.
     ///
-    /// `Auto` and `ExactOnly` first apply the measure-preserving
-    /// [`QfFormula::ae_simplified`] rewrite, which strips measure-zero
+    /// With [`MeasureOptions::rewrite`] enabled, every method choice
+    /// routes through the rewrite pipeline
+    /// ([`crate::decompose::measure_rewritten`]): simplification,
+    /// independence decomposition, exact routing per factor, product
+    /// combination. Otherwise `Auto` and `ExactOnly` first apply the
+    /// measure-preserving a.e. simplification (the frozen
+    /// `ae_simplified` behavior, now served by
+    /// [`qarith_rewrite::ae_simplify`]), which strips measure-zero
     /// equality branches (ground formulas are full of them) and often
-    /// unlocks an exact evaluator. `Afpras`/`Fpras` run on the formula
+    /// unlocks an exact evaluator; `Afpras`/`Fpras` run on the formula
     /// as given — they exist to benchmark the paper's algorithms
     /// faithfully.
     pub fn nu(&self, phi: &QfFormula) -> Result<CertaintyEstimate, MeasureError> {
-        match self.options.method {
-            MethodChoice::Auto => {
-                let simplified = phi.ae_simplified();
-                if let Some(exact) = try_exact(&simplified, self.options.exact_order_limit) {
-                    return Ok(exact);
-                }
-                afpras_estimate(&simplified, &self.options.afpras)
-            }
-            MethodChoice::Afpras => afpras_estimate(phi, &self.options.afpras),
-            MethodChoice::Fpras => fpras_estimate(phi, &self.options.fpras),
-            MethodChoice::ExactOnly => {
-                try_exact(&phi.ae_simplified(), self.options.exact_order_limit).ok_or(
-                    MeasureError::ExactUnavailable {
-                        reason: "formula is not order/2-D-linear and has dimension > 1",
-                    },
-                )
-            }
+        Ok(self.nu_traced(phi)?.0)
+    }
+
+    /// [`CertaintyEngine::nu`] plus the rewrite trace (`None` on the
+    /// unrewritten pipeline) — the batch engine aggregates the traces
+    /// into [`BatchStats::rewrite`].
+    fn nu_traced(
+        &self,
+        phi: &QfFormula,
+    ) -> Result<(CertaintyEstimate, Option<RewriteTrace>), MeasureError> {
+        if self.options.rewrite.enabled {
+            let (est, trace) = measure_rewritten(phi, &self.options)?;
+            return Ok((est, Some(trace)));
         }
+        let est = match self.options.method {
+            MethodChoice::Auto => {
+                let simplified = ae_simplify(phi);
+                match try_exact(&simplified, self.options.exact_order_limit) {
+                    Some(exact) => exact,
+                    None => afpras_estimate(&simplified, &self.options.afpras)?,
+                }
+            }
+            MethodChoice::Afpras => afpras_estimate(phi, &self.options.afpras)?,
+            MethodChoice::Fpras => fpras_estimate(phi, &self.options.fpras)?,
+            MethodChoice::ExactOnly => try_exact(&ae_simplify(phi), self.options.exact_order_limit)
+                .ok_or(MeasureError::ExactUnavailable {
+                    reason: "formula is not order/2-D-linear and has dimension > 1",
+                })?,
+        };
+        Ok((est, None))
     }
 
     /// `μ(q, D, candidate)`: grounds (Proposition 5.3) and measures.
@@ -326,19 +379,69 @@ impl CertaintyEngine {
     /// direction (see `qarith_constraints::canonical`). The geometric
     /// FPRAS and the exact evaluators keep the structural key: their
     /// `f64` intermediates are scale-sensitive. Keys are prefixed so the
-    /// two granularities never collide.
-    fn group_key(&self, canon: &Canonical) -> String {
+    /// granularities never collide.
+    ///
+    /// With rewriting enabled the key is computed on the **rewritten**
+    /// form (re-canonicalized, since simplification can drop variables):
+    /// that is what gets measured, so that is what identifies the
+    /// result. On the `Auto`/`Afpras` routes the rewritten pipeline uses
+    /// the asymptotic granularity throughout: sampled residuals evaluate
+    /// per-direction limit truth (invariant across an asymptotic class),
+    /// and the factor evaluators the decomposition routes to are
+    /// asymptotically determined too — the order-fragment and
+    /// dimension-≤1 evaluators return the identical rational for every
+    /// class member, and the 2-D arc evaluator computes the identical
+    /// arc set, so members can differ from a standalone evaluation at
+    /// most in the final ulp of the closed-form `f64` (the shared value
+    /// is the class representative's; the ε guarantee is unaffected).
+    /// `Fpras`/`ExactOnly` keep the structural key, as without
+    /// rewriting. The rewritten prefixes (`ra:`/`rs:`) are distinct from
+    /// the plain ones on top of the fingerprint separation.
+    fn prepare_group(&self, canon: &Canonical) -> (String, Option<Box<RewriteOutcome>>) {
+        if self.options.rewrite.enabled {
+            let out = Rewriter::new(self.options.rewrite).rewrite(&canon.formula);
+            // Re-renumber after simplification (it can drop variables);
+            // the `ra:` route skips the structural-key serialization.
+            let key = match self.options.method {
+                MethodChoice::Auto | MethodChoice::Afpras => {
+                    format!(
+                        "ra:{}",
+                        canonical::asymptotic_key_of(&canonical::renumbered(&out.formula))
+                    )
+                }
+                MethodChoice::Fpras | MethodChoice::ExactOnly => {
+                    format!("rs:{}", canonical::canonicalize(&out.formula).structural_key)
+                }
+            };
+            return (key, Some(Box::new(out)));
+        }
         let sampling = match self.options.method {
             MethodChoice::Afpras => true,
             MethodChoice::Fpras | MethodChoice::ExactOnly => false,
             MethodChoice::Auto => {
-                !exact_applicable(&canon.formula.ae_simplified(), self.options.exact_order_limit)
+                !exact_applicable(&ae_simplify(&canon.formula), self.options.exact_order_limit)
             }
         };
-        if sampling {
+        let key = if sampling {
             format!("a:{}", canon.asymptotic_key())
         } else {
             format!("s:{}", canon.structural_key)
+        };
+        (key, None)
+    }
+
+    /// One unit of batch work: bare formulas route through
+    /// [`CertaintyEngine::nu`]'s method selection, prepared rewrite
+    /// outcomes go straight to the decomposed measurement.
+    fn measure_work(
+        &self,
+        work: &Work,
+    ) -> Result<(CertaintyEstimate, Option<RewriteTrace>), MeasureError> {
+        match work {
+            Work::Formula(phi) => self.nu_traced(phi),
+            Work::Prepared(out) => {
+                measure_prepared(out, &self.options).map(|(est, trace)| (est, Some(trace)))
+            }
         }
     }
 
@@ -387,19 +490,22 @@ impl CertaintyEngine {
             ..BatchStats::default()
         };
 
-        // Groups: the formula to measure (the structural canonical form
+        // Groups: the work to measure (the structural canonical form
         // when dedup is on — bit-identical to the member formulas — or
-        // the original formula verbatim when dedup is off) plus the
-        // ν-cache key (`None` with dedup off: nothing is shared).
-        let mut groups: Vec<(QfFormula, Option<String>)> = Vec::new();
+        // the original formula verbatim when dedup is off; with
+        // rewriting enabled, the per-class prepared rewrite outcome)
+        // plus the ν-cache key (`None` with dedup off: nothing is
+        // shared).
+        let mut groups: Vec<(Work, Option<String>)> = Vec::new();
         let mut results: Vec<Option<Result<CertaintyEstimate, MeasureError>>> = Vec::new();
         let mut by_key: HashMap<String, usize> = HashMap::new();
         let mut slots: Vec<Slot> = Vec::with_capacity(candidates.len());
         // Structural interning memoizes canonicalization across literal
-        // repeats; route selection (ae-simplify + key build) runs once
-        // per structural class, not per candidate.
+        // repeats; route selection (simplification + key build — the
+        // whole rewrite pipeline when enabled) runs once per structural
+        // class, not per candidate.
         let mut interner = canonical::FormulaInterner::new();
-        let mut key_of_class: HashMap<u32, String> = HashMap::new();
+        let mut key_of_class: HashMap<u32, (String, Option<Box<RewriteOutcome>>)> = HashMap::new();
 
         for cand in &candidates {
             if cand.certain {
@@ -408,7 +514,7 @@ impl CertaintyEngine {
                 continue;
             }
             if !self.options.batch.dedup {
-                groups.push((cand.formula.clone(), None));
+                groups.push((Work::Formula(cand.formula.clone()), None));
                 results.push(None);
                 slots.push(Slot::Group(groups.len() - 1, true));
                 continue;
@@ -416,7 +522,8 @@ impl CertaintyEngine {
             let class = interner.intern(&cand.formula);
             let key = key_of_class
                 .entry(class)
-                .or_insert_with(|| self.group_key(interner.get(class)))
+                .or_insert_with(|| self.prepare_group(interner.get(class)))
+                .0
                 .clone();
             match by_key.entry(key) {
                 Entry::Occupied(e) => {
@@ -429,7 +536,14 @@ impl CertaintyEngine {
                     if !fresh {
                         stats.cache_hits += 1;
                     }
-                    groups.push((interner.get(class).formula.clone(), Some(e.key().clone())));
+                    // The prepared outcome is cloned only here — once per
+                    // group, not per candidate (dedup hits need the key
+                    // alone).
+                    let work = match &key_of_class[&class].1 {
+                        Some(out) => Work::Prepared(out.clone()),
+                        None => Work::Formula(interner.get(class).formula.clone()),
+                    };
+                    groups.push((work, Some(e.key().clone())));
                     results.push(served.map(Ok));
                     e.insert(groups.len() - 1);
                     slots.push(Slot::Group(groups.len() - 1, fresh));
@@ -438,16 +552,25 @@ impl CertaintyEngine {
         }
         stats.groups = groups.len();
 
-        // Fan the not-yet-known groups out across scoped workers.
+        // Fan the not-yet-known groups out across scoped workers. The
+        // configured width is additionally capped at the machine's
+        // parallelism: extra workers on fewer cores only add spawn
+        // overhead (results are per-group and deterministic either way,
+        // so the cap cannot change bits).
         let pending: Vec<usize> =
             results.iter().enumerate().filter_map(|(i, r)| r.is_none().then_some(i)).collect();
         stats.measured = pending.len();
-        let threads = stats.threads.min(pending.len().max(1));
+        let parallelism = std::thread::available_parallelism().map_or(usize::MAX, usize::from);
+        let threads = stats.threads.min(parallelism).min(pending.len().max(1));
+        let mut traces: Vec<Option<RewriteTrace>> = vec![None; groups.len()];
         if threads <= 1 {
             for &gi in &pending {
-                let result = self.nu(&groups[gi].0);
+                let result = self.measure_work(&groups[gi].0);
                 let failed = result.is_err();
-                results[gi] = Some(result);
+                results[gi] = Some(result.map(|(est, trace)| {
+                    traces[gi] = trace;
+                    est
+                }));
                 if failed {
                     // Groups are in first-occurrence order, so this error
                     // is the first one in candidate order: later groups
@@ -461,28 +584,34 @@ impl CertaintyEngine {
             // pending group instead of owning a static chunk. Results are
             // per-group, hence deterministic regardless of which worker
             // measures what.
+            type Traced = Result<(CertaintyEstimate, Option<RewriteTrace>), MeasureError>;
             let next = std::sync::atomic::AtomicUsize::new(0);
             let (groups, pending, next) = (&groups, &pending, &next);
-            let fresh: Vec<Vec<(usize, Result<CertaintyEstimate, MeasureError>)>> =
-                std::thread::scope(|scope| {
-                    let workers: Vec<_> = (0..threads)
-                        .map(|_| {
-                            scope.spawn(move || {
-                                let mut local = Vec::new();
-                                loop {
-                                    let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                                    let Some(&gi) = pending.get(k) else { break };
-                                    local.push((gi, self.nu(&groups[gi].0)));
-                                }
-                                local
-                            })
+            let fresh: Vec<Vec<(usize, Traced)>> = std::thread::scope(|scope| {
+                let workers: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(move || {
+                            let mut local = Vec::new();
+                            loop {
+                                let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                let Some(&gi) = pending.get(k) else { break };
+                                local.push((gi, self.measure_work(&groups[gi].0)));
+                            }
+                            local
                         })
-                        .collect();
-                    workers.into_iter().map(|w| w.join().expect("batch worker")).collect()
-                });
+                    })
+                    .collect();
+                workers.into_iter().map(|w| w.join().expect("batch worker")).collect()
+            });
             for (gi, result) in fresh.into_iter().flatten() {
-                results[gi] = Some(result);
+                results[gi] = Some(result.map(|(est, trace)| {
+                    traces[gi] = trace;
+                    est
+                }));
             }
+        }
+        for trace in traces.iter().flatten() {
+            stats.rewrite.absorb(trace);
         }
 
         // Publish fresh results to the persistent cache.

@@ -12,6 +12,7 @@
 //! |---|---|---|
 //! | [`numeric`] | `qarith-numeric` | exact rationals |
 //! | [`constraints`] | `qarith-constraints` | polynomials, real formulas, asymptotic truth (Lemma 8.4) |
+//! | [`rewrite`] | `qarith-rewrite` | ν-preserving simplification and independence decomposition |
 //! | [`types`] | `qarith-types` | two-sorted data model, marked nulls, valuations |
 //! | [`query`] | `qarith-query` | FO(+,·,<) AST, type checking, fragments |
 //! | [`sql`] | `qarith-sql` | SQL subset parser (the §9 front end) |
@@ -34,6 +35,7 @@ pub use qarith_engine as engine;
 pub use qarith_geometry as geometry;
 pub use qarith_numeric as numeric;
 pub use qarith_query as query;
+pub use qarith_rewrite as rewrite;
 pub use qarith_sql as sql;
 pub use qarith_types as types;
 
@@ -42,11 +44,13 @@ pub mod prelude {
     pub use qarith_constraints::canonical::{canonicalize, Canonical, FormulaInterner};
     pub use qarith_core::{
         AnswerWithCertainty, BatchOptions, BatchOutcome, BatchStats, CacheStats, CertaintyEngine,
-        CertaintyEstimate, MeasureOptions, Method, MethodChoice, NuCache,
+        CertaintyEstimate, FactorBudget, MeasureOptions, Method, MethodChoice, NuCache,
+        RewriteOptions, RewriteStats,
     };
     pub use qarith_engine::cq::CqOptions;
     pub use qarith_numeric::Rational;
     pub use qarith_query::{Arg, BaseTerm, CompareOp, Formula, NumTerm, Query, TypedVar};
+    pub use qarith_rewrite::Rewriter;
     pub use qarith_types::{
         BaseNullId, BaseValue, Catalog, Column, Database, NumNullId, Relation, RelationSchema,
         Sort, Tuple, Valuation, Value,

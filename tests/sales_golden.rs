@@ -164,6 +164,60 @@ fn tiny_scale_pipeline_is_pinned() {
     }
 }
 
+/// The rewrite pipeline on the same workload: every estimate stays
+/// within ε of the pinned golden values (rewritten estimates are not
+/// bit-identical — the sampled formula, budget, and evaluator routing
+/// change — but the additive guarantee must hold against the pinned
+/// truth), and the decomposition demonstrably fires: at least one
+/// workload formula splits into ≥ 2 variable-disjoint factors with a
+/// factor routed to an exact evaluator.
+#[test]
+fn rewritten_estimates_stay_within_epsilon_of_goldens() {
+    const EPSILON: f64 = 0.05;
+    let db = sales_database(&SalesScale::tiny(), SEED);
+    let catalog = sales_catalog();
+    let engine = CertaintyEngine::new(
+        MeasureOptions::default().with_epsilon(EPSILON).with_rewrite(RewriteOptions::full()),
+    );
+
+    let mut factored = 0usize;
+    let mut exact_factors = 0usize;
+    for ((name, sql), (golden_name, rows)) in paper_queries().into_iter().zip(goldens()) {
+        assert_eq!(name, golden_name);
+        let lowered = qarith::sql::compile(sql, &catalog).unwrap();
+        let candidates = cq::execute(&lowered.query, &db, &lowered.cq_options()).unwrap();
+        let outcome = engine.measure_batch(candidates).unwrap();
+        factored += outcome.stats.rewrite.factored;
+        exact_factors += outcome.stats.rewrite.exact_factors;
+        assert_eq!(outcome.answers.len(), rows.len(), "{name}: candidate count drifted");
+        for (answer, (tuple, golden)) in outcome.answers.iter().zip(&rows) {
+            assert_eq!(&answer.tuple.to_string(), tuple, "{name}: candidate order drifted");
+            // Exact goldens are ground truth: the rewritten estimate's
+            // own ε budget is the whole allowance. `Real` goldens
+            // include values the default engine *sampled* (ε = 0.05,
+            // δ = 0.25), so both sides carry a budget and the bounds
+            // compose additively — and indeed one NU golden sits
+            // ~0.053 from the (now exactly computable) truth, inside
+            // its allowed δ-failure slack.
+            let (pinned, tolerance) = match golden {
+                Golden::Exact(n, d) => (Rational::new(*n, *d).to_f64(), EPSILON),
+                Golden::Real(v) => (*v, 2.0 * EPSILON),
+            };
+            assert!(
+                (answer.certainty.value - pinned).abs() <= tolerance,
+                "{name} {tuple}: rewritten {} vs golden {pinned} exceeds {tolerance}",
+                answer.certainty.value
+            );
+            assert!(
+                answer.certainty.is_certain() || answer.certainty.rewritten,
+                "{name} {tuple}: measured answers must carry rewrite provenance"
+            );
+        }
+    }
+    assert!(factored >= 1, "at least one workload formula decomposes into ≥ 2 factors");
+    assert!(exact_factors >= 1, "at least one factor routes to an exact evaluator");
+}
+
 #[test]
 fn limit_truncates_when_candidates_exceed_it() {
     // At tiny scale the NU query saturates LIMIT 25 exactly; re-running

@@ -5,8 +5,8 @@
 //! use, keeping names and shapes identical so the real crate can be
 //! swapped back in without touching test code:
 //!
-//! * the [`Strategy`] trait with `prop_map`, `prop_recursive`, `boxed`;
-//! * strategies for numeric ranges, tuples (arity ≤ 6), [`Just`],
+//! * the [`strategy::Strategy`] trait with `prop_map`, `prop_recursive`, `boxed`;
+//! * strategies for numeric ranges, tuples (arity ≤ 6), [`strategy::Just`],
 //!   [`collection::vec`], [`option::of`], and [`prop_oneof!`] unions;
 //! * the [`proptest!`] macro (with `#![proptest_config(..)]`),
 //!   [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`];
