@@ -95,6 +95,9 @@ fn main() {
     }
 
     println!("qarith — Figure 1 reproduction (PODS'20 §9)");
+    // Every reported table must be reproducible from its own output:
+    // the seed governs both data generation and direction sampling.
+    println!("seed: {seed} (rerun with --seed {seed} to reproduce this table exactly)");
     println!(
         "sales database: {} products, {} orders, {} market rows (~{} tuples), null rate {:.1}%",
         scale.products,

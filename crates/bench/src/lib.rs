@@ -23,9 +23,13 @@ use qarith_core::{
     BatchOptions, BatchStats, CertaintyEngine, CertaintyEstimate, MeasureOptions, MethodChoice,
     NuCache, RewriteOptions,
 };
-use qarith_datagen::sales::{paper_queries, sales_catalog, sales_database, SalesScale};
+use qarith_datagen::sales::SalesScale;
+use qarith_datagen::{QueryFamily, WorkloadSpec};
 use qarith_engine::cq::{self, CandidateAnswer};
 use qarith_types::Database;
+
+pub mod json;
+pub mod suite;
 
 pub use qarith_constraints::asymptotic::CompiledFormula;
 
@@ -35,12 +39,12 @@ pub fn figure1_epsilons() -> Vec<f64> {
     (0..19).map(|i| 0.100 - 0.005 * i as f64).collect()
 }
 
-/// One query of the §9 workload, prepared for measurement.
+/// One workload query, prepared for measurement.
 pub struct PreparedQuery {
     /// Display name ("Competitive Advantage", …).
-    pub name: &'static str,
+    pub name: String,
     /// The SQL text.
-    pub sql: &'static str,
+    pub sql: String,
     /// Candidates produced by the executor under `LIMIT` semantics.
     pub candidates: Vec<CandidateAnswer>,
     /// Compiled ground formulas for the *uncertain* candidates (the
@@ -50,12 +54,15 @@ pub struct PreparedQuery {
     pub candidate_time: Duration,
 }
 
-/// The Figure 1 harness: a generated sales database plus the three
-/// prepared queries.
+/// The measurement harness for one workload: a generated database plus
+/// its prepared queries. [`Fig1Harness::new`] instantiates the paper's
+/// Figure 1 configuration (the `sales` family); the `bench_suite` driver
+/// instantiates one harness per [`QueryFamily`] via
+/// [`Fig1Harness::from_spec`].
 pub struct Fig1Harness {
     /// The database.
     pub db: Database,
-    /// Prepared queries, in the paper's order.
+    /// Prepared queries, in the family's fixed order.
     pub queries: Vec<PreparedQuery>,
 }
 
@@ -74,29 +81,55 @@ pub struct Fig1Point {
 
 impl Fig1Harness {
     /// Builds the database at the given scale/seed and prepares the three
-    /// §9 queries.
+    /// §9 queries (the `sales` family).
     pub fn new(scale: &SalesScale, seed: u64) -> Fig1Harness {
-        let db = sales_database(scale, seed);
-        let catalog = sales_catalog();
-        let mut queries = Vec::with_capacity(3);
-        for (name, sql) in paper_queries() {
-            let lowered = qarith_sql::compile(sql, &catalog).expect("paper queries compile");
+        let db = qarith_datagen::sales::sales_database(scale, seed);
+        let queries = Fig1Harness::prepare(&db, &QueryFamily::Sales.queries());
+        Fig1Harness { db, queries }
+    }
+
+    /// Builds the harness for an arbitrary workload spec: generate the
+    /// database, then execute and compile every query of the family.
+    pub fn from_spec(spec: &WorkloadSpec) -> Fig1Harness {
+        Fig1Harness::from_workload(spec.build())
+    }
+
+    /// Wraps an already-built [`qarith_datagen::Workload`] (consuming its
+    /// database) — the entry point when one generated database is shared
+    /// across several harnesses.
+    pub fn from_workload(workload: qarith_datagen::Workload) -> Fig1Harness {
+        let queries = Fig1Harness::prepare(&workload.db, &workload.queries);
+        Fig1Harness { db: workload.db, queries }
+    }
+
+    /// Executes and compiles the given queries against `db`.
+    fn prepare(db: &Database, queries: &[qarith_datagen::WorkloadQuery]) -> Vec<PreparedQuery> {
+        let catalog = db.catalog();
+        let mut prepared = Vec::with_capacity(queries.len());
+        for q in queries {
+            let lowered = qarith_sql::compile(&q.sql, &catalog).expect("workload queries compile");
             // Candidate-counting LIMIT: the analyst sees 25 *distinct*
             // results (nested-loop row order would otherwise fill the
             // window with duplicates of the first result).
             let opts = lowered.cq_options();
             let started = Instant::now();
             let candidates =
-                cq::execute(&lowered.query, &db, &opts).expect("paper queries execute");
+                cq::execute(&lowered.query, db, &opts).expect("workload queries execute");
             let candidate_time = started.elapsed();
             let compiled = candidates
                 .iter()
                 .filter(|c| !c.certain)
                 .map(|c| CompiledFormula::compile(&c.formula))
                 .collect();
-            queries.push(PreparedQuery { name, sql, candidates, compiled, candidate_time });
+            prepared.push(PreparedQuery {
+                name: q.name.clone(),
+                sql: q.sql.clone(),
+                candidates,
+                compiled,
+                candidate_time,
+            });
         }
-        Fig1Harness { db, queries }
+        prepared
     }
 
     /// Runs the approximation phase of one query at one ε, timing it.

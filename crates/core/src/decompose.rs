@@ -89,6 +89,21 @@ impl RewriteStats {
         self.dim_before += trace.dim_before;
         self.dim_after += trace.dim_after;
     }
+
+    /// The counters as stable `(name, value)` pairs, in declaration
+    /// order — the machine-readable export the bench suite serializes
+    /// into `BENCH_*.json`. Names are part of the JSON schema: renaming
+    /// one is a baseline-breaking change.
+    pub fn as_pairs(&self) -> [(&'static str, u64); 6] {
+        [
+            ("groups", self.groups as u64),
+            ("factored", self.factored as u64),
+            ("factors", self.factors as u64),
+            ("exact_factors", self.exact_factors as u64),
+            ("dim_before", self.dim_before as u64),
+            ("dim_after", self.dim_after as u64),
+        ]
+    }
 }
 
 /// Measures `ν(φ)` through the rewrite pipeline: simplify, decompose,

@@ -46,6 +46,18 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// The counters as stable `(name, value)` pairs, in declaration
+    /// order — the machine-readable export the bench suite serializes
+    /// into `BENCH_*.json`. Names are part of the JSON schema: renaming
+    /// one is a baseline-breaking change.
+    pub fn as_pairs(&self) -> [(&'static str, u64); 3] {
+        [
+            ("hits", self.hits as u64),
+            ("misses", self.misses as u64),
+            ("entries", self.entries as u64),
+        ]
+    }
 }
 
 /// A shared, synchronized memo table for `ν` results. Two-level map —

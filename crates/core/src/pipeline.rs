@@ -213,6 +213,26 @@ pub struct BatchStats {
     pub rewrite: RewriteStats,
 }
 
+impl BatchStats {
+    /// The scalar counters as stable `(name, value)` pairs, in
+    /// declaration order — the machine-readable export the bench suite
+    /// serializes into its `BENCH_*.json` trajectory (the nested
+    /// [`RewriteStats`] serializes separately via
+    /// [`RewriteStats::as_pairs`]). Names are part of the JSON schema:
+    /// renaming one is a baseline-breaking change.
+    pub fn as_pairs(&self) -> [(&'static str, u64); 7] {
+        [
+            ("candidates", self.candidates as u64),
+            ("certain", self.certain as u64),
+            ("groups", self.groups as u64),
+            ("measured", self.measured as u64),
+            ("dedup_hits", self.dedup_hits as u64),
+            ("cache_hits", self.cache_hits as u64),
+            ("threads", self.threads as u64),
+        ]
+    }
+}
+
 /// Result of a batch measurement: per-candidate answers plus accounting.
 #[derive(Clone, Debug)]
 pub struct BatchOutcome {

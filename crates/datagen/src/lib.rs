@@ -10,12 +10,20 @@
 //!
 //! [`sales`] builds the paper's exact schema (`Products`, `Orders`,
 //! `Market`) at configurable scales, along with the three §9
-//! decision-support queries as SQL text.
+//! decision-support queries as SQL text. [`workload`] spans the
+//! scale × query-family grid on top of it: a [`workload::WorkloadSpec`]
+//! deterministically names a database plus a family of SQL queries, the
+//! unit the `bench_suite` driver (crate `qarith-bench`) measures and
+//! the CI perf baseline pins.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod generator;
 pub mod sales;
+pub mod workload;
 
 pub use generator::{ColumnGen, ColumnSpec, Generator, TableSpec};
+pub use workload::{
+    database_digest, QueryFamily, Workload, WorkloadQuery, WorkloadScale, WorkloadSpec,
+};

@@ -62,6 +62,20 @@ impl SalesScale {
         }
     }
 
+    /// A CI-friendly intermediate scale (~20K tuples) between
+    /// [`SalesScale::small`] and the paper's 200K: large enough that
+    /// dedup/cache effects dominate noise, small enough for a perf job.
+    pub fn medium() -> SalesScale {
+        SalesScale {
+            products: 10_000,
+            orders: 9_500,
+            markets: 500,
+            segments: 500,
+            null_rate: 0.03,
+            market_null_rate: 0.25,
+        }
+    }
+
     /// A test scale (~200 tuples, higher null rate to exercise nulls).
     pub fn tiny() -> SalesScale {
         SalesScale {

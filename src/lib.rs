@@ -47,6 +47,7 @@ pub mod prelude {
         CertaintyEstimate, FactorBudget, MeasureOptions, Method, MethodChoice, NuCache,
         RewriteOptions, RewriteStats,
     };
+    pub use qarith_datagen::{QueryFamily, Workload, WorkloadQuery, WorkloadScale, WorkloadSpec};
     pub use qarith_engine::cq::CqOptions;
     pub use qarith_numeric::Rational;
     pub use qarith_query::{Arg, BaseTerm, CompareOp, Formula, NumTerm, Query, TypedVar};
