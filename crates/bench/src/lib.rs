@@ -1,5 +1,11 @@
-//! Shared harness for the paper's evaluation (§9, Figure 1) and the
-//! ablation studies listed in DESIGN.md.
+//! Shared harness for the paper's evaluation (§9, Figure 1), the
+//! ablation studies listed in DESIGN.md, the multi-scale workload
+//! suite ([`suite`], bin `bench_suite`), and the serving load
+//! generator ([`serve`], bin `serve_bench`).
+//!
+//! Layering: the top of the workspace — above `qarith-core`,
+//! `qarith-serve`, and `qarith-datagen`; nothing depends on it. Its
+//! baselines under `baselines/` are what CI's perf jobs gate against.
 //!
 //! The paper's pipeline was: Postgres evaluates the SQL query naively and
 //! emits candidate tuples plus compact constraint formulas; a
@@ -29,6 +35,7 @@ use qarith_engine::cq::{self, CandidateAnswer};
 use qarith_types::Database;
 
 pub mod json;
+pub mod serve;
 pub mod suite;
 
 pub use qarith_constraints::asymptotic::CompiledFormula;

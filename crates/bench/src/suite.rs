@@ -43,7 +43,13 @@ use crate::{secs, BatchPoint, Fig1Harness};
 /// Version of the `BENCH_*.json` schema. Bump when a field is renamed,
 /// removed, or changes meaning; the baseline check refuses to compare
 /// across versions.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// **v2** (PR 5): documents carry a `kind` discriminator — `"suite"`
+/// for [`SuiteReport`] (the only kind v1 had) and `"serve"` for the
+/// serving-load reports of [`crate::serve`] (`serve_bench`), which add
+/// p50/p95/p99 latency percentiles, throughput, and the
+/// plan/shard/admission counter blocks.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// The schema identifier stored in every report.
 pub const SCHEMA_NAME: &str = "qarith-bench-suite";
@@ -500,6 +506,7 @@ impl SuiteReport {
         let mut pairs = vec![
             ("schema".to_string(), Json::str(SCHEMA_NAME)),
             ("schema_version".to_string(), Json::num_u64(self.schema_version)),
+            ("kind".to_string(), Json::str("suite")),
             ("scale".to_string(), Json::str(&self.scale)),
             ("seed".to_string(), Json::num_u64(self.seed)),
             ("threads".to_string(), Json::num_u64(self.threads)),
@@ -563,6 +570,12 @@ impl SuiteReport {
             return Err(format!(
                 "schema version {schema_version} is newer than this binary's {SCHEMA_VERSION}"
             ));
+        }
+        // v1 documents predate the discriminator and are all suites.
+        if let Some(kind) = doc.get("kind").and_then(Json::as_str) {
+            if kind != "suite" {
+                return Err(format!("document kind `{kind}` is not a suite report"));
+            }
         }
         let db = doc.get("db").ok_or("missing field `db`")?;
         let families = req_arr(&doc, "families")?

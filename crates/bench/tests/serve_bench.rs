@@ -1,0 +1,80 @@
+//! End-to-end checks of the serving-load bench: a real (miniature) run
+//! round-trips through its own JSON parser and reproduces the pinned
+//! certainty digest, and the checked-in CI baseline stays parseable and
+//! pinned to the generator's digest.
+
+use qarith_bench::serve::{
+    check_serve_baseline, run_serve_bench, LoadMode, ServeBenchConfig, ServeBenchReport,
+};
+use qarith_bench::suite::SCHEMA_VERSION;
+use qarith_datagen::WorkloadScale;
+
+/// A fast configuration: 2 clients × 1 pass, 1 rep, default families
+/// at the baseline's ε/seed so the certainty digest must agree with
+/// the checked-in one.
+fn mini_config() -> ServeBenchConfig {
+    ServeBenchConfig {
+        clients: 2,
+        passes: 1,
+        reps: 1,
+        ..ServeBenchConfig::default_for(WorkloadScale::Tiny)
+    }
+}
+
+fn baseline() -> ServeBenchReport {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/SERVE_tiny.json");
+    let text = std::fs::read_to_string(path).expect("baseline JSON is checked in");
+    ServeBenchReport::from_json(&text).expect("baseline parses")
+}
+
+#[test]
+fn serve_run_round_trips_and_self_compares() {
+    let report = run_serve_bench(&mini_config());
+    let back = ServeBenchReport::from_json(&report.to_json()).expect("serve JSON parses");
+    assert_eq!(back, report, "write → parse must be lossless (bit-exact numbers)");
+    assert_eq!(check_serve_baseline(&report, &back, 0.25), Vec::<String>::new());
+    // 2 clients × 1 pass × 10 workload SQL strings (9 distinct
+    // templates — "Unfair Discount" appears in two families).
+    assert_eq!(report.requests, 20);
+    assert_eq!(report.templates, 9);
+}
+
+#[test]
+fn certainty_digest_is_independent_of_client_concurrency() {
+    // The digest comes from the sequential reference pass, so any
+    // client configuration at equal (scale, seed, ε, families) must
+    // reproduce it — including the checked-in 4-client baseline.
+    let a = run_serve_bench(&mini_config());
+    let b = run_serve_bench(&ServeBenchConfig { clients: 3, ..mini_config() });
+    assert_eq!(a.certainty_digest, b.certainty_digest);
+    assert_eq!(a.certainty_digest, baseline().certainty_digest);
+}
+
+#[test]
+fn checked_in_serve_baseline_is_valid_and_pinned() {
+    let baseline = baseline();
+    assert_eq!(baseline.schema_version, SCHEMA_VERSION);
+    assert_eq!(baseline.scale, "tiny");
+    assert_eq!(baseline.seed, 2020);
+    // Must agree with the generator pins in
+    // crates/datagen/tests/determinism.rs — same seed, same scale.
+    assert_eq!(baseline.db_tuples, 200);
+    assert_eq!(baseline.db_num_nulls, 47);
+    assert_eq!(baseline.db_digest, "0x75dc0786674255e7");
+    assert_eq!(baseline.mode, "closed");
+    assert_eq!(baseline.clients, 4, "the CI gate serves 4 concurrent clients");
+    assert_eq!(baseline.templates, 9, "10 workload queries share one template");
+    assert!(baseline.latency.p50 <= baseline.latency.p95);
+    assert!(baseline.latency.p95 <= baseline.latency.p99);
+    assert!(baseline.latency.p99 <= baseline.latency.max);
+}
+
+#[test]
+fn open_loop_mode_records_schedule_latency() {
+    let config = ServeBenchConfig { mode: LoadMode::Open, rate: 2000.0, ..mini_config() };
+    let report = run_serve_bench(&config);
+    assert_eq!(report.mode, "open");
+    assert_eq!(report.rate, 2000.0);
+    // Same population, same digest: the load mode is timing-only.
+    assert_eq!(report.certainty_digest, baseline().certainty_digest);
+}

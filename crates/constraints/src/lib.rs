@@ -6,6 +6,12 @@
 //! combinations of polynomial (in)equalities `p(z̄) ⋈ 0` over variables
 //! `z₁ … z_n` that stand for the numerical nulls of a database.
 //!
+//! Layering: above `qarith-numeric`, below `qarith-rewrite`,
+//! `qarith-engine`, and `qarith-core` — every ground formula the
+//! pipeline measures is built from this crate's types. Paper
+//! touchpoints: Proposition 5.3 (the formulas), Lemmas 8.2–8.4 (the
+//! asymptotic analysis).
+//!
 //! The centre-piece is the **asymptotic truth test** of Lemma 8.4: for a
 //! direction `a ∈ ℝⁿ`, the truth value of `φ(k·a)` stabilises as `k → ∞`,
 //! and the stable value is computable from the *leading homogeneous

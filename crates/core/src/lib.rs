@@ -7,6 +7,12 @@
 //! defined as the asymptotic fraction (by volume) of valuations of the
 //! numerical nulls under which the tuple is an answer.
 //!
+//! Layering: the measurement hub — above `qarith-constraints`,
+//! `qarith-rewrite`, `qarith-engine`, and `qarith-geometry`; below
+//! `qarith-serve` (which drives the prepared-plan split of
+//! [`pipeline`]) and `qarith-bench`. Paper touchpoints: Theorems 7.1
+//! and 8.1, §§6–10.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -104,9 +110,9 @@ pub use decompose::RewriteStats;
 pub use error::MeasureError;
 pub use estimate::{CertaintyEstimate, Method};
 pub use fpras::FprasOptions;
-pub use nucache::{CacheStats, NuCache};
+pub use nucache::{CacheStats, CertaintyCache, NuCache};
 pub use pipeline::{
-    AnswerWithCertainty, BatchOptions, BatchOutcome, BatchStats, CertaintyEngine, MeasureOptions,
-    MethodChoice,
+    AnswerWithCertainty, BatchOptions, BatchOutcome, BatchPlan, BatchStats, CertaintyEngine,
+    MeasureOptions, MethodChoice,
 };
 pub use qarith_rewrite::{FactorBudget, RewriteOptions};

@@ -25,6 +25,33 @@ use std::sync::Mutex;
 
 use crate::estimate::CertaintyEstimate;
 
+/// The cache interface the measurement pipeline consults.
+///
+/// [`NuCache`] is the reference implementation (unbounded, one lock) and
+/// stays bit-pinned for the single-shot routes; `qarith-serve` provides a
+/// bounded, sharded implementation for long-lived serving processes. The
+/// contract every implementation must honor:
+///
+/// * **Bit-identity** — a value returned by [`CertaintyCache::get`] must
+///   be byte-for-byte the estimate previously passed to
+///   [`CertaintyCache::insert`] under the same `(group_key,
+///   fingerprint)`. Since every estimate is a deterministic function of
+///   that pair (see the module docs), an implementation is free to *drop*
+///   entries at any time — eviction costs recomputation, never accuracy —
+///   but must never return an entry recorded under a different key.
+/// * **Thread safety** — `get`/`insert` may be called concurrently from
+///   batch workers and serving clients (`Send + Sync`).
+/// * **Provenance** — served estimates should be flagged
+///   [`CertaintyEstimate::cached`]; the pipeline re-asserts the flag on
+///   every hit, so implementations that forget are corrected, not broken.
+pub trait CertaintyCache: Send + Sync + std::fmt::Debug {
+    /// Looks up the estimate recorded for `(group_key, fingerprint)`.
+    fn get(&self, group_key: &str, fingerprint: u64) -> Option<CertaintyEstimate>;
+    /// Records an estimate. Last write wins; racing writers hold
+    /// bit-identical values by construction.
+    fn insert(&self, group_key: String, fingerprint: u64, estimate: CertaintyEstimate);
+}
+
 /// Hit/miss/size counters of a [`NuCache`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -118,6 +145,16 @@ impl NuCache {
         self.map.lock().expect("ν-cache poisoned").clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+impl CertaintyCache for NuCache {
+    fn get(&self, group_key: &str, fingerprint: u64) -> Option<CertaintyEstimate> {
+        NuCache::get(self, group_key, fingerprint)
+    }
+
+    fn insert(&self, group_key: String, fingerprint: u64, estimate: CertaintyEstimate) {
+        NuCache::insert(self, group_key, fingerprint, estimate)
     }
 }
 

@@ -33,7 +33,7 @@ use crate::error::MeasureError;
 use crate::estimate::CertaintyEstimate;
 use crate::exact::{exact_applicable, try_exact};
 use crate::fpras::{fpras_estimate, FprasOptions};
-use crate::nucache::NuCache;
+use crate::nucache::{CertaintyCache, NuCache};
 use crate::zero_one::zero_one_measure;
 
 /// Which measure algorithm to use.
@@ -246,6 +246,7 @@ pub struct BatchOutcome {
 /// [`CertaintyEngine::nu`]'s routing), or — with rewriting enabled — the
 /// rewrite outcome prepared once per canonical class while building the
 /// group key, so the pass pipeline never runs twice on a formula.
+#[derive(Clone, Debug)]
 enum Work {
     /// Measure this formula under the configured method.
     Formula(QfFormula),
@@ -253,11 +254,75 @@ enum Work {
     Prepared(Box<RewriteOutcome>),
 }
 
+/// Where a candidate's estimate comes from.
+#[derive(Clone, Copy, Debug)]
+enum Slot {
+    /// Executor-certain: μ = 1 without measuring.
+    Certain,
+    /// Index into the plan's groups; the flag marks the group's *first*
+    /// candidate in input order (later members are dedup-served and
+    /// flagged [`CertaintyEstimate::cached`]).
+    Group(usize, bool),
+}
+
+/// The front half of a batch measurement, prepared once and executable
+/// many times: per-candidate canonicalization, deduplication into
+/// formula groups, cache-key construction, and (with rewriting enabled)
+/// the per-class rewrite outcome.
+///
+/// [`CertaintyEngine::prepare_batch`] builds a plan;
+/// [`CertaintyEngine::execute_plan`] runs the back half — ν-cache
+/// lookup, measurement of the misses, rehydration — against the
+/// engine's *current* cache state. A long-lived service keeps plans in
+/// a plan cache (see `qarith-serve`) so repeat traffic skips parsing,
+/// grounding, canonicalization, and rewriting entirely, going straight
+/// to per-group ν lookup.
+///
+/// A plan embeds the candidate tuples and ground formulas it was built
+/// from; executing it with an engine whose
+/// [`MeasureOptions::fingerprint`] differs from the building engine's
+/// is safe (the fingerprint is re-read at execution time) but wastes
+/// the dedup granularity chosen at preparation time, so services
+/// prepare and execute with the same options.
+#[derive(Clone, Debug)]
+pub struct BatchPlan {
+    /// The input candidates, in input order (owned: answers are
+    /// rehydrated from these on every execution).
+    candidates: Vec<CandidateAnswer>,
+    /// One slot per candidate.
+    slots: Vec<Slot>,
+    /// Deduplicated measurement work plus the ν-cache key (`None` with
+    /// dedup off: nothing is shared).
+    groups: Vec<(Work, Option<String>)>,
+    /// Executor-certain candidates (μ = 1, no group).
+    certain: usize,
+    /// Candidates served by in-plan deduplication.
+    dedup_hits: usize,
+}
+
+impl BatchPlan {
+    /// Candidates covered by the plan.
+    pub fn candidates(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Distinct formula groups to measure or look up per execution.
+    pub fn groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The ν-cache keys of the plan's groups (`None` entries belong to
+    /// plans prepared with dedup off, which never share).
+    pub fn group_keys(&self) -> impl Iterator<Item = Option<&str>> {
+        self.groups.iter().map(|(_, k)| k.as_deref())
+    }
+}
+
 /// The measure-of-certainty engine.
 #[derive(Clone, Debug, Default)]
 pub struct CertaintyEngine {
     options: MeasureOptions,
-    cache: Option<Arc<NuCache>>,
+    cache: Option<Arc<dyn CertaintyCache>>,
 }
 
 impl CertaintyEngine {
@@ -274,8 +339,16 @@ impl CertaintyEngine {
         self
     }
 
+    /// Attaches any [`CertaintyCache`] implementation — the hook
+    /// `qarith-serve` uses to substitute its bounded, sharded cache for
+    /// the unbounded [`NuCache`] on the serving path.
+    pub fn with_shared_cache(mut self, cache: Arc<dyn CertaintyCache>) -> CertaintyEngine {
+        self.cache = Some(cache);
+        self
+    }
+
     /// The attached ν-cache, if any.
-    pub fn cache(&self) -> Option<&NuCache> {
+    pub fn cache(&self) -> Option<&dyn CertaintyCache> {
         self.cache.as_deref()
     }
 
@@ -493,23 +566,21 @@ impl CertaintyEngine {
         &self,
         candidates: Vec<CandidateAnswer>,
     ) -> Result<BatchOutcome, MeasureError> {
-        /// Where a candidate's estimate comes from.
-        enum Slot {
-            /// Executor-certain: μ = 1 without measuring.
-            Certain,
-            /// Index into `groups`; the flag marks the group's first,
-            /// freshly-measured candidate (false ⇒ served from dedup or
-            /// cache ⇒ flagged `cached`).
-            Group(usize, bool),
-        }
+        let plan = self.prepare_batch(candidates);
+        let (results, stats) = self.run_plan(&plan);
+        // Single-shot: the plan is discarded, so the candidates move out
+        // of it instead of being cloned.
+        let BatchPlan { candidates, slots, .. } = plan;
+        rehydrate(candidates.into_iter(), &slots, results, stats)
+    }
 
-        let fingerprint = self.options.fingerprint();
-        let mut stats = BatchStats {
-            candidates: candidates.len(),
-            threads: self.options.batch.threads.max(1),
-            ..BatchStats::default()
-        };
-
+    /// The front half of [`CertaintyEngine::measure_batch`], runnable
+    /// once per query template: canonicalize every uncertain candidate,
+    /// dedup into groups, build cache keys, and (with rewriting on)
+    /// prepare the per-class rewrite outcome. The resulting
+    /// [`BatchPlan`] contains no measurements — execute it with
+    /// [`CertaintyEngine::execute_plan`], as often as needed.
+    pub fn prepare_batch(&self, candidates: Vec<CandidateAnswer>) -> BatchPlan {
         // Groups: the work to measure (the structural canonical form
         // when dedup is on — bit-identical to the member formulas — or
         // the original formula verbatim when dedup is off; with
@@ -517,9 +588,9 @@ impl CertaintyEngine {
         // plus the ν-cache key (`None` with dedup off: nothing is
         // shared).
         let mut groups: Vec<(Work, Option<String>)> = Vec::new();
-        let mut results: Vec<Option<Result<CertaintyEstimate, MeasureError>>> = Vec::new();
         let mut by_key: HashMap<String, usize> = HashMap::new();
         let mut slots: Vec<Slot> = Vec::with_capacity(candidates.len());
+        let (mut certain, mut dedup_hits) = (0, 0);
         // Structural interning memoizes canonicalization across literal
         // repeats; route selection (simplification + key build — the
         // whole rewrite pipeline when enabled) runs once per structural
@@ -529,13 +600,12 @@ impl CertaintyEngine {
 
         for cand in &candidates {
             if cand.certain {
-                stats.certain += 1;
+                certain += 1;
                 slots.push(Slot::Certain);
                 continue;
             }
             if !self.options.batch.dedup {
                 groups.push((Work::Formula(cand.formula.clone()), None));
-                results.push(None);
                 slots.push(Slot::Group(groups.len() - 1, true));
                 continue;
             }
@@ -547,15 +617,10 @@ impl CertaintyEngine {
                 .clone();
             match by_key.entry(key) {
                 Entry::Occupied(e) => {
-                    stats.dedup_hits += 1;
+                    dedup_hits += 1;
                     slots.push(Slot::Group(*e.get(), false));
                 }
                 Entry::Vacant(e) => {
-                    let served = self.cache.as_ref().and_then(|c| c.get(e.key(), fingerprint));
-                    let fresh = served.is_none();
-                    if !fresh {
-                        stats.cache_hits += 1;
-                    }
                     // The prepared outcome is cloned only here — once per
                     // group, not per candidate (dedup hits need the key
                     // alone).
@@ -564,13 +629,66 @@ impl CertaintyEngine {
                         None => Work::Formula(interner.get(class).formula.clone()),
                     };
                     groups.push((work, Some(e.key().clone())));
-                    results.push(served.map(Ok));
                     e.insert(groups.len() - 1);
-                    slots.push(Slot::Group(groups.len() - 1, fresh));
+                    slots.push(Slot::Group(groups.len() - 1, true));
                 }
             }
         }
-        stats.groups = groups.len();
+        BatchPlan { candidates, slots, groups, certain, dedup_hits }
+    }
+
+    /// The back half of [`CertaintyEngine::measure_batch`]: look every
+    /// plan group up in the engine's ν-cache, measure the misses
+    /// concurrently, publish fresh results, and rehydrate per-candidate
+    /// answers (cloned out of the plan, which remains reusable).
+    ///
+    /// Estimates are **bit-identical** to
+    /// [`CertaintyEngine::measure_batch`] over the same candidates with
+    /// the same options — the plan *is* that call's front half — and
+    /// therefore also to the plain sequential loop (see
+    /// [`CertaintyEngine::measure_batch`]). Cache state only shifts
+    /// work between lookup and recomputation.
+    pub fn execute_plan(&self, plan: &BatchPlan) -> Result<BatchOutcome, MeasureError> {
+        let (results, stats) = self.run_plan(plan);
+        rehydrate(plan.candidates.iter().cloned(), &plan.slots, results, stats)
+    }
+
+    /// Shared back half: cache lookups, fan-out measurement of the
+    /// misses, trace aggregation, cache publication. Returns per-group
+    /// results (in plan group order) plus the filled-in stats.
+    #[allow(clippy::type_complexity)]
+    fn run_plan(
+        &self,
+        plan: &BatchPlan,
+    ) -> (Vec<Option<Result<CertaintyEstimate, MeasureError>>>, BatchStats) {
+        let fingerprint = self.options.fingerprint();
+        let mut stats = BatchStats {
+            candidates: plan.candidates.len(),
+            certain: plan.certain,
+            groups: plan.groups.len(),
+            dedup_hits: plan.dedup_hits,
+            threads: self.options.batch.threads.max(1),
+            ..BatchStats::default()
+        };
+
+        // Consult the cache per group, against *current* cache state
+        // (plans outlive batches; a key missed on one execution can hit
+        // on the next).
+        let mut results: Vec<Option<Result<CertaintyEstimate, MeasureError>>> =
+            Vec::with_capacity(plan.groups.len());
+        for (_, key) in &plan.groups {
+            let served = match (self.cache.as_ref(), key) {
+                (Some(cache), Some(key)) => cache.get(key, fingerprint),
+                _ => None,
+            };
+            if let Some(mut est) = served {
+                est.cached = true;
+                stats.cache_hits += 1;
+                results.push(Some(Ok(est)));
+            } else {
+                results.push(None);
+            }
+        }
 
         // Fan the not-yet-known groups out across scoped workers. The
         // configured width is additionally capped at the machine's
@@ -582,10 +700,10 @@ impl CertaintyEngine {
         stats.measured = pending.len();
         let parallelism = std::thread::available_parallelism().map_or(usize::MAX, usize::from);
         let threads = stats.threads.min(parallelism).min(pending.len().max(1));
-        let mut traces: Vec<Option<RewriteTrace>> = vec![None; groups.len()];
+        let mut traces: Vec<Option<RewriteTrace>> = vec![None; plan.groups.len()];
         if threads <= 1 {
             for &gi in &pending {
-                let result = self.measure_work(&groups[gi].0);
+                let result = self.measure_work(&plan.groups[gi].0);
                 let failed = result.is_err();
                 results[gi] = Some(result.map(|(est, trace)| {
                     traces[gi] = trace;
@@ -606,7 +724,7 @@ impl CertaintyEngine {
             // measures what.
             type Traced = Result<(CertaintyEstimate, Option<RewriteTrace>), MeasureError>;
             let next = std::sync::atomic::AtomicUsize::new(0);
-            let (groups, pending, next) = (&groups, &pending, &next);
+            let (groups, pending, next) = (&plan.groups, &pending, &next);
             let fresh: Vec<Vec<(usize, Traced)>> = std::thread::scope(|scope| {
                 let workers: Vec<_> = (0..threads)
                     .map(|_| {
@@ -637,41 +755,12 @@ impl CertaintyEngine {
         // Publish fresh results to the persistent cache.
         if let Some(cache) = self.cache.as_ref() {
             for &gi in &pending {
-                if let (Some(Ok(est)), Some(key)) = (&results[gi], &groups[gi].1) {
+                if let (Some(Ok(est)), Some(key)) = (&results[gi], &plan.groups[gi].1) {
                     cache.insert(key.clone(), fingerprint, est.clone());
                 }
             }
         }
-
-        // Rehydrate per-candidate answers in input order; the first error
-        // in candidate order aborts, matching the sequential loop.
-        let mut answers = Vec::with_capacity(candidates.len());
-        for (cand, slot) in candidates.into_iter().zip(slots) {
-            let certainty = match slot {
-                Slot::Certain => CertaintyEstimate::exact_rational(Rational::ONE, 0),
-                Slot::Group(gi, fresh) => match &results[gi] {
-                    Some(Ok(est)) => {
-                        let mut est = est.clone();
-                        est.cached |= !fresh;
-                        est
-                    }
-                    Some(Err(_)) => {
-                        return Err(results[gi].take().expect("checked").expect_err("is error"));
-                    }
-                    // Only reachable past an early error break, and the
-                    // erroring group's first candidate precedes every
-                    // unmeasured group's candidates, so the Err branch
-                    // above returns first.
-                    None => unreachable!("unmeasured group after error return"),
-                },
-            };
-            answers.push(AnswerWithCertainty {
-                tuple: cand.tuple,
-                certainty,
-                formula: cand.formula,
-            });
-        }
-        Ok(BatchOutcome { answers, stats })
+        (results, stats)
     }
 
     /// Candidate answers for an **arbitrary** FO(+,·,<) query by
@@ -731,6 +820,43 @@ impl CertaintyEngine {
     pub fn naive_answers(&self, query: &Query, db: &Database) -> Result<Vec<Tuple>, MeasureError> {
         Ok(naive::evaluate(query, db)?)
     }
+}
+
+/// Rehydrates per-candidate answers in input order from per-group
+/// results; the first error in candidate order aborts, matching the
+/// sequential loop.
+fn rehydrate(
+    candidates: impl Iterator<Item = CandidateAnswer>,
+    slots: &[Slot],
+    mut results: Vec<Option<Result<CertaintyEstimate, MeasureError>>>,
+    stats: BatchStats,
+) -> Result<BatchOutcome, MeasureError> {
+    let mut answers = Vec::with_capacity(slots.len());
+    for (cand, slot) in candidates.zip(slots) {
+        let certainty = match *slot {
+            Slot::Certain => CertaintyEstimate::exact_rational(Rational::ONE, 0),
+            Slot::Group(gi, first) => match &results[gi] {
+                Some(Ok(est)) => {
+                    let mut est = est.clone();
+                    // Dedup-served members share the group's value
+                    // instead of recomputing; cache-served groups arrive
+                    // pre-flagged from `run_plan`.
+                    est.cached |= !first;
+                    est
+                }
+                Some(Err(_)) => {
+                    return Err(results[gi].take().expect("checked").expect_err("is error"));
+                }
+                // Only reachable past an early error break, and the
+                // erroring group's first candidate precedes every
+                // unmeasured group's candidates, so the Err branch
+                // above returns first.
+                None => unreachable!("unmeasured group after error return"),
+            },
+        };
+        answers.push(AnswerWithCertainty { tuple: cand.tuple, certainty, formula: cand.formula });
+    }
+    Ok(BatchOutcome { answers, stats })
 }
 
 #[cfg(test)]

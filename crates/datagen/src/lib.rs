@@ -1,4 +1,7 @@
-//! Seeded synthetic data generation.
+//! Seeded synthetic data generation (the §9 evaluation's data side).
+//!
+//! Layering: above `qarith-types`/`qarith-sql`, below `qarith-bench`
+//! (whose suite and serving load replay the workloads defined here).
 //!
 //! The paper's §9 evaluation uses DataFiller ("generate random data from
 //! database schema") to build a ~200K-tuple sales database with nulls,

@@ -243,26 +243,18 @@ pub struct Workload {
 /// display forms. Independent of process, thread, and host — used by the
 /// determinism tests and the CI perf baseline to pin generated data.
 pub fn database_digest(db: &Database) -> u64 {
-    const FNV_OFFSET: u64 = 0xcbf29ce484222325;
-    const FNV_PRIME: u64 = 0x100000001b3;
-    let mut h = FNV_OFFSET;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(FNV_PRIME);
-        }
-    };
+    let mut h = qarith_numeric::Fnv1a64::new();
     for rel in db.relations() {
-        eat(rel.schema().name().as_bytes());
-        eat(b"|");
+        h.update(rel.schema().name().as_bytes());
+        h.update(b"|");
         for col in rel.schema().columns() {
-            eat(format!("{}:{:?};", col.name(), col.sort()).as_bytes());
+            h.update(format!("{}:{:?};", col.name(), col.sort()).as_bytes());
         }
         for t in rel.tuples() {
-            eat(format!("{t}\n").as_bytes());
+            h.update(format!("{t}\n").as_bytes());
         }
     }
-    h
+    h.finish()
 }
 
 #[cfg(test)]

@@ -1,7 +1,12 @@
-//! Relational evaluation substrate.
+//! Relational evaluation substrate (§2, Propositions 5.2/5.3, and the
+//! §9 executor role).
 //!
-//! This crate is the bridge between queries/databases and the real-valued
-//! constraint formulas that the measure machinery consumes:
+//! Layering: above `qarith-query`/`qarith-types`/`qarith-constraints`,
+//! below `qarith-core` (which measures the formulas this crate
+//! produces) and `qarith-serve` (which executes prepared candidate
+//! sets). This crate is the bridge between queries/databases and the
+//! real-valued constraint formulas that the measure machinery
+//! consumes:
 //!
 //! * [`naive`] — active-domain evaluation of arbitrary FO(+,·,<) queries
 //!   over databases, treating marked nulls as fresh distinct constants

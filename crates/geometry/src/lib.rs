@@ -1,5 +1,9 @@
 //! Convex-geometry substrate for the Theorem 7.1 FPRAS.
 //!
+//! Layering: a leaf crate above only the vendored `rand`; consumed by
+//! `qarith-core`'s `fpras` module. Everything symbolic happens below
+//! in `qarith-constraints`; this crate is pure `f64` geometry.
+//!
 //! The paper reduces `μ` for CQ(+,<) queries to the volume of a union of
 //! convex bodies — homogenized polyhedral cones intersected with the unit
 //! ball — and invokes the Bringmann–Friedrich estimator

@@ -20,18 +20,23 @@
 //! * [`NumericError`] — the shared error type.
 //!
 //! The crate is deliberately dependency-free: it is the bottom of the
-//! workspace dependency graph.
+//! workspace dependency graph (see DESIGN.md "Crate layering" — every
+//! other `qarith-*` crate sits above it). Paper touchpoints: the
+//! rational constants of §3's data model and the exact cell
+//! probabilities of the §8 order-measure evaluator.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod combinatorics;
 mod error;
+mod fnv;
 mod gcd;
 mod rational;
 
 pub use combinatorics::{binomial, factorial};
 pub use error::NumericError;
+pub use fnv::Fnv1a64;
 pub use gcd::{gcd_i128, lcm_i128};
 pub use rational::Rational;
 

@@ -1,5 +1,9 @@
 //! The query language FO(+,·,<) of §3 and its fragments.
 //!
+//! Layering: above `qarith-types`, below `qarith-sql` (which lowers
+//! SQL onto this AST) and `qarith-engine` (which evaluates/grounds
+//! it).
+//!
 //! Queries are two-sorted first-order formulas: variables are typed
 //! ([`Sort::Base`](qarith_types::Sort::Base) or
 //! [`Sort::Num`](qarith_types::Sort::Num)); numerical terms are built from

@@ -1,5 +1,11 @@
 //! # qarith-rewrite — ν-preserving formula rewriting
 //!
+//! Layering: above `qarith-constraints`, below `qarith-core` (whose
+//! `decompose` executor measures the outcomes produced here). Paper
+//! touchpoints: Lemma 8.4 (almost-everywhere constant limit signs) and
+//! the independence of variable-disjoint direction events behind the
+//! §8 measure.
+//!
 //! The Theorem 8.1 sampling loop pays `ε⁻²` directions per formula with
 //! `O(|φ|)` work per direction, even when the ground formula (the
 //! Proposition 5.3 output) is bloated with trivially-decidable atoms or

@@ -1,0 +1,160 @@
+//! Admission control: a counting gate on in-flight queries.
+//!
+//! A certainty query is CPU-bound (Monte-Carlo directions, exact
+//! geometry); admitting every arriving request under overload just
+//! multiplies context switches and working sets until everything is
+//! slow at once. The gate caps concurrent execution at a configured
+//! width — requests beyond it *queue* (block on a condvar) instead of
+//! executing, so overload degrades into longer waits with throughput
+//! intact, rather than collapsing. Nothing is shed: every admitted
+//! request eventually runs, in condvar wake order (approximately FIFO;
+//! the OS decides ties).
+//!
+//! The wait is part of the request's latency — `serve_bench`'s
+//! percentiles measure it, which is exactly the point: queueing under
+//! overload must be *visible* in p95/p99, not hidden.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Counters of an [`AdmissionGate`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Requests admitted (each exactly once).
+    pub admitted: u64,
+    /// Requests that found the gate full and had to queue.
+    pub queued: u64,
+    /// The configured concurrency cap.
+    pub max_in_flight: u64,
+}
+
+impl AdmissionStats {
+    /// The counters as stable `(name, value)` pairs, in declaration
+    /// order — the machine-readable export `serve_bench` serializes
+    /// into `BENCH_*.json`. Names are part of the JSON schema: renaming
+    /// one is a baseline-breaking change.
+    pub fn as_pairs(&self) -> [(&'static str, u64); 3] {
+        [
+            ("admitted", self.admitted),
+            ("queued", self.queued),
+            ("max_in_flight", self.max_in_flight),
+        ]
+    }
+}
+
+/// A counting semaphore with queue accounting. `std::sync` only (no
+/// external semaphore dependency): a mutex-guarded counter plus a
+/// condvar.
+#[derive(Debug)]
+pub struct AdmissionGate {
+    max_in_flight: usize,
+    in_flight: Mutex<usize>,
+    released: Condvar,
+    admitted: AtomicU64,
+    queued: AtomicU64,
+}
+
+impl AdmissionGate {
+    /// A gate admitting at most `max_in_flight` concurrent holders
+    /// (rounded up to 1: a gate that admits nobody deadlocks by
+    /// construction).
+    pub fn new(max_in_flight: usize) -> AdmissionGate {
+        AdmissionGate {
+            max_in_flight: max_in_flight.max(1),
+            in_flight: Mutex::new(0),
+            released: Condvar::new(),
+            admitted: AtomicU64::new(0),
+            queued: AtomicU64::new(0),
+        }
+    }
+
+    /// Blocks until a slot is free, then occupies it. The returned
+    /// permit releases the slot on drop (also on panic — the gate never
+    /// leaks capacity).
+    pub fn acquire(&self) -> AdmissionPermit<'_> {
+        let mut in_flight = self.in_flight.lock().expect("admission gate poisoned");
+        if *in_flight >= self.max_in_flight {
+            self.queued.fetch_add(1, Ordering::Relaxed);
+            while *in_flight >= self.max_in_flight {
+                in_flight = self.released.wait(in_flight).expect("admission gate poisoned");
+            }
+        }
+        *in_flight += 1;
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        AdmissionPermit { gate: self }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> AdmissionStats {
+        AdmissionStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            queued: self.queued.load(Ordering::Relaxed),
+            max_in_flight: self.max_in_flight as u64,
+        }
+    }
+}
+
+/// An occupied admission slot; dropping it wakes one queued waiter.
+#[derive(Debug)]
+pub struct AdmissionPermit<'a> {
+    gate: &'a AdmissionGate,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        let mut in_flight = self.gate.in_flight.lock().expect("admission gate poisoned");
+        *in_flight -= 1;
+        drop(in_flight);
+        self.gate.released.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn caps_concurrency_and_counts_queueing() {
+        let gate = AdmissionGate::new(2);
+        let running = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let (gate, running, peak) = (&gate, &running, &peak);
+                scope.spawn(move || {
+                    let _permit = gate.acquire();
+                    let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    running.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2, "gate admitted more than its cap");
+        let stats = gate.stats();
+        assert_eq!(stats.admitted, 8, "nothing is shed");
+        assert!(stats.queued > 0, "8 arrivals through a 2-wide gate must queue");
+        assert_eq!(stats.max_in_flight, 2);
+    }
+
+    #[test]
+    fn zero_width_gate_still_admits_one() {
+        let gate = AdmissionGate::new(0);
+        let _permit = gate.acquire();
+        assert_eq!(gate.stats().max_in_flight, 1);
+    }
+
+    #[test]
+    fn permit_released_on_panic() {
+        let gate = AdmissionGate::new(1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _permit = gate.acquire();
+            panic!("request died");
+        }));
+        assert!(result.is_err());
+        // The slot must be free again.
+        let _permit = gate.acquire();
+        assert_eq!(gate.stats().admitted, 2);
+    }
+}

@@ -1,0 +1,50 @@
+//! The serving layer's error type.
+
+use qarith_core::MeasureError;
+use qarith_sql::SqlError;
+
+/// Anything that can go wrong serving one query.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The SQL text failed to parse or lower against the service's
+    /// catalog.
+    Sql(SqlError),
+    /// Candidate generation or measurement failed.
+    Measure(MeasureError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Sql(e) => write!(f, "SQL error: {e}"),
+            ServeError::Measure(e) => write!(f, "measurement error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Sql(e) => Some(e),
+            ServeError::Measure(e) => Some(e),
+        }
+    }
+}
+
+impl From<SqlError> for ServeError {
+    fn from(e: SqlError) -> ServeError {
+        ServeError::Sql(e)
+    }
+}
+
+impl From<MeasureError> for ServeError {
+    fn from(e: MeasureError) -> ServeError {
+        ServeError::Measure(e)
+    }
+}
+
+impl From<qarith_engine::EngineError> for ServeError {
+    fn from(e: qarith_engine::EngineError) -> ServeError {
+        ServeError::Measure(e.into())
+    }
+}

@@ -1,0 +1,280 @@
+//! The long-lived query service: prepared plans over a shared engine.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use qarith_core::{
+    AnswerWithCertainty, BatchPlan, BatchStats, CertaintyCache, CertaintyEngine, MeasureOptions,
+};
+use qarith_engine::cq;
+use qarith_types::{Catalog, Database};
+
+use crate::admission::{AdmissionGate, AdmissionStats};
+use crate::error::ServeError;
+use crate::shard::{ShardedCacheConfig, ShardedCacheStats, ShardedNuCache};
+
+/// Configuration of a [`QueryService`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Measurement options of the shared engine. The options'
+    /// fingerprint keys the ν-cache, so every request served by one
+    /// service shares one fingerprint — exactly the regime the cache is
+    /// built for. [`BatchOptions::threads`] here is per-*request*
+    /// fan-out; a service whose concurrency comes from its clients
+    /// typically leaves it at 1.
+    ///
+    /// [`BatchOptions::threads`]: qarith_core::BatchOptions
+    pub options: MeasureOptions,
+    /// Sharding and memory budget of the serving-path ν-cache.
+    pub cache: ShardedCacheConfig,
+    /// Admission-control cap on concurrently executing queries;
+    /// arrivals beyond it queue (see [`crate::admission`]).
+    pub max_in_flight: usize,
+    /// Cap on cached plans, with least-recently-used eviction (rounded
+    /// up to 1). Fingerprints include literal values, so traffic whose
+    /// literals vary per request (per-user thresholds) mints unbounded
+    /// distinct templates — without a cap the plan cache would
+    /// reintroduce the unbounded-memory failure the sharded ν-cache
+    /// exists to prevent. Like ν-cache eviction, plan eviction is
+    /// cost-only: plans are deterministic functions of the template,
+    /// so a rebuilt plan is interchangeable with the evicted one.
+    pub max_plans: usize,
+}
+
+impl Default for ServeConfig {
+    /// Default engine options, the default 16-shard/64 MiB cache, a
+    /// 64-wide admission gate, and a 1024-plan cache.
+    fn default() -> Self {
+        ServeConfig {
+            options: MeasureOptions::default(),
+            cache: ShardedCacheConfig::default(),
+            max_in_flight: 64,
+            max_plans: 1024,
+        }
+    }
+}
+
+/// Service-level counters (the plan cache and request accounting; the
+/// ν-cache and admission gate export their own blocks).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Queries served (admitted and completed or failed).
+    pub queries: u64,
+    /// Requests whose template hit the plan cache.
+    pub plan_hits: u64,
+    /// Requests that had to build a plan (first sighting of a template,
+    /// a concurrent race on one — each racer builds and counts — or a
+    /// re-request of an evicted template).
+    pub plan_misses: u64,
+    /// Plans currently cached (≤ [`ServeConfig::max_plans`]).
+    pub plans: u64,
+    /// Plans evicted under the [`ServeConfig::max_plans`] cap since
+    /// creation (cost shifted to rebuild; answers unchanged).
+    pub plan_evictions: u64,
+}
+
+impl ServiceStats {
+    /// The counters as stable `(name, value)` pairs, in declaration
+    /// order — the machine-readable export `serve_bench` serializes
+    /// into `BENCH_*.json`. Names are part of the JSON schema: renaming
+    /// one is a baseline-breaking change.
+    pub fn as_pairs(&self) -> [(&'static str, u64); 5] {
+        [
+            ("queries", self.queries),
+            ("plan_hits", self.plan_hits),
+            ("plan_misses", self.plan_misses),
+            ("plans", self.plans),
+            ("plan_evictions", self.plan_evictions),
+        ]
+    }
+}
+
+/// One served answer set.
+#[derive(Clone, Debug)]
+pub struct QueryResponse {
+    /// Per-candidate answers, in candidate order (identical across
+    /// requests for a fixed template — the service's database and
+    /// options are fixed).
+    pub answers: Vec<AnswerWithCertainty>,
+    /// Batch accounting of this execution (cache hits vs fresh
+    /// measurement).
+    pub stats: BatchStats,
+    /// `true` iff the template's plan came from the plan cache.
+    pub plan_cached: bool,
+    /// The template fingerprint the request mapped to.
+    pub fingerprint: String,
+}
+
+/// A long-lived, thread-safe query-serving engine: one loaded
+/// [`Database`] plus one [`CertaintyEngine`], shared by any number of
+/// client threads through `&self` (wrap the service in an [`Arc`] and
+/// hand clones to clients).
+///
+/// Per request ([`QueryService::query`]):
+///
+/// 1. **admission** — block until the in-flight gate has room;
+/// 2. **fingerprint** — normalize the SQL text
+///    ([`qarith_sql::sql_fingerprint`]);
+/// 3. **plan** — look the fingerprint up in the plan cache; on a miss,
+///    parse → lower → generate candidates → prepare the batch
+///    ([`CertaintyEngine::prepare_batch`]) and publish the plan;
+/// 4. **execute** — run the plan's back half
+///    ([`CertaintyEngine::execute_plan`]) against the bounded sharded
+///    ν-cache: per-group cache lookup, measurement of the misses only.
+///
+/// **Determinism.** For a fixed service (database, options) every
+/// request for a template returns bit-identical answers, regardless of
+/// client concurrency, plan-cache state, or ν-cache eviction history:
+/// plans are deterministic functions of the template, and measurements
+/// are deterministic functions of (group, options) — see
+/// [`qarith_core::nucache`]. The serving tests race clients against a
+/// sequential reference to lock this in.
+#[derive(Debug)]
+pub struct QueryService {
+    db: Database,
+    catalog: Catalog,
+    engine: CertaintyEngine,
+    cache: Arc<ShardedNuCache>,
+    plans: RwLock<HashMap<String, PlanEntry>>,
+    max_plans: usize,
+    plan_tick: AtomicU64,
+    gate: AdmissionGate,
+    queries: AtomicU64,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+    plan_evictions: AtomicU64,
+}
+
+/// A cached plan — the fully prepared template (parse → lower →
+/// ground → canonicalize/dedup → rewrite, run once) — plus its recency
+/// stamp. `last_used` is an atomic so hits can refresh it under the
+/// read lock (the common path never takes the write lock).
+#[derive(Debug)]
+struct PlanEntry {
+    plan: Arc<BatchPlan>,
+    last_used: AtomicU64,
+}
+
+impl QueryService {
+    /// A service over a loaded database. The database is owned (and
+    /// immutable) for the service's lifetime: prepared plans embed
+    /// candidates generated from it, so a mutable database would
+    /// invalidate every plan.
+    pub fn new(db: Database, config: ServeConfig) -> QueryService {
+        let cache = Arc::new(ShardedNuCache::new(config.cache));
+        let engine = CertaintyEngine::new(config.options)
+            .with_shared_cache(cache.clone() as Arc<dyn CertaintyCache>);
+        let catalog = db.catalog();
+        QueryService {
+            db,
+            catalog,
+            engine,
+            cache,
+            plans: RwLock::new(HashMap::new()),
+            max_plans: config.max_plans.max(1),
+            plan_tick: AtomicU64::new(0),
+            gate: AdmissionGate::new(config.max_in_flight),
+            queries: AtomicU64::new(0),
+            plan_hits: AtomicU64::new(0),
+            plan_misses: AtomicU64::new(0),
+            plan_evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Serves one SQL query. Blocks while the admission gate is full.
+    pub fn query(&self, sql: &str) -> Result<QueryResponse, ServeError> {
+        let _permit = self.gate.acquire();
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let fingerprint = qarith_sql::sql_fingerprint(sql)?;
+        let (plan, plan_cached) = self.plan_for(sql, &fingerprint)?;
+        let outcome = self.engine.execute_plan(&plan)?;
+        Ok(QueryResponse {
+            answers: outcome.answers,
+            stats: outcome.stats,
+            plan_cached,
+            fingerprint,
+        })
+    }
+
+    /// Plan-cache lookup with build-on-miss and LRU eviction under
+    /// [`ServeConfig::max_plans`]. Racing builders for one fingerprint
+    /// each build (plans are deterministic, so the copies are
+    /// interchangeable); the first publication wins and the rest adopt
+    /// it, keeping the cache single-entry per template.
+    fn plan_for(&self, sql: &str, fingerprint: &str) -> Result<(Arc<BatchPlan>, bool), ServeError> {
+        if let Some(entry) = self.plans.read().expect("plan cache poisoned").get(fingerprint) {
+            self.plan_hits.fetch_add(1, Ordering::Relaxed);
+            entry
+                .last_used
+                .store(self.plan_tick.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+            return Ok((entry.plan.clone(), true));
+        }
+        self.plan_misses.fetch_add(1, Ordering::Relaxed);
+        // Build outside any lock: candidate generation and preparation
+        // are the expensive half, and other templates must keep flowing.
+        let built = Arc::new(self.build_plan(sql)?);
+        let tick = self.plan_tick.fetch_add(1, Ordering::Relaxed);
+        let mut plans = self.plans.write().expect("plan cache poisoned");
+        if !plans.contains_key(fingerprint) {
+            // Evict least-recently-used templates down to cap − 1. The
+            // O(n) scan is fine: it runs only on publication, which is
+            // already the expensive (plan-building) path, and n ≤ cap.
+            while plans.len() >= self.max_plans {
+                let victim = plans
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                    .map(|(k, _)| k.clone())
+                    .expect("nonempty at cap");
+                plans.remove(&victim);
+                self.plan_evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let plan = plans
+            .entry(fingerprint.to_string())
+            .or_insert_with(|| PlanEntry { plan: built, last_used: AtomicU64::new(tick) })
+            .plan
+            .clone();
+        Ok((plan, false))
+    }
+
+    /// The front half, template-granular: parse + lower against the
+    /// catalog, generate candidates under the template's LIMIT
+    /// semantics (folded into the executor options), prepare the batch.
+    fn build_plan(&self, sql: &str) -> Result<BatchPlan, ServeError> {
+        let lowered = qarith_sql::compile(sql, &self.catalog)?;
+        let candidates = cq::execute(&lowered.query, &self.db, &lowered.cq_options())?;
+        Ok(self.engine.prepare_batch(candidates))
+    }
+
+    /// The served database (read-only).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The engine's options (fixed for the service's lifetime).
+    pub fn options(&self) -> &MeasureOptions {
+        self.engine.options()
+    }
+
+    /// Service-level counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            plan_hits: self.plan_hits.load(Ordering::Relaxed),
+            plan_misses: self.plan_misses.load(Ordering::Relaxed),
+            plans: self.plans.read().expect("plan cache poisoned").len() as u64,
+            plan_evictions: self.plan_evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Counters of the bounded sharded ν-cache.
+    pub fn cache_stats(&self) -> ShardedCacheStats {
+        self.cache.stats()
+    }
+
+    /// Counters of the admission gate.
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.gate.stats()
+    }
+}

@@ -1,0 +1,388 @@
+//! The bounded, sharded ν-cache of the serving path.
+//!
+//! The single-shot pipelines memoize ν in `qarith-core`'s [`NuCache`]:
+//! one mutex, unbounded growth. Both choices are wrong for a long-lived
+//! service — every concurrent client serializes on the lock, and
+//! sustained traffic over an evolving template population grows the
+//! table without limit. [`ShardedNuCache`] replaces it on the serving
+//! route:
+//!
+//! * **Sharding** — entries are distributed over N independently locked
+//!   shards by a hash of the group key, so concurrent lookups of
+//!   different formulas contend only `1/N` of the time. The shard
+//!   choice affects *placement only*: which shard holds a key can never
+//!   influence the value returned for it.
+//! * **Bounded memory** — each shard enforces `budget_bytes / shards`
+//!   with least-recently-used eviction (every hit refreshes recency).
+//!   The resident size is accounted per entry as key bytes + estimate
+//!   size + a fixed bookkeeping overhead.
+//! * **Observability** — hit/miss/entry/eviction/byte counters exported
+//!   through the workspace's `as_pairs` convention
+//!   ([`ShardedCacheStats::as_pairs`]), like every other stats block in
+//!   `BENCH_*.json`.
+//!
+//! **Why eviction cannot change answers.** Every estimate is a
+//! deterministic function of its `(group key, options fingerprint)` —
+//! that is the contract of [`CertaintyCache`] and the reason ν is
+//! cacheable at all. Evicting an entry therefore only moves the next
+//! request for it from the lookup path to the recompute path, which
+//! produces the *bit-identical* value the cache would have returned.
+//! Eviction changes cost, never certainties; the serving tests lock
+//! this in by forcing a tiny budget and comparing bits.
+//!
+//! [`NuCache`]: qarith_core::NuCache
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use qarith_core::{CertaintyCache, CertaintyEstimate};
+
+/// Fixed per-entry bookkeeping charge (map nodes, the recency index,
+/// and the `Arc<str>` header) on top of key and estimate bytes. The
+/// point of the budget is a reliable *order of magnitude*, not
+/// allocator-exact accounting.
+const ENTRY_OVERHEAD_BYTES: usize = 96;
+
+/// Configuration of a [`ShardedNuCache`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardedCacheConfig {
+    /// Number of independently locked shards. Rounded up to at least 1.
+    pub shards: usize,
+    /// Total memory budget across all shards, in (accounted) bytes.
+    /// Each shard enforces `budget_bytes / shards`.
+    pub budget_bytes: usize,
+}
+
+impl Default for ShardedCacheConfig {
+    /// 16 shards, 64 MiB — roomy for the workload suite at every scale
+    /// while still bounding a service that runs for weeks.
+    fn default() -> Self {
+        ShardedCacheConfig { shards: 16, budget_bytes: 64 << 20 }
+    }
+}
+
+/// Aggregate counters of a [`ShardedNuCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardedCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Entries evicted under the memory budget since creation.
+    pub evictions: u64,
+    /// Accounted bytes currently resident.
+    pub resident_bytes: u64,
+    /// Number of shards (constant; exported so one stats block is
+    /// self-describing).
+    pub shards: u64,
+}
+
+impl ShardedCacheStats {
+    /// Fraction of lookups served from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// The counters as stable `(name, value)` pairs, in declaration
+    /// order — the machine-readable export `serve_bench` serializes
+    /// into `BENCH_*.json`. Names are part of the JSON schema: renaming
+    /// one is a baseline-breaking change.
+    pub fn as_pairs(&self) -> [(&'static str, u64); 6] {
+        [
+            ("hits", self.hits),
+            ("misses", self.misses),
+            ("entries", self.entries),
+            ("evictions", self.evictions),
+            ("resident_bytes", self.resident_bytes),
+            ("shards", self.shards),
+        ]
+    }
+}
+
+/// One stored estimate.
+struct Entry {
+    estimate: CertaintyEstimate,
+    /// Position in the shard's recency index.
+    tick: u64,
+    /// Accounted size (subtracted back on eviction).
+    bytes: usize,
+}
+
+/// One shard: a two-level map (group key → fingerprint → entry, so
+/// lookups probe with `&str` and never allocate) plus a recency index.
+/// The key `Arc<str>` is shared between map and index, so a recency
+/// touch moves 16 bytes, not the (large) key string.
+#[derive(Default)]
+struct ShardInner {
+    map: HashMap<Arc<str>, HashMap<u64, Entry>>,
+    /// tick → (group key, fingerprint); the smallest tick is the least
+    /// recently used entry. Ticks are unique within a shard.
+    recency: BTreeMap<u64, (Arc<str>, u64)>,
+    next_tick: u64,
+    resident_bytes: usize,
+    evictions: u64,
+}
+
+impl ShardInner {
+    fn touch(&mut self, key: &Arc<str>, fingerprint: u64) {
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        let entry = self
+            .map
+            .get_mut(key)
+            .and_then(|by_fp| by_fp.get_mut(&fingerprint))
+            .expect("touched entry exists");
+        let old = std::mem::replace(&mut entry.tick, tick);
+        self.recency.remove(&old);
+        self.recency.insert(tick, (key.clone(), fingerprint));
+    }
+
+    fn evict_to(&mut self, budget: usize) {
+        while self.resident_bytes > budget {
+            let Some((_, (key, fingerprint))) = self.recency.pop_first() else { break };
+            let Some(by_fp) = self.map.get_mut(&key) else { continue };
+            if let Some(entry) = by_fp.remove(&fingerprint) {
+                self.resident_bytes -= entry.bytes;
+                self.evictions += 1;
+            }
+            if by_fp.is_empty() {
+                self.map.remove(&key);
+            }
+        }
+    }
+}
+
+/// A bounded, sharded, LRU-evicting implementation of
+/// [`CertaintyCache`] for the serving path. See the module docs for
+/// the policy and its soundness argument.
+#[derive(Debug)]
+pub struct ShardedNuCache {
+    shards: Vec<Mutex<ShardInner>>,
+    per_shard_budget: usize,
+    config: ShardedCacheConfig,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+// ShardInner has no Debug (Arc<str> maps are noise); summarize instead.
+impl std::fmt::Debug for ShardInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardInner")
+            .field("entries", &self.recency.len())
+            .field("resident_bytes", &self.resident_bytes)
+            .field("evictions", &self.evictions)
+            .finish()
+    }
+}
+
+impl ShardedNuCache {
+    /// An empty cache under the given configuration.
+    pub fn new(config: ShardedCacheConfig) -> ShardedNuCache {
+        let shards = config.shards.max(1);
+        ShardedNuCache {
+            shards: (0..shards).map(|_| Mutex::new(ShardInner::default())).collect(),
+            per_shard_budget: config.budget_bytes / shards,
+            config,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration the cache was built with.
+    pub fn config(&self) -> ShardedCacheConfig {
+        self.config
+    }
+
+    /// FNV-1a shard placement. Stability across processes is not
+    /// required (placement is invisible in results), but a fixed
+    /// function keeps eviction traces reproducible for a fixed request
+    /// order, which the serving tests rely on.
+    fn shard_of(&self, group_key: &str) -> &Mutex<ShardInner> {
+        let h = qarith_numeric::Fnv1a64::digest(group_key.as_bytes());
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Current aggregate counters.
+    pub fn stats(&self) -> ShardedCacheStats {
+        let mut stats = ShardedCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            shards: self.shards.len() as u64,
+            ..ShardedCacheStats::default()
+        };
+        for shard in &self.shards {
+            let inner = shard.lock().expect("shard poisoned");
+            stats.entries += inner.recency.len() as u64;
+            stats.resident_bytes += inner.resident_bytes as u64;
+            stats.evictions += inner.evictions;
+        }
+        stats
+    }
+
+    /// Drops all entries and counters (the budget stays).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            *shard.lock().expect("shard poisoned") = ShardInner::default();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    fn entry_bytes(key: &str) -> usize {
+        key.len() + std::mem::size_of::<CertaintyEstimate>() + ENTRY_OVERHEAD_BYTES
+    }
+}
+
+impl CertaintyCache for ShardedNuCache {
+    fn get(&self, group_key: &str, fingerprint: u64) -> Option<CertaintyEstimate> {
+        let mut inner = self.shard_of(group_key).lock().expect("shard poisoned");
+        let found = inner.map.get_key_value(group_key).and_then(|(key, by_fp)| {
+            by_fp.get(&fingerprint).map(|e| (key.clone(), e.estimate.clone()))
+        });
+        match found {
+            Some((key, mut estimate)) => {
+                inner.touch(&key, fingerprint);
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                estimate.cached = true;
+                Some(estimate)
+            }
+            None => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn insert(&self, group_key: String, fingerprint: u64, estimate: CertaintyEstimate) {
+        let bytes = ShardedNuCache::entry_bytes(&group_key);
+        let mut inner = self.shard_of(&group_key).lock().expect("shard poisoned");
+        let key: Arc<str> = match inner.map.get_key_value(group_key.as_str()) {
+            Some((key, _)) => key.clone(),
+            None => Arc::from(group_key.into_boxed_str()),
+        };
+        let tick = inner.next_tick;
+        inner.next_tick += 1;
+        let replaced = inner
+            .map
+            .entry(key.clone())
+            .or_default()
+            .insert(fingerprint, Entry { estimate, tick, bytes });
+        if let Some(old) = replaced {
+            // Replacement: racing writers hold bit-identical values, so
+            // only the recency/accounting bookkeeping changes.
+            inner.resident_bytes -= old.bytes;
+            inner.recency.remove(&old.tick);
+        }
+        inner.resident_bytes += bytes;
+        inner.recency.insert(tick, (key, fingerprint));
+        inner.evict_to(self.per_shard_budget);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qarith_numeric::Rational;
+
+    fn est(v: i128, d: i128) -> CertaintyEstimate {
+        CertaintyEstimate::exact_rational(Rational::new(v, d), 1)
+    }
+
+    fn key(i: usize) -> String {
+        format!("a:group-key-{i:04}")
+    }
+
+    #[test]
+    fn get_insert_roundtrip_marks_cached() {
+        let cache = ShardedNuCache::new(ShardedCacheConfig::default());
+        assert!(cache.get("k", 7).is_none());
+        cache.insert("k".into(), 7, est(1, 2));
+        let got = cache.get("k", 7).expect("present");
+        assert_eq!(got.exact, Some(Rational::new(1, 2)));
+        assert!(got.cached);
+        assert!(cache.get("k", 8).is_none(), "fingerprint is part of the key");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 1));
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn budget_is_respected_and_eviction_is_lru() {
+        // Room for ~4 entries per shard in a single shard.
+        let per_entry = ShardedNuCache::entry_bytes(&key(0));
+        let config = ShardedCacheConfig { shards: 1, budget_bytes: 4 * per_entry };
+        let cache = ShardedNuCache::new(config);
+        for i in 0..4 {
+            cache.insert(key(i), 0, est(1, i as i128 + 1));
+        }
+        assert_eq!(cache.stats().evictions, 0);
+        // Touch key 0 so key 1 becomes the LRU victim.
+        assert!(cache.get(&key(0), 0).is_some());
+        cache.insert(key(4), 0, est(1, 5));
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert!(stats.resident_bytes <= config.budget_bytes as u64);
+        assert!(cache.get(&key(1), 0).is_none(), "LRU entry evicted");
+        assert!(cache.get(&key(0), 0).is_some(), "recently used entry survives");
+        assert!(cache.get(&key(4), 0).is_some(), "new entry resident");
+    }
+
+    #[test]
+    fn eviction_only_costs_recomputation() {
+        // A degenerate budget evicts constantly; values must still be
+        // exactly what was inserted whenever they are present.
+        let config = ShardedCacheConfig {
+            shards: 2,
+            budget_bytes: 3 * ShardedNuCache::entry_bytes(&key(0)),
+        };
+        let cache = ShardedNuCache::new(config);
+        for round in 0..3 {
+            for i in 0..16 {
+                cache.insert(key(i), 9, est(1, i as i128 + 1));
+                let got = cache.get(&key(i), 9).expect("just inserted (fits one entry)");
+                assert_eq!(got.exact, Some(Rational::new(1, i as i128 + 1)), "round {round}");
+            }
+        }
+        let stats = cache.stats();
+        assert!(stats.evictions > 0, "tiny budget must evict");
+        assert!(stats.resident_bytes <= config.budget_bytes as u64);
+    }
+
+    #[test]
+    fn replacement_does_not_leak_accounting() {
+        let cache = ShardedNuCache::new(ShardedCacheConfig { shards: 1, budget_bytes: 1 << 20 });
+        for _ in 0..100 {
+            cache.insert("same".into(), 1, est(1, 3));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.resident_bytes, ShardedNuCache::entry_bytes("same") as u64);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let cache = ShardedNuCache::new(ShardedCacheConfig::default());
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        cache.insert(format!("t{t}-{i}"), 0, est(1, 4));
+                        assert!(cache.get(&format!("t{t}-{i}"), 0).is_some());
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.stats().entries, 200);
+    }
+}

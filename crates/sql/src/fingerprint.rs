@@ -1,0 +1,298 @@
+//! Normalized query fingerprints — the plan-cache key of `qarith-serve`.
+//!
+//! A long-lived service sees the same query *template* over and over,
+//! typically produced by different clients, formatters, and ORMs: the
+//! texts differ in whitespace, keyword case, table-alias names, and
+//! literal spellings (`0.80` vs `0.8`), but parse to the same plan. The
+//! fingerprint is a canonical serialization of the parsed AST that is
+//! invariant under exactly those variations, so the serving layer's
+//! plan cache (parse → lower → ground → canonicalize, done once per
+//! template) hits for all of them.
+//!
+//! ## Keying invariants
+//!
+//! Two SQL texts share a fingerprint **iff** their ASTs are equal up to:
+//!
+//! * **lexical noise** — whitespace, newlines, and keyword case are
+//!   erased by the lexer before the AST exists;
+//! * **alias renaming** — FROM items are re-aliased positionally
+//!   (`t0, t1, …` in FROM order), and every qualified column reference
+//!   follows its table's canonical alias;
+//! * **literal spelling** — numeric literals are parsed to exact
+//!   rationals and serialized canonically (`0.80`, `0.8`, and `.8`
+//!   collapse). Note `8/10` is *not* a literal — it parses as a
+//!   division expression and is its own template.
+//!
+//! Everything else is distinguishing on purpose: fingerprints are
+//! *template* identity, not semantic equivalence. Reordered FROM items,
+//! commuted `AND` operands, or an added redundant predicate produce
+//! different fingerprints and simply occupy another plan-cache slot —
+//! a correctness-neutral miss. Table and column names are
+//! case-sensitive, as in the catalog.
+//!
+//! The fingerprint is a readable string rather than a hash: the
+//! serialization is injective on *lowerable* normalized ASTs, so two
+//! valid statements collide exactly when they are the same template,
+//! and a service operator can log the fingerprint to see *which*
+//! template a request mapped to. Statements that lowering rejects live
+//! in marked namespaces that no valid template's fingerprint can enter
+//! (`dup!` for duplicate FROM aliases, a `?` qualifier marker for
+//! references to undeclared aliases); statements inside those
+//! namespaces may share fingerprints with each other, which is
+//! harmless — none of them ever produces a cacheable plan.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use qarith_numeric::Rational;
+use qarith_query::CompareOp;
+
+use crate::ast::{ColumnRef, SelectStatement, SqlExpr, SqlPredicate};
+use crate::error::SqlError;
+use crate::parser::parse_select;
+
+/// Parses `sql` and returns its normalized fingerprint. Errors exactly
+/// when [`crate::parse_select`] errors; a fingerprint never exists for
+/// text the parser rejects.
+pub fn sql_fingerprint(sql: &str) -> Result<String, SqlError> {
+    Ok(fingerprint(&parse_select(sql)?))
+}
+
+/// The normalized fingerprint of a parsed statement. See the module
+/// docs for the invariants.
+pub fn fingerprint(stmt: &SelectStatement) -> String {
+    // Positional aliases in FROM order. Duplicate aliases are rejected
+    // at lowering (`SqlError::DuplicateAlias`), but the fingerprint is
+    // total — and must not let a duplicate-alias statement collapse
+    // onto a valid template's fingerprint (alias renaming would erase
+    // the duplication, and a warm plan cache would then *serve* the
+    // invalid query). The `dup!` prefix puts every such statement in a
+    // namespace of its own; everything in it fails to build a plan, so
+    // nothing in it is ever cached.
+    let mut alias_of: HashMap<&str, String> = HashMap::new();
+    let mut duplicate = false;
+    for (i, t) in stmt.tables.iter().enumerate() {
+        duplicate |= alias_of.insert(t.alias.as_str(), format!("t{i}")).is_some();
+    }
+
+    let mut out = if duplicate { String::from("dup!select ") } else { String::from("select ") };
+    if stmt.star {
+        out.push('*');
+    } else {
+        for (i, c) in stmt.columns.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_col(&mut out, c, &alias_of);
+        }
+    }
+    out.push_str(" from ");
+    for (i, t) in stmt.tables.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{} t{i}", t.table);
+    }
+    if let Some(p) = &stmt.predicate {
+        out.push_str(" where ");
+        write_pred(&mut out, p, &alias_of);
+    }
+    if let Some(n) = stmt.limit {
+        let _ = write!(out, " limit {n}");
+    }
+    out
+}
+
+fn write_col(out: &mut String, c: &ColumnRef, alias_of: &HashMap<&str, String>) {
+    if let Some(t) = &c.table {
+        // Unknown qualifiers (rejected later, at lowering) keep the
+        // fingerprint total, but must stay disjoint from the canonical
+        // `tN` alias space: a verbatim `t1` would collide with the
+        // renaming of a *declared* second table, letting an invalid
+        // query hit a valid template's cached plan. The `?` marker
+        // cannot appear in a canonical alias, so queries with unknown
+        // qualifiers only ever share fingerprints with equally invalid
+        // queries (which fail to build a plan, and are never cached).
+        match alias_of.get(t.as_str()) {
+            Some(canon) => out.push_str(canon),
+            None => {
+                out.push('?');
+                out.push_str(t);
+            }
+        }
+        out.push('.');
+    }
+    out.push_str(&c.column);
+}
+
+fn write_expr(out: &mut String, e: &SqlExpr, alias_of: &HashMap<&str, String>) {
+    match e {
+        SqlExpr::Column(c) => write_col(out, c, alias_of),
+        SqlExpr::Number(text) => {
+            // Canonical exact form: `0.80`, `0.8`, `.8` all print `4/5`.
+            // Unparseable literals (rejected at lowering) stay verbatim.
+            match Rational::parse_decimal(text) {
+                Ok(r) => {
+                    let _ = write!(out, "num({r})");
+                }
+                Err(_) => {
+                    let _ = write!(out, "num({text})");
+                }
+            }
+        }
+        SqlExpr::Str(s) => {
+            let _ = write!(out, "str({s:?})");
+        }
+        SqlExpr::Add(a, b) => write_binary(out, "add", a, b, alias_of),
+        SqlExpr::Sub(a, b) => write_binary(out, "sub", a, b, alias_of),
+        SqlExpr::Mul(a, b) => write_binary(out, "mul", a, b, alias_of),
+        SqlExpr::Div(a, b) => write_binary(out, "div", a, b, alias_of),
+        SqlExpr::Neg(a) => {
+            out.push_str("neg(");
+            write_expr(out, a, alias_of);
+            out.push(')');
+        }
+    }
+}
+
+fn write_binary(
+    out: &mut String,
+    op: &str,
+    a: &SqlExpr,
+    b: &SqlExpr,
+    alias_of: &HashMap<&str, String>,
+) {
+    out.push_str(op);
+    out.push('(');
+    write_expr(out, a, alias_of);
+    out.push(',');
+    write_expr(out, b, alias_of);
+    out.push(')');
+}
+
+fn write_pred(out: &mut String, p: &SqlPredicate, alias_of: &HashMap<&str, String>) {
+    match p {
+        SqlPredicate::Compare(a, op, b) => {
+            let name = match op {
+                CompareOp::Lt => "lt",
+                CompareOp::Le => "le",
+                CompareOp::Eq => "eq",
+                CompareOp::Ne => "ne",
+                CompareOp::Gt => "gt",
+                CompareOp::Ge => "ge",
+            };
+            out.push_str(name);
+            out.push('(');
+            write_expr(out, a, alias_of);
+            out.push(',');
+            write_expr(out, b, alias_of);
+            out.push(')');
+        }
+        SqlPredicate::And(a, b) => {
+            out.push_str("and(");
+            write_pred(out, a, alias_of);
+            out.push(',');
+            write_pred(out, b, alias_of);
+            out.push(')');
+        }
+        SqlPredicate::Or(a, b) => {
+            out.push_str("or(");
+            write_pred(out, a, alias_of);
+            out.push(',');
+            write_pred(out, b, alias_of);
+            out.push(')');
+        }
+        SqlPredicate::Not(a) => {
+            out.push_str("not(");
+            write_pred(out, a, alias_of);
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whitespace_case_and_aliases_are_erased() {
+        let a = sql_fingerprint(
+            "SELECT P.seg FROM Products P, Market M \
+             WHERE P.seg = M.seg AND P.rrp * P.dis <= M.rrp LIMIT 25",
+        )
+        .unwrap();
+        let b = sql_fingerprint(
+            "select\n  Prod.seg\nfrom Products Prod ,\n Market MKT\nwhere \
+             Prod.seg = MKT.seg and Prod.rrp * Prod.dis <= MKT.rrp limit 25",
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn literal_spellings_collapse() {
+        let a = sql_fingerprint("SELECT P.id FROM Products P WHERE P.dis >= 0.80").unwrap();
+        let b = sql_fingerprint("SELECT P.id FROM Products P WHERE P.dis >= 0.8").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn templates_stay_distinct() {
+        let base = sql_fingerprint("SELECT P.id FROM Products P WHERE P.dis >= 0.8").unwrap();
+        // A different constant is a different template.
+        let other = sql_fingerprint("SELECT P.id FROM Products P WHERE P.dis >= 0.9").unwrap();
+        assert_ne!(base, other);
+        // A different LIMIT is a different template.
+        let limited =
+            sql_fingerprint("SELECT P.id FROM Products P WHERE P.dis >= 0.8 LIMIT 5").unwrap();
+        assert_ne!(base, limited);
+        // Reordered FROM items are (deliberately) distinct.
+        let ab =
+            sql_fingerprint("SELECT P.id FROM Products P, Market M WHERE P.rrp <= M.rrp").unwrap();
+        let ba =
+            sql_fingerprint("SELECT P.id FROM Market M, Products P WHERE P.rrp <= M.rrp").unwrap();
+        assert_ne!(ab, ba);
+    }
+
+    #[test]
+    fn fingerprint_is_readable_and_stable() {
+        let fp = sql_fingerprint("SELECT P.id FROM Products P WHERE P.dis >= 0.5 LIMIT 3").unwrap();
+        assert_eq!(fp, "select t0.id from Products t0 where ge(t0.dis,num(1/2)) limit 3");
+    }
+
+    #[test]
+    fn rejects_what_the_parser_rejects() {
+        assert!(sql_fingerprint("DELETE FROM Products").is_err());
+    }
+
+    #[test]
+    fn duplicate_aliases_cannot_collide_with_valid_templates() {
+        // `FROM Products M, Market M` is rejected at lowering; alias
+        // renaming would otherwise erase the duplication and collide
+        // with the valid P/M spelling, so duplicates get their own
+        // fingerprint namespace.
+        let valid =
+            sql_fingerprint("SELECT M.seg FROM Products P, Market M WHERE M.seg = M.seg").unwrap();
+        let dup =
+            sql_fingerprint("SELECT M.seg FROM Products M, Market M WHERE M.seg = M.seg").unwrap();
+        assert_ne!(valid, dup);
+        assert!(dup.starts_with("dup!"), "duplicate-alias namespace is marked");
+        assert!(!valid.starts_with("dup!"));
+    }
+
+    #[test]
+    fn unknown_qualifiers_cannot_collide_with_canonical_aliases() {
+        // The second query references undeclared alias `t1`, which the
+        // renaming maps `M` onto; without the `?` marker the two texts
+        // would share a fingerprint and the invalid query could be
+        // served the valid template's cached plan.
+        let valid =
+            sql_fingerprint("SELECT M.seg FROM Products P, Market M WHERE P.seg = M.seg").unwrap();
+        let invalid =
+            sql_fingerprint("SELECT t1.seg FROM Products t0, Market M WHERE t0.seg = t1.seg")
+                .unwrap();
+        assert_ne!(valid, invalid);
+        assert!(invalid.contains("?t1."), "unknown qualifiers carry the marker");
+        assert!(!valid.contains('?'), "declared qualifiers never do");
+    }
+}

@@ -1,5 +1,9 @@
 //! A SQL front end for the §9 decision-support workloads.
 //!
+//! Layering: above `qarith-query`/`qarith-engine`, below
+//! `qarith-serve` (whose plan cache is keyed by this crate's
+//! normalized [`fingerprint`]s) and the bench drivers.
+//!
 //! The paper's experiments issue `SELECT … FROM … WHERE … LIMIT n`
 //! queries against Postgres; this crate provides the equivalent surface
 //! for the qarith engine: a hand-written lexer and recursive-descent
@@ -37,12 +41,14 @@
 
 mod ast;
 mod error;
+pub mod fingerprint;
 mod lexer;
 mod lower;
 mod parser;
 
 pub use ast::{SelectStatement, SqlExpr, SqlPredicate, TableRef};
 pub use error::SqlError;
+pub use fingerprint::sql_fingerprint;
 pub use lower::{lower, LoweredQuery};
 pub use parser::parse_select;
 

@@ -1,5 +1,9 @@
 //! Two-sorted incomplete-database data model (§2–§3 of the paper).
 //!
+//! Layering: above `qarith-numeric` only; everything that touches a
+//! database — query validation, SQL catalogs, the executor, data
+//! generation, the serving layer — builds on these types.
+//!
 //! Databases have columns of two types: a **base** type (the classical
 //! single-domain assumption — ids, names, market segments, …) and a
 //! **numerical** type (a subset of ℝ — prices, discounts, quantities, …).

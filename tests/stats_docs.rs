@@ -1,0 +1,92 @@
+//! Docs-drift guard for the stats counters: the "Exported stats
+//! counters" table in EXPERIMENTS.md must list exactly the keys each
+//! stats block's `as_pairs` emits, in declaration order. Adding,
+//! renaming, or reordering a counter in code without updating the
+//! table (or vice versa) fails here — the documentation cannot rot.
+
+use std::collections::BTreeMap;
+
+use qarith::prelude::*;
+
+/// Parses the EXPERIMENTS.md counter table into block → ordered
+/// counter names. Rows look like `| `Block` | `counter` | ... |`.
+fn documented_counters() -> BTreeMap<String, Vec<String>> {
+    let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/EXPERIMENTS.md"))
+        .expect("EXPERIMENTS.md exists at the repo root");
+    let section = text
+        .split("## Exported stats counters")
+        .nth(1)
+        .expect("EXPERIMENTS.md has the `Exported stats counters` section")
+        .split("\n## ")
+        .next()
+        .expect("section body");
+
+    let mut blocks: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for line in section.lines() {
+        // Data rows: | `Block` | `counter` | ... (skip header/divider).
+        let mut cells = line.split('|').map(str::trim);
+        let Some("") = cells.next() else { continue };
+        let (Some(block), Some(counter)) = (cells.next(), cells.next()) else { continue };
+        let strip =
+            |s: &str| s.strip_prefix('`').and_then(|s| s.strip_suffix('`')).map(String::from);
+        if let (Some(block), Some(counter)) = (strip(block), strip(counter)) {
+            blocks.entry(block).or_default().push(counter);
+        }
+    }
+    blocks
+}
+
+fn names(pairs: &[(&'static str, u64)]) -> Vec<String> {
+    pairs.iter().map(|(k, _)| k.to_string()).collect()
+}
+
+#[test]
+fn documented_counter_table_matches_as_pairs_exactly() {
+    let documented = documented_counters();
+
+    let expected: BTreeMap<String, Vec<String>> = [
+        ("BatchStats".to_string(), names(&BatchStats::default().as_pairs())),
+        ("RewriteStats".to_string(), names(&RewriteStats::default().as_pairs())),
+        ("CacheStats".to_string(), names(&CacheStats::default().as_pairs())),
+        ("ShardedCacheStats".to_string(), names(&ShardedCacheStats::default().as_pairs())),
+        ("ServiceStats".to_string(), names(&ServiceStats::default().as_pairs())),
+        ("AdmissionStats".to_string(), names(&AdmissionStats::default().as_pairs())),
+    ]
+    .into_iter()
+    .collect();
+
+    assert_eq!(
+        documented.keys().collect::<Vec<_>>(),
+        expected.keys().collect::<Vec<_>>(),
+        "EXPERIMENTS.md documents a different set of stats blocks than the code exports"
+    );
+    for (block, keys) in &expected {
+        assert_eq!(
+            &documented[block], keys,
+            "`{block}`: EXPERIMENTS.md rows must list exactly its as_pairs keys, in order"
+        );
+    }
+}
+
+#[test]
+fn every_block_has_a_meaning_column() {
+    // Each documented row carries non-empty provenance + meaning cells
+    // (columns 3 and 4) — a bare name row would defeat the table's
+    // purpose.
+    let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/EXPERIMENTS.md"))
+        .expect("EXPERIMENTS.md exists");
+    let section =
+        text.split("## Exported stats counters").nth(1).unwrap().split("\n## ").next().unwrap();
+    let mut rows = 0;
+    for line in section.lines() {
+        if !line.starts_with("| `") {
+            continue;
+        }
+        let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+        assert!(cells.len() >= 6, "malformed table row: {line}");
+        assert!(!cells[3].is_empty() && !cells[4].is_empty(), "empty cells in: {line}");
+        rows += 1;
+    }
+    // 7 + 6 + 3 + 6 + 5 + 3 counters across the six blocks.
+    assert_eq!(rows, 30, "expected one row per exported counter");
+}
