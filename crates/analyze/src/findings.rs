@@ -1,0 +1,101 @@
+//! Findings: the analyzer's output, human- and machine-readable.
+
+use qarith_bench::json::Json;
+
+/// One finding: a lint, a location, and a message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable lint id (`"hash-iteration"`, `"lock-order"`, …). Part of
+    /// the JSON schema and the pragma grammar: renaming one breaks
+    /// both checked-in pragmas and any tooling over the CI artifact.
+    pub lint: &'static str,
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human diagnostic.
+    pub message: String,
+}
+
+impl Finding {
+    /// The `file:line: [lint] message` form printed to stderr.
+    pub fn render(&self) -> String {
+        format!("{}:{}: [{}] {}", self.file, self.line, self.lint, self.message)
+    }
+}
+
+/// Stable sort order for reports: by file, then line, then lint. The
+/// analyzer's own output must be deterministic — it is scanned by the
+/// very CI gate it implements.
+pub fn sort(findings: &mut [Finding]) {
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.lint).cmp(&(b.file.as_str(), b.line, b.lint)));
+}
+
+/// Schema version of the findings document.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Serializes findings into the machine-readable document CI uploads
+/// as an artifact (reusing the JSON kernel from `qarith_bench::json`).
+pub fn to_json(findings: &[Finding]) -> Json {
+    Json::obj([
+        ("schema", Json::str("qarith-analyze-findings")),
+        ("version", Json::num_u64(SCHEMA_VERSION)),
+        ("count", Json::num_u64(findings.len() as u64)),
+        (
+            "findings",
+            Json::Arr(
+                findings
+                    .iter()
+                    .map(|f| {
+                        Json::obj([
+                            ("lint", Json::str(f.lint)),
+                            ("file", Json::str(&f.file)),
+                            ("line", Json::num_u64(u64::from(f.line))),
+                            ("message", Json::str(&f.message)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qarith_bench::json;
+
+    fn f(lint: &'static str, file: &str, line: u32) -> Finding {
+        Finding { lint, file: file.into(), line, message: "m".into() }
+    }
+
+    #[test]
+    fn sort_is_total_and_stable_across_fields() {
+        let mut findings =
+            vec![f("b", "z.rs", 1), f("a", "a.rs", 9), f("b", "a.rs", 9), f("a", "a.rs", 2)];
+        sort(&mut findings);
+        let order: Vec<(String, u32, &str)> =
+            findings.iter().map(|x| (x.file.clone(), x.line, x.lint)).collect();
+        assert_eq!(
+            order,
+            [
+                ("a.rs".into(), 2, "a"),
+                ("a.rs".into(), 9, "a"),
+                ("a.rs".into(), 9, "b"),
+                ("z.rs".into(), 1, "b")
+            ]
+        );
+    }
+
+    #[test]
+    fn json_round_trips_through_the_bench_parser() {
+        let findings = vec![f("hash-iteration", "crates/x/src/lib.rs", 12)];
+        let doc = to_json(&findings);
+        let back = json::parse(&doc.pretty()).expect("own output parses");
+        assert_eq!(back.get("count").and_then(Json::as_u64), Some(1));
+        let arr = back.get("findings").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr[0].get("lint").and_then(Json::as_str), Some("hash-iteration"));
+        assert_eq!(arr[0].get("line").and_then(Json::as_u64), Some(12));
+    }
+}

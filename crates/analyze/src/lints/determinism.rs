@@ -1,0 +1,320 @@
+//! Determinism lints for bit-pinned modules.
+//!
+//! The FPRAS/AFPRAS reproduction is only checkable because every
+//! sampling route is a deterministic function of (formula, options,
+//! seed): the batch engine asserts bit-identity against the sequential
+//! route, the perf baselines pin certainty digests, and the serve
+//! tests race clients against a reference. Two code patterns silently
+//! break that contract:
+//!
+//! * **`hash-iteration`** — iterating a `HashMap`/`HashSet` yields
+//!   platform- and run-dependent order (`RandomState` is seeded per
+//!   process). If the order feeds output, keys, or accumulation whose
+//!   result is order-sensitive, bits drift. The fix is a `BTreeMap`,
+//!   an explicit sort, or — for provably order-insensitive uses like a
+//!   commutative sum — a pragma saying why.
+//! * **`nondet-source`** — wall clocks (`Instant::now`, `SystemTime`),
+//!   `available_parallelism`, environment reads, and entropy-seeded
+//!   RNG constructors (`thread_rng`, `from_entropy`) inject ambient
+//!   state. Timing belongs in the bench harness (`clock_allowed`
+//!   paths); everything else must come in through options or seeds.
+//!
+//! **Lexical approximation.** A name counts as hash-typed when the
+//! file declares it with a type mentioning `HashMap`/`HashSet`
+//! (binding, field, or parameter annotation) or initializes it from
+//! `HashMap::…`/`HashSet::…`. Iteration is a call to an iteration
+//! method whose receiver chain contains such a name, or a `for` loop
+//! directly over one. Cross-file type information does not exist here
+//! — a hash map smuggled through an alias or a helper return type is
+//! not caught, which is why the bit-identity tests stay in CI.
+
+use std::collections::BTreeSet;
+
+use crate::findings::Finding;
+use crate::lexer::{Tok, Token};
+use crate::scan::{is_call, receiver_chain};
+
+/// Hash-collection type names whose iteration order is seeded.
+const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+
+/// Methods that observe collection order.
+const ITER_METHODS: [&str; 8] =
+    ["iter", "iter_mut", "into_iter", "keys", "values", "values_mut", "drain", "retain"];
+
+/// Runs both determinism lints over one bit-pinned file.
+pub fn check(file: &str, tokens: &[Token], clock_allowed: bool, out: &mut Vec<Finding>) {
+    let hash_names = hash_typed_names(tokens);
+    check_iteration(file, tokens, &hash_names, out);
+    if !clock_allowed {
+        check_sources(file, tokens, out);
+    }
+}
+
+/// Names declared in this file with a hash-collection type.
+fn hash_typed_names(tokens: &[Token]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for (i, t) in tokens.iter().enumerate() {
+        let Tok::Ident(name) = &t.tok else { continue };
+        // `name: <type containing HashMap/HashSet>` — a binding, field,
+        // or parameter annotation. A `::` path separator is two `:`
+        // tokens; require exactly one.
+        if matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct(':')))
+            && !matches!(tokens.get(i + 2).map(|t| &t.tok), Some(Tok::Punct(':')))
+            && !matches!(
+                i.checked_sub(1).and_then(|j| tokens.get(j)).map(|t| &t.tok),
+                Some(Tok::Punct(':'))
+            )
+            && type_region_mentions_hash(tokens, i + 2)
+        {
+            names.insert(name.clone());
+        }
+        // `let [mut] name = HashMap::…` — inferred-type binding.
+        if name == "let" {
+            let mut j = i + 1;
+            if matches!(tokens.get(j).map(|t| &t.tok), Some(Tok::Ident(w)) if w == "mut") {
+                j += 1;
+            }
+            if let (Some(Tok::Ident(bound)), Some(Tok::Punct('=')), Some(Tok::Ident(ty))) = (
+                tokens.get(j).map(|t| &t.tok),
+                tokens.get(j + 1).map(|t| &t.tok),
+                tokens.get(j + 2).map(|t| &t.tok),
+            ) {
+                if HASH_TYPES.contains(&ty.as_str()) {
+                    names.insert(bound.clone());
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Scans the type region starting at `from` (just past `name:`) up to
+/// a top-level `,`, `;`, `)`, `{`, `}`, or `=`, looking for a hash
+/// type name. Angle brackets nest (`Mutex<HashMap<…>>`).
+fn type_region_mentions_hash(tokens: &[Token], from: usize) -> bool {
+    let mut angle = 0i64;
+    let mut paren = 0i64;
+    for t in tokens.iter().skip(from) {
+        match &t.tok {
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') => {
+                if angle == 0 {
+                    return false;
+                }
+                angle -= 1;
+            }
+            Tok::Punct('(') | Tok::Punct('[') => paren += 1,
+            Tok::Punct(')') | Tok::Punct(']') if paren > 0 => paren -= 1,
+            Tok::Punct(',' | ';' | ')' | '{' | '}' | '=') if angle == 0 && paren == 0 => {
+                return false;
+            }
+            Tok::Ident(w) if HASH_TYPES.contains(&w.as_str()) => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+fn check_iteration(
+    file: &str,
+    tokens: &[Token],
+    hash_names: &BTreeSet<String>,
+    out: &mut Vec<Finding>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        let Tok::Ident(word) = &t.tok else { continue };
+        // `<chain>.iter()` and friends, where the chain touches a
+        // hash-typed name.
+        if ITER_METHODS.contains(&word.as_str())
+            && is_call(tokens, i)
+            && i > 0
+            && tokens[i - 1].tok == Tok::Punct('.')
+        {
+            let chain = receiver_chain(tokens, i);
+            if let Some(hash) = chain[..chain.len().saturating_sub(1)]
+                .iter()
+                .find(|part| hash_names.contains(*part))
+            {
+                out.push(Finding {
+                    lint: "hash-iteration",
+                    file: file.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "iterating `{hash}` (declared with a hash-collection type) via \
+                         `.{word}()` observes seeded hash order in a bit-pinned module; \
+                         use a BTreeMap/BTreeSet, sort explicitly, or pragma an \
+                         order-insensitive use"
+                    ),
+                });
+            }
+        }
+        // `for pat in [&][mut] name { … }` directly over a hash name.
+        if word == "for" {
+            if let Some((name, line)) = for_loop_over(tokens, i, hash_names) {
+                out.push(Finding {
+                    lint: "hash-iteration",
+                    file: file.to_string(),
+                    line,
+                    message: format!(
+                        "`for` loop directly over hash collection `{name}` observes seeded \
+                         hash order in a bit-pinned module; use a BTreeMap/BTreeSet, sort \
+                         explicitly, or pragma an order-insensitive use"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// If `tokens[at]` begins a `for pat in <collection> {` loop whose
+/// collection expression is `[&][mut] name` for a hash-typed name,
+/// returns the name and line.
+fn for_loop_over(
+    tokens: &[Token],
+    at: usize,
+    hash_names: &BTreeSet<String>,
+) -> Option<(String, u32)> {
+    // Find the `in` at nesting depth 0 relative to the pattern.
+    let mut depth = 0i64;
+    let mut i = at + 1;
+    let inner = loop {
+        match tokens.get(i).map(|t| &t.tok) {
+            Some(Tok::Punct('(' | '[')) => depth += 1,
+            Some(Tok::Punct(')' | ']')) => depth -= 1,
+            Some(Tok::Ident(w)) if w == "in" && depth == 0 => break i,
+            Some(Tok::Punct('{')) | None => return None,
+            _ => {}
+        }
+        i += 1;
+    };
+    let mut j = inner + 1;
+    while matches!(tokens.get(j).map(|t| &t.tok), Some(Tok::Punct('&')))
+        || matches!(tokens.get(j).map(|t| &t.tok), Some(Tok::Ident(w)) if w == "mut")
+    {
+        j += 1;
+    }
+    let Some(Tok::Ident(name)) = tokens.get(j).map(|t| &t.tok) else { return None };
+    // Only the bare-name form: `name.keys()` etc. is the method rule's
+    // job, and `name[i]` or longer expressions are not hash iteration.
+    if matches!(tokens.get(j + 1).map(|t| &t.tok), Some(Tok::Punct('{')))
+        && hash_names.contains(name)
+    {
+        return Some((name.clone(), tokens[j].line));
+    }
+    None
+}
+
+/// Ambient-nondeterminism sources: `(pattern tokens, diagnostic)`.
+const SOURCES: [(&[&str], &str); 7] = [
+    (&["Instant", "now"], "`Instant::now` reads the monotonic clock"),
+    (&["SystemTime"], "`SystemTime` reads the wall clock"),
+    (&["available_parallelism"], "`available_parallelism` depends on the host CPU count"),
+    (&["env", "var"], "`env::var` reads the process environment"),
+    (&["env", "vars"], "`env::vars` reads the process environment"),
+    (&["thread_rng"], "`thread_rng` is entropy-seeded"),
+    (&["from_entropy"], "`from_entropy` seeds from OS entropy"),
+];
+
+fn check_sources(file: &str, tokens: &[Token], out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        let Tok::Ident(word) = &t.tok else { continue };
+        for (pattern, what) in SOURCES {
+            let (head, tail) = (pattern[0], pattern.get(1));
+            if word != head {
+                continue;
+            }
+            // Two-segment patterns must be joined by `::`.
+            let matched = match tail {
+                None => true,
+                Some(&method) => {
+                    matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct(':')))
+                        && matches!(tokens.get(i + 2).map(|t| &t.tok), Some(Tok::Punct(':')))
+                        && matches!(tokens.get(i + 3).map(|t| &t.tok),
+                                    Some(Tok::Ident(m)) if m == method)
+                }
+            };
+            if matched {
+                out.push(Finding {
+                    lint: "nondet-source",
+                    file: file.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "{what}; bit-pinned modules must take such inputs through options \
+                         or seeds (or move the site to a `clock_allowed` path)"
+                    ),
+                });
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        check("f.rs", &lex(src).tokens, false, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_method_iteration_over_declared_maps() {
+        let src = "struct S { map: Mutex<HashMap<String, u32>> }\n\
+                   fn f(s: &S) { for v in s.map.lock().unwrap().values() { emit(v); } }";
+        let out = run(src);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].lint, "hash-iteration");
+        assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn flags_for_loops_and_let_inferred_bindings() {
+        let src = "fn f() { let mut seen = HashSet::new(); for x in &seen { use_it(x); } }";
+        let out = run(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("seen"));
+    }
+
+    #[test]
+    fn vec_iteration_is_fine() {
+        let src = "fn f(xs: &Vec<u32>, m: &HashMap<u32, u32>) {\n\
+                   for x in xs { m.get(x); }\n xs.iter().map(|x| m[x]).sum::<u32>() }";
+        assert!(run(src).is_empty(), "lookups and Vec iteration are deterministic");
+    }
+
+    #[test]
+    fn btree_collections_are_fine() {
+        let src = "fn f(m: &BTreeMap<String, u32>) { for (k, v) in m { emit(k, v); } \
+                   m.values().sum::<u32>(); }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn flags_clock_env_and_entropy() {
+        let src = "fn f() { let t = Instant::now(); let p = std::thread::available_parallelism(); \
+                   let h = std::env::var(\"HOME\"); let r = rand::thread_rng(); }";
+        let out = run(src);
+        let lints: Vec<&str> = out.iter().map(|f| f.lint).collect();
+        assert_eq!(out.len(), 4, "{out:?}");
+        assert!(lints.iter().all(|&l| l == "nondet-source"));
+    }
+
+    #[test]
+    fn clock_allowed_files_skip_the_source_lint_only() {
+        let src = "fn f(m: HashMap<u8, u8>) { let t = Instant::now(); for x in &m { go(x); } }";
+        let mut out = Vec::new();
+        check("f.rs", &lex(src).tokens, true, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].lint, "hash-iteration");
+    }
+
+    #[test]
+    fn instant_elapsed_alone_is_not_flagged() {
+        // Only the ambient *sources* are flagged, not arithmetic on
+        // values that already exist.
+        assert!(run("fn f(t: Duration) { t.as_secs(); }").is_empty());
+    }
+}

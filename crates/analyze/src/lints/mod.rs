@@ -1,0 +1,22 @@
+//! The lint passes.
+//!
+//! Three families, one per headline guarantee of the workspace:
+//!
+//! * [`determinism`] — bit-pinned modules must not iterate hash
+//!   collections into output or keys, and must not read ambient
+//!   nondeterminism (clocks, environment, entropy);
+//! * [`locks`] — guard acquisitions must respect the declared
+//!   hierarchy in `analyze.toml`, never hold a foreign guard across a
+//!   condvar wait, and never re-enter the service under a lock;
+//! * [`panics`] — the serve request path must not contain panicking
+//!   constructs without a reviewed pragma.
+//!
+//! Every pass is *lexical*: it scans the token stream with receiver
+//! chains and balanced delimiters, not a typed AST. The approximations
+//! are documented per pass; the escape hatch for a justified false
+//! positive is always the same `// analyze: allow(<lint>, reason =
+//! "...")` pragma, whose reason is reviewed like code.
+
+pub mod determinism;
+pub mod locks;
+pub mod panics;

@@ -1,0 +1,126 @@
+//! Panic-safety lints for the serve request path.
+//!
+//! A panic in a request thread unwinds through the service: the
+//! admission permit releases (by design), but any poisoned lock then
+//! degrades *every* subsequent request — and under `panic = "abort"` a
+//! single bad request kills the whole server. The request-path files
+//! declared in `analyze.toml` therefore must not contain panicking
+//! constructs:
+//!
+//! * **`panic-unwrap` / `panic-expect`** — `.unwrap()` / `.expect(…)`
+//!   on `Option`/`Result` (lexically: any such method call; the lint
+//!   cannot see types, and other `unwrap`-named methods do not exist
+//!   in this workspace);
+//! * **`panic-macro`** — `panic!`, `unreachable!`, `todo!`,
+//!   `unimplemented!`;
+//! * **`panic-index`** — `expr[…]` indexing, which panics out of
+//!   bounds (slices) or on a missing key (maps).
+//!
+//! The escape hatch is the usual pragma with a *reviewed* reason —
+//! e.g. an index that is in-bounds by construction. Test code is
+//! exempt (stripped before scanning).
+
+use crate::findings::Finding;
+use crate::lexer::{Tok, Token};
+use crate::scan::{is_call, is_keyword};
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Runs the panic-safety lints over one request-path file.
+pub fn check(file: &str, tokens: &[Token], out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        match &t.tok {
+            Tok::Ident(word)
+                if (word == "unwrap" || word == "expect")
+                    && is_call(tokens, i)
+                    && i > 0
+                    && tokens[i - 1].tok == Tok::Punct('.') =>
+            {
+                let lint = if word == "unwrap" { "panic-unwrap" } else { "panic-expect" };
+                out.push(Finding {
+                    lint,
+                    file: file.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "`.{word}(…)` can panic in the serve request path; return an error \
+                         (`ServeError`), recover explicitly, or pragma with the policy that \
+                         makes this safe"
+                    ),
+                });
+            }
+            Tok::Ident(word)
+                if PANIC_MACROS.contains(&word.as_str())
+                    && matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('!'))) =>
+            {
+                out.push(Finding {
+                    lint: "panic-macro",
+                    file: file.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "`{word}!` panics in the serve request path; return an error instead"
+                    ),
+                });
+            }
+            Tok::Punct('[') if i > 0 => {
+                let indexes = match &tokens[i - 1].tok {
+                    Tok::Ident(prev) => !is_keyword(prev),
+                    Tok::Punct(')') | Tok::Punct(']') => true,
+                    _ => false,
+                };
+                if indexes {
+                    out.push(Finding {
+                        lint: "panic-index",
+                        file: file.to_string(),
+                        line: t.line,
+                        message: "indexing (`expr[…]`) panics when out of bounds in the serve \
+                                  request path; use `.get(…)` or pragma an index that is \
+                                  in-bounds by construction"
+                            .to_string(),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scan::strip_tests;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        check("f.rs", &strip_tests(&lex(src).tokens), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_expect_macros_and_indexing() {
+        let src = "fn f(&self) { let a = x.unwrap(); let b = y.expect(\"poisoned\"); \
+                   if bad { panic!(\"no\"); } let c = &self.shards[i]; }";
+        let lints: Vec<&str> = run(src).iter().map(|f| f.lint).collect();
+        assert_eq!(lints, ["panic-unwrap", "panic-expect", "panic-macro", "panic-index"]);
+    }
+
+    #[test]
+    fn non_panicking_lookalikes_are_fine() {
+        let src = "fn f() { x.unwrap_or(0); y.unwrap_or_else(|| 1); z.unwrap_or_default(); \
+                   m.get(k); let t: [u8; 4] = [0; 4]; let v = vec![1, 2]; \
+                   #[derive(Debug)] struct S; let s: &[u8] = &buf; }";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src =
+            "fn keep() {}\n#[cfg(test)]\nmod tests {\n#[test]\nfn t() { x.unwrap(); a[0]; }\n}";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn chained_call_result_indexing_is_flagged() {
+        assert_eq!(run("fn f() { stats.as_pairs()[0]; }").len(), 1);
+    }
+}

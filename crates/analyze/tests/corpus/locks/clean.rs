@@ -1,0 +1,37 @@
+//! Clean fixture for the lock lints: acquisitions the analyzer must
+//! accept — hierarchy order, explicit release before going back up,
+//! block-scoped per-iteration guards, and the gate waiting on its own
+//! condvar.
+
+impl Service {
+    pub fn in_order(&self) -> usize {
+        let gate = self.in_flight.lock().unwrap();
+        let plans = self.plans.read().unwrap();
+        let shard = self.shard.lock().unwrap();
+        *gate + plans.len() + shard.len()
+    }
+
+    pub fn release_then_climb(&self) {
+        let shard = self.shard.lock().unwrap();
+        shard.prune();
+        drop(shard);
+        let _plans = self.plans.write().unwrap();
+    }
+
+    pub fn per_iteration(&self) -> usize {
+        let mut total = 0;
+        for shard in &self.shards {
+            let inner = shard.lock().unwrap();
+            total += inner.len();
+        }
+        let plans = self.plans.read().unwrap();
+        total + plans.len()
+    }
+
+    pub fn own_condvar(&self) {
+        let mut gate = self.in_flight.lock().unwrap();
+        while *gate >= self.max_in_flight {
+            gate = self.released.wait(gate).unwrap();
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Seeded-bad fixture: acquiring up the hierarchy. A shard guard
+//! (rank 2) is held when the plan cache (rank 1) is acquired.
+//! Expected: exactly one `lock-order` finding.
+
+impl Service {
+    pub fn backwards(&self) -> usize {
+        let shard = self.shard.lock().unwrap();
+        let plans = self.plans.read().unwrap();
+        shard.len() + plans.len()
+    }
+}

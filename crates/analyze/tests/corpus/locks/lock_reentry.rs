@@ -1,0 +1,11 @@
+//! Seeded-bad fixture: re-entering a service entry point while holding
+//! a hierarchy guard (the entry point may block on the full hierarchy).
+//! Expected: exactly one `lock-reentry` finding.
+
+impl Service {
+    pub fn nested(&self, sql: &str) {
+        let shard = self.shard.lock().unwrap();
+        self.query(sql);
+        drop(shard);
+    }
+}

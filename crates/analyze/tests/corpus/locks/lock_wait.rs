@@ -1,0 +1,11 @@
+//! Seeded-bad fixture: sleeping on the admission condvar while a
+//! foreign (shard) guard stays locked for the whole wait.
+//! Expected: exactly one `lock-wait` finding.
+
+impl Service {
+    pub fn sleepy(&self, gate: std::sync::MutexGuard<'_, usize>) {
+        let shard = self.shard.lock().unwrap();
+        let _gate = self.released.wait(gate).unwrap();
+        drop(shard);
+    }
+}

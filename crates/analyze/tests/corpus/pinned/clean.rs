@@ -1,0 +1,34 @@
+//! Clean fixture for the determinism lints. Everything here is a
+//! near-miss the analyzer must NOT flag: ordered iteration, hash-map
+//! membership without iteration, a pragma'd commutative fold, and
+//! hash iteration confined to test code.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn ordered(groups: &BTreeMap<String, u64>, out: &mut Vec<String>) {
+    for (key, value) in groups {
+        out.push(format!("{key}={value}"));
+    }
+}
+
+pub fn membership(index: &HashMap<u64, u64>, key: u64) -> Option<u64> {
+    index.get(&key).copied()
+}
+
+pub fn total(index: &HashMap<u64, u64>) -> u64 {
+    // analyze: allow(hash-iteration, reason = "commutative sum; the total is order-insensitive")
+    index.values().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_iterate_freely() {
+        let index: HashMap<u64, u64> = HashMap::new();
+        for (k, v) in index.iter() {
+            assert!(*k > 0 && *v > 0);
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Seeded-bad fixture: iterating a hash collection in a bit-pinned
+//! module. Expected: exactly one `hash-iteration` finding (the loop).
+
+use std::collections::HashMap;
+
+pub fn emit_all(groups: &HashMap<String, u64>, out: &mut Vec<String>) {
+    for (key, value) in groups.iter() {
+        out.push(format!("{key}={value}"));
+    }
+}

@@ -1,0 +1,6 @@
+//! Seeded-bad fixture: reading a clock in a bit-pinned module.
+//! Expected: exactly one `nondet-source` finding.
+
+pub fn stamp(out: &mut Vec<std::time::Instant>) {
+    out.push(Instant::now());
+}

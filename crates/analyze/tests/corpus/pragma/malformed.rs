@@ -1,0 +1,8 @@
+//! Seeded-bad fixture: a pragma with an empty reason can never
+//! suppress anything and is itself reported.
+//! Expected: exactly one `pragma` finding.
+
+pub fn silent(x: Option<u64>) -> Option<u64> {
+    // analyze: allow(hash-iteration, reason = "")
+    x
+}

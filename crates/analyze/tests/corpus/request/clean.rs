@@ -1,0 +1,36 @@
+//! Clean fixture for the panic lints: the request-path idioms the
+//! analyzer must accept — error returns, explicit recovery, non-
+//! panicking lookalikes, pragma'd constructs, and test-only panics.
+
+pub fn error_return(x: Option<u64>) -> Result<u64, String> {
+    x.ok_or_else(|| "missing".to_string())
+}
+
+pub fn recovery(x: Option<u64>) -> u64 {
+    x.unwrap_or_default()
+}
+
+pub fn checked(shards: &[u64], i: usize) -> Option<u64> {
+    shards.get(i).copied()
+}
+
+pub fn in_bounds(shards: &[u64], h: u64) -> u64 {
+    // analyze: allow(panic-index, reason = "h % len is in-bounds by construction")
+    shards[(h % shards.len() as u64) as usize]
+}
+
+pub fn reviewed(x: Option<u64>) -> u64 {
+    x.unwrap() // analyze: allow(panic-unwrap, reason = "caller checked is_some above")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_panic_freely() {
+        assert_eq!(recovery(None), 0);
+        let v: Vec<u64> = vec![1];
+        assert_eq!(v[0], checked(&v, 0).unwrap());
+    }
+}

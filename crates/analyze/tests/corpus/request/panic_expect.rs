@@ -1,0 +1,6 @@
+//! Seeded-bad fixture: `.expect(…)` in the request path.
+//! Expected: exactly one `panic-expect` finding.
+
+pub fn guard(cache: &std::sync::Mutex<u64>) -> u64 {
+    *cache.lock().expect("cache poisoned")
+}

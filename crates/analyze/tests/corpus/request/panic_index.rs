@@ -1,0 +1,6 @@
+//! Seeded-bad fixture: slice indexing in the request path.
+//! Expected: exactly one `panic-index` finding.
+
+pub fn pick(shards: &[u64], i: usize) -> u64 {
+    shards[i]
+}

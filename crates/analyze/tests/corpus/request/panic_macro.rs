@@ -1,0 +1,9 @@
+//! Seeded-bad fixture: a panicking macro in the request path.
+//! Expected: exactly one `panic-macro` finding.
+
+pub fn dispatch(kind: u8) -> u64 {
+    match kind {
+        0 => 1,
+        _ => unreachable!("kinds are validated at parse time"),
+    }
+}

@@ -1,0 +1,6 @@
+//! Seeded-bad fixture: `.unwrap()` in the request path.
+//! Expected: exactly one `panic-unwrap` finding.
+
+pub fn first(answers: Option<u64>) -> u64 {
+    answers.unwrap()
+}

@@ -38,7 +38,7 @@ fn parallel(c: &mut Criterion) {
             ..AfprasOptions::default()
         };
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
-            b.iter(|| estimate_nu(&phi, &opts).unwrap())
+            b.iter(|| estimate_nu(&phi, &opts).unwrap());
         });
     }
     group.finish();

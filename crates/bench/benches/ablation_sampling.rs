@@ -32,7 +32,7 @@ fn sampling_modes(c: &mut Criterion) {
         AfprasOptions { epsilon: 0.05, samples: SampleCount::Paper, ..AfprasOptions::default() };
 
     group.bench_function("partial_(paper_optimization)", |b| {
-        b.iter(|| estimate_nu(&phi, &base).unwrap())
+        b.iter(|| estimate_nu(&phi, &base).unwrap());
     });
     for total_nulls in [100usize, 1_000, 10_000] {
         let mut opts = base.clone();

@@ -34,7 +34,7 @@ fn candidate_generation(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(label), &db, |b, db| {
             b.iter(|| {
                 cq::execute(&lowered.query, db, &CqOptions::with_candidate_limit(25)).unwrap()
-            })
+            });
         });
     }
     group.finish();

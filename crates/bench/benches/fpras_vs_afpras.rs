@@ -26,11 +26,11 @@ fn fpras_vs_afpras(c: &mut Criterion) {
         let phi = cone_union(n);
         let a_opts = AfprasOptions { epsilon: 0.05, ..AfprasOptions::default() };
         group.bench_with_input(BenchmarkId::new("afpras", n), &n, |b, _| {
-            b.iter(|| afpras::estimate_nu(&phi, &a_opts).unwrap())
+            b.iter(|| afpras::estimate_nu(&phi, &a_opts).unwrap());
         });
         let f_opts = FprasOptions { epsilon: 0.1, ..FprasOptions::default() };
         group.bench_with_input(BenchmarkId::new("fpras", n), &n, |b, _| {
-            b.iter(|| fpras::estimate_nu(&phi, &f_opts).unwrap())
+            b.iter(|| fpras::estimate_nu(&phi, &f_opts).unwrap());
         });
     }
     group.finish();

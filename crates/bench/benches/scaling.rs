@@ -44,7 +44,7 @@ fn scaling(c: &mut Criterion) {
     for n in [2u32, 4, 8, 16, 32] {
         let phi = chain(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| estimate_nu(&phi, &opts).unwrap())
+            b.iter(|| estimate_nu(&phi, &opts).unwrap());
         });
     }
     group.finish();
@@ -53,7 +53,7 @@ fn scaling(c: &mut Criterion) {
     for d in [1i64, 8, 64, 256] {
         let phi = dnf(d);
         group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
-            b.iter(|| estimate_nu(&phi, &opts).unwrap())
+            b.iter(|| estimate_nu(&phi, &opts).unwrap());
         });
     }
     group.finish();

@@ -55,7 +55,7 @@ fn main() {
     // A3 sweeps seeds 1000..1049; --seed N shifts every stream.
     match seed {
         Some(s) => {
-            println!("seed: {s} (rerun with --seed {s} to reproduce every sampled column)\n")
+            println!("seed: {s} (rerun with --seed {s} to reproduce every sampled column)\n");
         }
         None => println!(
             "seed: defaults (V2/A2: evaluator option defaults; A3: 1000..1049 — the \

@@ -67,7 +67,7 @@ fn main() -> ExitCode {
             },
             "--families" => {
                 let list: Option<Vec<QueryFamily>> =
-                    value().map(|v| v.split(',').map(QueryFamily::parse).collect()).unwrap_or(None);
+                    value().and_then(|v| v.split(',').map(QueryFamily::parse).collect());
                 match list {
                     Some(fams) if !fams.is_empty() => config.families = fams,
                     _ => return usage("--families expects a comma list of sales|range|division"),
@@ -75,12 +75,12 @@ fn main() -> ExitCode {
             }
             "--epsilons" => {
                 let list: Option<Vec<f64>> =
-                    value().map(|v| v.split(',').map(|e| e.parse().ok()).collect()).unwrap_or(None);
+                    value().and_then(|v| v.split(',').map(|e| e.parse().ok()).collect());
                 match list {
                     Some(eps)
                         if !eps.is_empty() && eps.iter().all(|e| (1e-4..=0.5).contains(e)) =>
                     {
-                        config.epsilons = eps
+                        config.epsilons = eps;
                     }
                     _ => return usage("--epsilons expects a comma list in [0.0001, 0.5]"),
                 }

@@ -74,7 +74,7 @@ fn main() -> ExitCode {
             },
             "--families" => {
                 let list: Option<Vec<QueryFamily>> =
-                    value().map(|v| v.split(',').map(QueryFamily::parse).collect()).unwrap_or(None);
+                    value().and_then(|v| v.split(',').map(QueryFamily::parse).collect());
                 match list {
                     Some(fams) if !fams.is_empty() => config.families = fams,
                     _ => return usage("--families expects a comma list of sales|range|division"),

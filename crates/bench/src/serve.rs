@@ -254,7 +254,7 @@ pub fn run_serve_bench(config: &ServeBenchConfig) -> ServeBenchReport {
     let db_digest = format!("{:#018x}", database_digest(&db));
 
     let sql: Vec<String> =
-        config.families.iter().flat_map(|f| f.queries()).map(|q| q.sql).collect();
+        config.families.iter().flat_map(QueryFamily::queries).map(|q| q.sql).collect();
     assert!(!sql.is_empty(), "no query families configured");
 
     let service = Arc::new(QueryService::new(
@@ -333,7 +333,7 @@ pub fn run_serve_bench(config: &ServeBenchConfig) -> ServeBenchReport {
 }
 
 fn pairs(p: &[(&'static str, u64)]) -> Vec<(String, u64)> {
-    p.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    p.iter().map(|(k, v)| ((*k).to_string(), *v)).collect()
 }
 
 /// One timed repetition: all clients through the shared service,

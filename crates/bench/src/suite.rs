@@ -201,7 +201,7 @@ pub struct SuiteReport {
 }
 
 fn pairs_to_vec(pairs: &[(&'static str, u64)]) -> Vec<(String, u64)> {
-    pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    pairs.iter().map(|(k, v)| ((*k).to_string(), *v)).collect()
 }
 
 fn fresh_directions(estimates: &[qarith_core::CertaintyEstimate]) -> u64 {
@@ -413,7 +413,7 @@ fn serving_pass(config: &SuiteConfig, harnesses: &[FamilyHarness]) -> ServingRep
         passes: config.serving_passes as u64,
         queries: (config.serving_threads * config.serving_passes * total_queries) as u64,
         seconds,
-        cache: names.iter().zip(cache).map(|(n, v)| (n.to_string(), v)).collect(),
+        cache: names.iter().zip(cache).map(|(n, v)| ((*n).to_string(), v)).collect(),
     }
 }
 

@@ -45,8 +45,7 @@ impl LinearExpr {
     pub fn coeff(&self, v: Var) -> Rational {
         self.coeffs
             .binary_search_by_key(&v, |&(var, _)| var)
-            .map(|i| self.coeffs[i].1)
-            .unwrap_or(Rational::ZERO)
+            .map_or(Rational::ZERO, |i| self.coeffs[i].1)
     }
 
     /// The nonzero `(variable, coefficient)` pairs, sorted by variable.

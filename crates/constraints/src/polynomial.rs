@@ -151,7 +151,7 @@ impl Polynomial {
     /// Checked addition.
     pub fn checked_add(&self, rhs: &Polynomial) -> Result<Polynomial, NumericError> {
         let mut out = self.clone();
-        for (m, c) in rhs.terms.iter() {
+        for (m, c) in &rhs.terms {
             out.add_term(m.clone(), *c)?;
         }
         Ok(out)
@@ -160,7 +160,7 @@ impl Polynomial {
     /// Checked subtraction.
     pub fn checked_sub(&self, rhs: &Polynomial) -> Result<Polynomial, NumericError> {
         let mut out = self.clone();
-        for (m, c) in rhs.terms.iter() {
+        for (m, c) in &rhs.terms {
             out.add_term(m.clone(), c.checked_neg()?)?;
         }
         Ok(out)
@@ -169,8 +169,8 @@ impl Polynomial {
     /// Checked multiplication (term-by-term convolution).
     pub fn checked_mul(&self, rhs: &Polynomial) -> Result<Polynomial, NumericError> {
         let mut out = Polynomial::zero();
-        for (ma, ca) in self.terms.iter() {
-            for (mb, cb) in rhs.terms.iter() {
+        for (ma, ca) in &self.terms {
+            for (mb, cb) in &rhs.terms {
                 out.add_term(ma.mul(mb), ca.checked_mul(cb)?)?;
             }
         }
@@ -183,7 +183,7 @@ impl Polynomial {
             return Ok(Polynomial::zero());
         }
         let mut out = Polynomial::zero();
-        for (m, k) in self.terms.iter() {
+        for (m, k) in &self.terms {
             out.terms.insert(m.clone(), k.checked_mul(c)?);
         }
         Ok(out)
@@ -192,7 +192,7 @@ impl Polynomial {
     /// Negation.
     pub fn negated(&self) -> Polynomial {
         let mut out = Polynomial::zero();
-        for (m, c) in self.terms.iter() {
+        for (m, c) in &self.terms {
             out.terms.insert(m.clone(), -*c);
         }
         out
@@ -231,7 +231,7 @@ impl Polynomial {
     /// Substitutes a constant for a variable.
     pub fn substitute(&self, v: Var, value: &Rational) -> Result<Polynomial, NumericError> {
         let mut out = Polynomial::zero();
-        for (m, c) in self.terms.iter() {
+        for (m, c) in &self.terms {
             let mut coeff = *c;
             let mut rest: Vec<(Var, u32)> = Vec::with_capacity(m.factors().len());
             for &(mv, e) in m.factors() {
@@ -250,7 +250,7 @@ impl Polynomial {
     /// formula variables).
     pub fn map_vars(&self, mut f: impl FnMut(Var) -> Var) -> Polynomial {
         let mut out = Polynomial::zero();
-        for (m, c) in self.terms.iter() {
+        for (m, c) in &self.terms {
             let renamed = Monomial::from_pairs(m.factors().iter().map(|&(v, e)| (f(v), e)));
             out.add_term(renamed, *c).expect("renaming cannot overflow");
         }
@@ -266,7 +266,7 @@ impl Polynomial {
     /// [`Var::index`]).
     pub fn eval_rational(&self, point: &[Rational]) -> Result<Rational, NumericError> {
         let mut acc = Rational::ZERO;
-        for (m, c) in self.terms.iter() {
+        for (m, c) in &self.terms {
             let mut term = *c;
             for &(v, e) in m.factors() {
                 term = term.checked_mul(&point[v.index()].checked_pow(e)?)?;
@@ -283,7 +283,7 @@ impl Polynomial {
         }
         let mut constant = Rational::ZERO;
         let mut coeffs = Vec::with_capacity(self.terms.len());
-        for (m, c) in self.terms.iter() {
+        for (m, c) in &self.terms {
             if m.is_unit() {
                 constant = *c;
             } else {

@@ -96,7 +96,7 @@ pub fn estimate_nu(phi: &QfFormula, opts: &FprasOptions) -> Result<FprasOutcome,
 
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let cones = build_cones(&dnf, &dense, n)?;
-    if cones.iter().any(|c| c.is_none()) {
+    if cones.iter().any(Option::is_none) {
         // A disjunct with no effective constraints covers the whole ball.
         return Ok(FprasOutcome { estimate: 1.0, cones: cones.len(), samples: 0, dimension: n });
     }

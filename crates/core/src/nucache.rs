@@ -132,6 +132,7 @@ impl NuCache {
 
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
+        // analyze: allow(hash-iteration, reason = "summing lengths is commutative; the total is order-insensitive")
         let entries = self.map.lock().expect("ν-cache poisoned").values().map(HashMap::len).sum();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
@@ -154,7 +155,7 @@ impl CertaintyCache for NuCache {
     }
 
     fn insert(&self, group_key: String, fingerprint: u64, estimate: CertaintyEstimate) {
-        NuCache::insert(self, group_key, fingerprint, estimate)
+        NuCache::insert(self, group_key, fingerprint, estimate);
     }
 }
 

@@ -698,6 +698,7 @@ impl CertaintyEngine {
         let pending: Vec<usize> =
             results.iter().enumerate().filter_map(|(i, r)| r.is_none().then_some(i)).collect();
         stats.measured = pending.len();
+        // analyze: allow(nondet-source, reason = "worker-count cap affects scheduling only; per-group results are bit-identical at any width, tested by batch_matches_sequential_bitwise")
         let parallelism = std::thread::available_parallelism().map_or(usize::MAX, usize::from);
         let threads = stats.threads.min(parallelism).min(pending.len().max(1));
         let mut traces: Vec<Option<RewriteTrace>> = vec![None; plan.groups.len()];

@@ -137,15 +137,24 @@ impl QueryFamily {
         match self {
             QueryFamily::Sales => paper_queries()
                 .into_iter()
-                .map(|(name, sql)| WorkloadQuery { name: name.to_string(), sql: sql.to_string() })
+                .map(|(name, sql)| WorkloadQuery {
+                    name: (*name).to_string(),
+                    sql: (*sql).to_string(),
+                })
                 .collect(),
             QueryFamily::RangeMix => RANGE_MIX_QUERIES
                 .iter()
-                .map(|(name, sql)| WorkloadQuery { name: name.to_string(), sql: sql.to_string() })
+                .map(|(name, sql)| WorkloadQuery {
+                    name: (*name).to_string(),
+                    sql: (*sql).to_string(),
+                })
                 .collect(),
             QueryFamily::Division => DIVISION_QUERIES
                 .iter()
-                .map(|(name, sql)| WorkloadQuery { name: name.to_string(), sql: sql.to_string() })
+                .map(|(name, sql)| WorkloadQuery {
+                    name: (*name).to_string(),
+                    sql: (*sql).to_string(),
+                })
                 .collect(),
         }
     }

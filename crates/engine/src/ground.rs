@@ -132,7 +132,7 @@ fn translate(
                                 Some(c) if c.is_zero() => {}
                                 Some(_) => continue 'tuples,
                                 None => {
-                                    conj.push(QfFormula::atom(Atom::new(diff, ConstraintOp::Eq)))
+                                    conj.push(QfFormula::atom(Atom::new(diff, ConstraintOp::Eq)));
                                 }
                             }
                         }

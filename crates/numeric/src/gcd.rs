@@ -39,7 +39,7 @@ pub fn lcm_i128(a: i128, b: i128) -> Option<i128> {
         return Some(0);
     }
     let g = gcd_i128(a, b);
-    (a / g).checked_mul(b).map(|x| x.abs())
+    (a / g).checked_mul(b).map(i128::abs)
 }
 
 #[cfg(test)]

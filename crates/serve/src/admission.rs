@@ -15,7 +15,7 @@
 //! overload must be *visible* in p95/p99, not hidden.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 
 /// Counters of an [`AdmissionGate`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -71,12 +71,20 @@ impl AdmissionGate {
     /// Blocks until a slot is free, then occupies it. The returned
     /// permit releases the slot on drop (also on panic — the gate never
     /// leaks capacity).
+    ///
+    /// **Poison policy.** The guarded state is a bare counter updated
+    /// with panic-free arithmetic, so a poisoned mutex (some unrelated
+    /// code panicked mid-critical-section) cannot leave it torn; the
+    /// gate recovers the guard with [`PoisonError::into_inner`] and
+    /// keeps admitting. Propagating instead would deadlock the service:
+    /// a permit's `Drop` must decrement the counter even during an
+    /// unwind, or the slot leaks and the gate shrinks forever.
     pub fn acquire(&self) -> AdmissionPermit<'_> {
-        let mut in_flight = self.in_flight.lock().expect("admission gate poisoned");
+        let mut in_flight = self.in_flight.lock().unwrap_or_else(PoisonError::into_inner);
         if *in_flight >= self.max_in_flight {
             self.queued.fetch_add(1, Ordering::Relaxed);
             while *in_flight >= self.max_in_flight {
-                in_flight = self.released.wait(in_flight).expect("admission gate poisoned");
+                in_flight = self.released.wait(in_flight).unwrap_or_else(PoisonError::into_inner);
             }
         }
         *in_flight += 1;
@@ -102,7 +110,9 @@ pub struct AdmissionPermit<'a> {
 
 impl Drop for AdmissionPermit<'_> {
     fn drop(&mut self) {
-        let mut in_flight = self.gate.in_flight.lock().expect("admission gate poisoned");
+        // Recover from poison (see `acquire`): this decrement must run
+        // even while unwinding from a request panic, or the slot leaks.
+        let mut in_flight = self.gate.in_flight.lock().unwrap_or_else(PoisonError::into_inner);
         *in_flight -= 1;
         drop(in_flight);
         self.gate.released.notify_one();

@@ -11,6 +11,12 @@ pub enum ServeError {
     Sql(SqlError),
     /// Candidate generation or measurement failed.
     Measure(MeasureError),
+    /// A serving-layer lock was poisoned: some earlier request
+    /// panicked while holding it, so its protected state can no longer
+    /// be trusted. The current request fails cleanly instead of
+    /// unwinding the whole service; the operator-facing fix is a
+    /// restart (and the bug report is the panic that poisoned it).
+    LockPoisoned(&'static str),
 }
 
 impl std::fmt::Display for ServeError {
@@ -18,6 +24,9 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Sql(e) => write!(f, "SQL error: {e}"),
             ServeError::Measure(e) => write!(f, "measurement error: {e}"),
+            ServeError::LockPoisoned(what) => {
+                write!(f, "internal error: {what} lock poisoned by an earlier panic")
+            }
         }
     }
 }
@@ -27,6 +36,7 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Sql(e) => Some(e),
             ServeError::Measure(e) => Some(e),
+            ServeError::LockPoisoned(_) => None,
         }
     }
 }

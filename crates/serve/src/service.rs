@@ -203,7 +203,14 @@ impl QueryService {
     /// interchangeable); the first publication wins and the rest adopt
     /// it, keeping the cache single-entry per template.
     fn plan_for(&self, sql: &str, fingerprint: &str) -> Result<(Arc<BatchPlan>, bool), ServeError> {
-        if let Some(entry) = self.plans.read().expect("plan cache poisoned").get(fingerprint) {
+        // A poisoned plan-cache lock means an earlier request panicked
+        // while publishing; the map may hold a half-finished update, so
+        // fail this request cleanly rather than trusting it (the
+        // ν-cache, by contrast, can degrade to misses — see `shard`).
+        fn poisoned<Guard>(_: std::sync::PoisonError<Guard>) -> ServeError {
+            ServeError::LockPoisoned("plan cache")
+        }
+        if let Some(entry) = self.plans.read().map_err(poisoned)?.get(fingerprint) {
             self.plan_hits.fetch_add(1, Ordering::Relaxed);
             entry
                 .last_used
@@ -215,7 +222,7 @@ impl QueryService {
         // are the expensive half, and other templates must keep flowing.
         let built = Arc::new(self.build_plan(sql)?);
         let tick = self.plan_tick.fetch_add(1, Ordering::Relaxed);
-        let mut plans = self.plans.write().expect("plan cache poisoned");
+        let mut plans = self.plans.write().map_err(poisoned)?;
         if !plans.contains_key(fingerprint) {
             // Evict least-recently-used templates down to cap − 1. The
             // O(n) scan is fine: it runs only on publication, which is
@@ -224,8 +231,8 @@ impl QueryService {
                 let victim = plans
                     .iter()
                     .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
-                    .map(|(k, _)| k.clone())
-                    .expect("nonempty at cap");
+                    .map(|(k, _)| k.clone());
+                let Some(victim) = victim else { break };
                 plans.remove(&victim);
                 self.plan_evictions.fetch_add(1, Ordering::Relaxed);
             }
@@ -263,7 +270,10 @@ impl QueryService {
             queries: self.queries.load(Ordering::Relaxed),
             plan_hits: self.plan_hits.load(Ordering::Relaxed),
             plan_misses: self.plan_misses.load(Ordering::Relaxed),
-            plans: self.plans.read().expect("plan cache poisoned").len() as u64,
+            // Counters must never panic; a poisoned cache reports 0
+            // resident plans (requests themselves fail with
+            // `LockPoisoned`, which is the visible signal).
+            plans: self.plans.read().map_or(0, |p| p.len() as u64),
             plan_evictions: self.plan_evictions.load(Ordering::Relaxed),
         }
     }

@@ -135,11 +135,11 @@ impl ShardInner {
     fn touch(&mut self, key: &Arc<str>, fingerprint: u64) {
         let tick = self.next_tick;
         self.next_tick += 1;
-        let entry = self
-            .map
-            .get_mut(key)
-            .and_then(|by_fp| by_fp.get_mut(&fingerprint))
-            .expect("touched entry exists");
+        let entry = self.map.get_mut(key).and_then(|by_fp| by_fp.get_mut(&fingerprint));
+        // Callers pass a key they just found under this same lock, so
+        // the entry is present; tolerating absence anyway (a skipped
+        // recency refresh) keeps the request path panic-free.
+        let Some(entry) = entry else { return };
         let old = std::mem::replace(&mut entry.tick, tick);
         self.recency.remove(&old);
         self.recency.insert(tick, (key.clone(), fingerprint));
@@ -207,6 +207,7 @@ impl ShardedNuCache {
     /// order, which the serving tests rely on.
     fn shard_of(&self, group_key: &str) -> &Mutex<ShardInner> {
         let h = qarith_numeric::Fnv1a64::digest(group_key.as_bytes());
+        // analyze: allow(panic-index, reason = "h % len < len by construction, and len >= 1 is forced in new()")
         &self.shards[(h % self.shards.len() as u64) as usize]
     }
 
@@ -219,7 +220,10 @@ impl ShardedNuCache {
             ..ShardedCacheStats::default()
         };
         for shard in &self.shards {
-            let inner = shard.lock().expect("shard poisoned");
+            // A poisoned shard is skipped: its entries are unreachable
+            // (lookups treat it as a permanent miss), so not counting
+            // them matches what requests observe.
+            let Ok(inner) = shard.lock() else { continue };
             stats.entries += inner.recency.len() as u64;
             stats.resident_bytes += inner.resident_bytes as u64;
             stats.evictions += inner.evictions;
@@ -230,7 +234,12 @@ impl ShardedNuCache {
     /// Drops all entries and counters (the budget stays).
     pub fn clear(&self) {
         for shard in &self.shards {
-            *shard.lock().expect("shard poisoned") = ShardInner::default();
+            // Resetting a poisoned shard would be sound (the fresh
+            // value is trivially consistent), but `lock()` has already
+            // classified it; leave it to the permanent-miss policy.
+            if let Ok(mut inner) = shard.lock() {
+                *inner = ShardInner::default();
+            }
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
@@ -243,7 +252,15 @@ impl ShardedNuCache {
 
 impl CertaintyCache for ShardedNuCache {
     fn get(&self, group_key: &str, fingerprint: u64) -> Option<CertaintyEstimate> {
-        let mut inner = self.shard_of(group_key).lock().expect("shard poisoned");
+        // Poison policy: a poisoned shard degrades to a permanent miss.
+        // This is sound for the same reason eviction is — every entry
+        // is a deterministic function of its key, so losing access to a
+        // shard costs recomputation, never correctness. Requests keep
+        // flowing at 15/16ths capacity instead of failing.
+        let Ok(mut inner) = self.shard_of(group_key).lock() else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
         let found = inner.map.get_key_value(group_key).and_then(|(key, by_fp)| {
             by_fp.get(&fingerprint).map(|e| (key.clone(), e.estimate.clone()))
         });
@@ -265,7 +282,9 @@ impl CertaintyCache for ShardedNuCache {
 
     fn insert(&self, group_key: String, fingerprint: u64, estimate: CertaintyEstimate) {
         let bytes = ShardedNuCache::entry_bytes(&group_key);
-        let mut inner = self.shard_of(&group_key).lock().expect("shard poisoned");
+        // Poisoned shard: drop the insert (see `get` — the shard is a
+        // permanent miss, so storing into it would never be observed).
+        let Ok(mut inner) = self.shard_of(&group_key).lock() else { return };
         let key: Arc<str> = match inner.map.get_key_value(group_key.as_str()) {
             Some((key, _)) => key.clone(),
             None => Arc::from(group_key.into_boxed_str()),

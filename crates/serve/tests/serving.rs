@@ -22,7 +22,7 @@ fn tiny_db() -> Database {
 /// The serving workload: every family's queries (the same population
 /// `serve_bench` replays).
 fn workload_sql() -> Vec<String> {
-    QueryFamily::all().iter().flat_map(|f| f.queries()).map(|q| q.sql).collect()
+    QueryFamily::all().iter().flat_map(QueryFamily::queries).map(|q| q.sql).collect()
 }
 
 /// Paper-style measurement options: forced AFPRAS under a fixed seed,

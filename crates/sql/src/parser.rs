@@ -39,7 +39,7 @@ impl Parser {
         SqlError::Parse {
             position: self.position(),
             expected,
-            found: self.peek().map_or("end of input".to_string(), |t| t.to_string()),
+            found: self.peek().map_or("end of input".to_string(), ToString::to_string),
         }
     }
 

@@ -129,7 +129,7 @@ fn intro_query(db: &Database, op: CompareOp) -> Query {
 fn main() {
     let pi = std::f64::consts::PI;
     let db = build_database();
-    println!("intro database: {:?}\n", db);
+    println!("intro database: {db:?}\n");
 
     // ----- The displayed constraint (1), evaluated exactly -------------
     let seven_tenths = Polynomial::constant(Rational::new(7, 10));

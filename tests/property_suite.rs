@@ -63,7 +63,7 @@ fn formula(max_vars: u32) -> impl Strategy<Value = QfFormula> {
         prop_oneof![
             prop::collection::vec(inner.clone(), 1..3).prop_map(QfFormula::and),
             prop::collection::vec(inner.clone(), 1..3).prop_map(QfFormula::or),
-            inner.prop_map(|f| f.negated()),
+            inner.prop_map(QfFormula::negated),
         ]
     })
 }
@@ -314,7 +314,7 @@ fn order_formula(max_vars: u32) -> impl Strategy<Value = QfFormula> {
         prop_oneof![
             prop::collection::vec(inner.clone(), 1..3).prop_map(QfFormula::and),
             prop::collection::vec(inner.clone(), 1..3).prop_map(QfFormula::or),
-            inner.prop_map(|f| f.negated()),
+            inner.prop_map(QfFormula::negated),
         ]
     })
 }

@@ -68,7 +68,7 @@ fn linear_formula(max_vars: u32) -> impl Strategy<Value = QfFormula> {
         prop_oneof![
             prop::collection::vec(inner.clone(), 1..4).prop_map(QfFormula::and),
             prop::collection::vec(inner.clone(), 1..4).prop_map(QfFormula::or),
-            inner.prop_map(|f| f.negated()),
+            inner.prop_map(QfFormula::negated),
         ]
     })
 }

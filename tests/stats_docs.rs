@@ -37,7 +37,7 @@ fn documented_counters() -> BTreeMap<String, Vec<String>> {
 }
 
 fn names(pairs: &[(&'static str, u64)]) -> Vec<String> {
-    pairs.iter().map(|(k, _)| k.to_string()).collect()
+    pairs.iter().map(|(k, _)| (*k).to_string()).collect()
 }
 
 #[test]

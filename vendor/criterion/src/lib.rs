@@ -230,7 +230,7 @@ impl BenchmarkGroup<'_> {
             f(&mut bencher);
             samples.push(bencher.elapsed.as_secs_f64() / iters_per_sample as f64);
         }
-        samples.sort_by(|a, b| a.total_cmp(b));
+        samples.sort_by(f64::total_cmp);
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         println!(
             "{full_id:<60} time: [{} {} {}]",
