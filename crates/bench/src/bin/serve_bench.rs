@@ -1,13 +1,20 @@
 //! Load generator for the `qarith-serve` query service: replays the
 //! workload-suite queries from M client threads through one shared
-//! [`QueryService`], closed- or open-loop, and emits the schema-v2
+//! [`QueryService`], closed- or open-loop, and emits the schema-v3
 //! `"serve"` `BENCH_*.json` document with p50/p95/p99 latency,
 //! throughput, and the plan/shard/admission counter blocks — optionally
 //! gated against a checked-in baseline (the CI `serve-smoke` step).
 //!
+//! With `--wire` the same load runs through real loopback sockets and
+//! the `qarith-net` framed protocol instead of in-process calls: every
+//! request crosses TCP, every reply is decoded and compared bit for
+//! bit against the sequential in-process reference, and the document
+//! kind becomes `"wire"` with a `net` counter block (the CI
+//! `net-smoke` step).
+//!
 //! ```text
 //! cargo run --release -p qarith-bench --bin serve_bench -- \
-//!     [--scale tiny|small|medium|paper] [--seed N] \
+//!     [--wire] [--scale tiny|small|medium|paper] [--seed N] \
 //!     [--families sales,range,division] [--epsilon F] \
 //!     [--clients N] [--passes N] [--mode closed|open] [--rate QPS] \
 //!     [--reps N] [--cache-budget BYTES] [--cache-shards N] \
@@ -16,7 +23,8 @@
 //! ```
 //!
 //! `--check-baseline` loads the baseline JSON (default:
-//! `crates/bench/baselines/SERVE_<scale>.json`), re-verifies the
+//! `crates/bench/baselines/SERVE_<scale>.json`, or
+//! `SERVE_WIRE_<scale>.json` under `--wire`), re-verifies the
 //! certainty digest bit for bit, and compares p95 latency with a
 //! relative tolerance (default 25 %); any failure exits non-zero. An
 //! intentional behavioral change must regenerate the baseline in the
@@ -30,16 +38,20 @@ use std::process::ExitCode;
 use qarith_bench::serve::{
     check_serve_baseline, run_serve_bench, LoadMode, ServeBenchConfig, ServeBenchReport,
 };
+use qarith_bench::wire::run_wire_bench;
 use qarith_datagen::{QueryFamily, WorkloadScale};
 
 /// Default output artifact name — the PR-5 slot of the `BENCH_*.json`
 /// trajectory (one artifact per perf-relevant PR).
 const DEFAULT_OUT: &str = "BENCH_5.json";
 
+/// Default output artifact name under `--wire` — the PR-7 slot.
+const DEFAULT_WIRE_OUT: &str = "BENCH_7.json";
+
 fn usage(msg: &str) -> ExitCode {
     eprintln!("{msg}");
     eprintln!(
-        "usage: serve_bench [--scale tiny|small|medium|paper] [--seed N] \
+        "usage: serve_bench [--wire] [--scale tiny|small|medium|paper] [--seed N] \
          [--families LIST] [--epsilon F] [--clients N] [--passes N] \
          [--mode closed|open] [--rate QPS] [--reps N] [--cache-budget BYTES] \
          [--cache-shards N] [--max-in-flight N] [--out PATH] \
@@ -50,7 +62,8 @@ fn usage(msg: &str) -> ExitCode {
 
 fn main() -> ExitCode {
     let mut config = ServeBenchConfig::default_for(WorkloadScale::Tiny);
-    let mut out_path = DEFAULT_OUT.to_string();
+    let mut wire = false;
+    let mut out_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
     let mut check_baseline = false;
     let mut tolerance = 0.25f64;
@@ -64,6 +77,7 @@ fn main() -> ExitCode {
             args.get(i).cloned()
         };
         match flag {
+            "--wire" => wire = true,
             "--scale" => match value().as_deref().and_then(WorkloadScale::parse) {
                 Some(s) => config.scale = s,
                 None => return usage("--scale expects tiny|small|medium|paper"),
@@ -117,7 +131,7 @@ fn main() -> ExitCode {
                 _ => return usage("--max-in-flight expects a positive integer"),
             },
             "--out" => match value() {
-                Some(p) => out_path = p,
+                Some(p) => out_path = Some(p),
                 None => return usage("--out expects a path"),
             },
             "--baseline" => match value() {
@@ -137,7 +151,10 @@ fn main() -> ExitCode {
         return usage("--mode open requires --rate");
     }
 
-    println!("qarith serve_bench — serving load");
+    println!(
+        "qarith serve_bench — serving load ({})",
+        if wire { "wire: framed protocol over loopback TCP" } else { "in-process" }
+    );
     println!(
         "scale {}  seed {}  families [{}]  ε {}  {} clients × {} passes ({}{})",
         config.scale.name(),
@@ -154,9 +171,11 @@ fn main() -> ExitCode {
         },
     );
 
-    let report = run_serve_bench(&config);
+    let report = if wire { run_wire_bench(&config) } else { run_serve_bench(&config) };
     print_summary(&report);
 
+    let out_path =
+        out_path.unwrap_or_else(|| if wire { DEFAULT_WIRE_OUT } else { DEFAULT_OUT }.to_string());
     std::fs::write(&out_path, report.to_json()).expect("write BENCH json");
     println!("perf artifact written to {out_path}");
 
@@ -164,7 +183,12 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let baseline_path = baseline_path.unwrap_or_else(|| {
-        format!("{}/baselines/SERVE_{}.json", env!("CARGO_MANIFEST_DIR"), config.scale.name())
+        format!(
+            "{}/baselines/SERVE_{}{}.json",
+            env!("CARGO_MANIFEST_DIR"),
+            if wire { "WIRE_" } else { "" },
+            config.scale.name()
+        )
     });
     let baseline_text = match std::fs::read_to_string(&baseline_path) {
         Ok(t) => t,
@@ -231,5 +255,18 @@ fn print_summary(report: &ServeBenchReport) {
         counter(&report.admission, "admitted"),
         counter(&report.admission, "queued"),
     );
+    if report.kind == "wire" {
+        println!(
+            "net: {} connections ({} opened / {} closed), {} frames in / {} out, \
+             {} protocol errors, {} timeouts",
+            counter(&report.net, "connections_active"),
+            counter(&report.net, "connections_opened"),
+            counter(&report.net, "connections_closed"),
+            counter(&report.net, "frames_in"),
+            counter(&report.net, "frames_out"),
+            counter(&report.net, "protocol_errors"),
+            counter(&report.net, "timeouts"),
+        );
+    }
     println!("certainty digest: {}", report.certainty_digest);
 }

@@ -37,6 +37,7 @@ use qarith_types::Database;
 pub mod json;
 pub mod serve;
 pub mod suite;
+pub mod wire;
 
 pub use qarith_constraints::asymptotic::CompiledFormula;
 

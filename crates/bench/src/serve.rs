@@ -24,10 +24,15 @@
 //!    ever adds latency — the same min-of-reps estimator the workload
 //!    suite uses for wall times).
 //!
-//! The result serializes into the schema-v2 `BENCH_*.json` document
+//! The result serializes into the schema-v3 `BENCH_*.json` document
 //! kind `"serve"` ([`ServeBenchReport::to_json`]);
 //! [`check_serve_baseline`] is the CI gate — certainty drift fails
 //! hard, p95 latency may regress at most the tolerance.
+//!
+//! [`crate::wire`] reuses this module's report shape for the
+//! `kind = "wire"` documents of `serve_bench --wire`, which drive the
+//! same load through real loopback sockets and the `qarith-net` framed
+//! protocol and add a `net` counter block.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
@@ -159,11 +164,16 @@ impl LatencySummary {
     }
 }
 
-/// A full serving-load run: the schema-v2 `"serve"` document.
+/// A full serving-load run: the schema-v3 `"serve"` document, or —
+/// when produced by [`crate::wire::run_wire_bench`] — the `"wire"`
+/// document measured through real sockets.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ServeBenchReport {
     /// Schema version ([`SCHEMA_VERSION`]).
     pub schema_version: u64,
+    /// Document kind: `"serve"` (in-process) or `"wire"` (through the
+    /// `qarith-net` framed protocol over loopback sockets).
+    pub kind: String,
     /// Scale name.
     pub scale: String,
     /// Seed.
@@ -205,6 +215,9 @@ pub struct ServeBenchReport {
     /// Sharded ν-cache counters
     /// ([`qarith_serve::ShardedCacheStats::as_pairs`] names).
     pub cache: Vec<(String, u64)>,
+    /// Wire-listener counters ([`qarith_net::NetStats::as_pairs`]
+    /// names). Empty for in-process (`"serve"`) runs.
+    pub net: Vec<(String, u64)>,
     /// FNV-1a digest over every reference-pass certainty bit, hex —
     /// the quantity the CI gate pins.
     pub certainty_digest: String,
@@ -215,7 +228,7 @@ pub struct ServeBenchReport {
 /// sampling seed derives from the generation seed exactly like the
 /// workload suite's (`seed ^ 0xF1616`), so suite and serving runs at
 /// equal config sample identically.
-fn serving_options(epsilon: f64, seed: u64) -> MeasureOptions {
+pub(crate) fn serving_options(epsilon: f64, seed: u64) -> MeasureOptions {
     MeasureOptions {
         method: MethodChoice::Afpras,
         afpras: AfprasOptions {
@@ -231,7 +244,7 @@ fn serving_options(epsilon: f64, seed: u64) -> MeasureOptions {
 
 /// μ-relevant response bits (tuple, value, samples, dimension) — what
 /// concurrent responses are compared on and the digest is built from.
-fn response_bits(r: &QueryResponse) -> Vec<(String, u64, u64, u64)> {
+pub(crate) fn response_bits(r: &QueryResponse) -> Vec<(String, u64, u64, u64)> {
     r.answers
         .iter()
         .map(|a| {
@@ -309,6 +322,7 @@ pub fn run_serve_bench(config: &ServeBenchConfig) -> ServeBenchReport {
 
     ServeBenchReport {
         schema_version: SCHEMA_VERSION,
+        kind: "serve".to_string(),
         scale: config.scale.name().to_string(),
         seed: config.seed,
         epsilon: config.epsilon,
@@ -328,11 +342,12 @@ pub fn run_serve_bench(config: &ServeBenchConfig) -> ServeBenchReport {
         service: pairs(&service.stats().as_pairs()),
         admission: pairs(&service.admission_stats().as_pairs()),
         cache: pairs(&service.cache_stats().as_pairs()),
+        net: Vec::new(),
         certainty_digest: format!("{:#018x}", digest.finish()),
     }
 }
 
-fn pairs(p: &[(&'static str, u64)]) -> Vec<(String, u64)> {
+pub(crate) fn pairs(p: &[(&'static str, u64)]) -> Vec<(String, u64)> {
     p.iter().map(|(k, v)| ((*k).to_string(), *v)).collect()
 }
 
@@ -455,12 +470,12 @@ fn counters_from_json(v: &Json, what: &str) -> Result<Vec<(String, u64)>, String
 
 impl ServeBenchReport {
     /// Serializes to the pretty-printed `BENCH_*.json` document (kind
-    /// `"serve"`).
+    /// `"serve"` or `"wire"`).
     pub fn to_json(&self) -> String {
         Json::obj([
             ("schema", Json::str(SCHEMA_NAME)),
             ("schema_version", Json::num_u64(self.schema_version)),
-            ("kind", Json::str("serve")),
+            ("kind", Json::str(&self.kind)),
             ("scale", Json::str(&self.scale)),
             ("seed", Json::num_u64(self.seed)),
             ("epsilon", Json::Num(self.epsilon)),
@@ -493,14 +508,16 @@ impl ServeBenchReport {
             ("service", counters_to_json(&self.service)),
             ("admission", counters_to_json(&self.admission)),
             ("cache", counters_to_json(&self.cache)),
+            ("net", counters_to_json(&self.net)),
             ("certainty_digest", Json::str(&self.certainty_digest)),
         ])
         .pretty()
     }
 
     /// Parses a document produced by [`ServeBenchReport::to_json`].
-    /// Rejects unknown schema names, future versions, and non-`serve`
-    /// kinds.
+    /// Rejects unknown schema names, future versions, and kinds other
+    /// than `"serve"` / `"wire"`. The `net` block is optional on
+    /// parse (v2 serve documents predate it).
     pub fn from_json(text: &str) -> Result<ServeBenchReport, String> {
         let doc = parse(text).map_err(|e: JsonError| e.to_string())?;
         let schema = req_str(&doc, "schema")?;
@@ -514,13 +531,14 @@ impl ServeBenchReport {
             ));
         }
         let kind = req_str(&doc, "kind")?;
-        if kind != "serve" {
+        if kind != "serve" && kind != "wire" {
             return Err(format!("document kind `{kind}` is not a serve report"));
         }
         let db = doc.get("db").ok_or("missing field `db`")?;
         let latency = doc.get("latency").ok_or("missing field `latency`")?;
         Ok(ServeBenchReport {
             schema_version,
+            kind,
             scale: req_str(&doc, "scale")?,
             seed: req_u64(&doc, "seed")?,
             epsilon: req_f64(&doc, "epsilon")?,
@@ -548,6 +566,10 @@ impl ServeBenchReport {
                 "admission",
             )?,
             cache: counters_from_json(doc.get("cache").ok_or("missing `cache`")?, "cache")?,
+            net: match doc.get("net") {
+                Some(v) => counters_from_json(v, "net")?,
+                None => Vec::new(),
+            },
             certainty_digest: req_str(&doc, "certainty_digest")?,
         })
     }
@@ -598,6 +620,7 @@ pub fn check_serve_baseline(
         }
     };
     cfg("schema_version", fresh.schema_version.to_string(), baseline.schema_version.to_string());
+    cfg("kind", fresh.kind.clone(), baseline.kind.clone());
     cfg("scale", fresh.scale.clone(), baseline.scale.clone());
     cfg("seed", fresh.seed.to_string(), baseline.seed.to_string());
     cfg("epsilon", format!("{:?}", fresh.epsilon), format!("{:?}", baseline.epsilon));
@@ -641,6 +664,7 @@ mod tests {
     fn tiny_report() -> ServeBenchReport {
         ServeBenchReport {
             schema_version: SCHEMA_VERSION,
+            kind: "serve".into(),
             scale: "tiny".into(),
             seed: 2020,
             epsilon: 0.02,
@@ -660,6 +684,7 @@ mod tests {
             service: vec![("queries".into(), 130)],
             admission: vec![("admitted".into(), 130)],
             cache: vec![("hits".into(), 100), ("evictions".into(), 0)],
+            net: vec![],
             certainty_digest: "0x0123456789abcdef".into(),
         }
     }

@@ -49,7 +49,14 @@ use crate::{secs, BatchPoint, Fig1Harness};
 /// serving-load reports of [`crate::serve`] (`serve_bench`), which add
 /// p50/p95/p99 latency percentiles, throughput, and the
 /// plan/shard/admission counter blocks.
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// **v3** (PR 7): adds the `"wire"` document kind — `serve_bench
+/// --wire` runs the same serving load through real loopback sockets
+/// and the framed protocol of `qarith-net`. Wire documents share the
+/// serve-report shape and additionally carry a `net` counter block
+/// ([`qarith_net::NetStats::as_pairs`] names). Serve documents gain
+/// the same field as an empty object.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// The schema identifier stored in every report.
 pub const SCHEMA_NAME: &str = "qarith-bench-suite";

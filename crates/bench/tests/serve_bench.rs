@@ -70,6 +70,30 @@ fn checked_in_serve_baseline_is_valid_and_pinned() {
 }
 
 #[test]
+fn checked_in_wire_baseline_is_valid_and_pinned() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/SERVE_WIRE_tiny.json");
+    let text = std::fs::read_to_string(path).expect("wire baseline JSON is checked in");
+    let wire = ServeBenchReport::from_json(&text).expect("wire baseline parses");
+    assert_eq!(wire.schema_version, SCHEMA_VERSION);
+    assert_eq!(wire.kind, "wire");
+    assert_eq!(wire.scale, "tiny");
+    assert_eq!(wire.seed, 2020);
+    assert_eq!(wire.db_digest, "0x75dc0786674255e7");
+    assert_eq!(wire.clients, 4, "the CI net-smoke gate serves 4 concurrent wire clients");
+    // The wire carries exactly the bits the in-process service
+    // produces: both baselines pin the same certainty digest.
+    assert_eq!(wire.certainty_digest, baseline().certainty_digest);
+    // And its connection books are closed: one reply per request,
+    // nothing left open after the drain.
+    let net: std::collections::HashMap<&str, u64> =
+        wire.net.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    assert_eq!(net["frames_in"], net["frames_out"]);
+    assert_eq!(net["connections_active"], 0);
+    assert_eq!(net["connections_opened"], net["connections_closed"]);
+    assert_eq!(net["protocol_errors"], 0);
+}
+
+#[test]
 fn open_loop_mode_records_schedule_latency() {
     let config = ServeBenchConfig { mode: LoadMode::Open, rate: 2000.0, ..mini_config() };
     let report = run_serve_bench(&config);

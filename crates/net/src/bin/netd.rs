@@ -1,0 +1,113 @@
+//! `netd` — the standalone qarith wire daemon.
+//!
+//! Generates a sales workload database at a chosen scale, wraps it in
+//! a [`QueryService`], and serves the framed wire protocol (plus
+//! `GET /metrics`) until killed:
+//!
+//! ```text
+//! netd [--addr HOST:PORT] [--scale tiny|small|medium|paper] \
+//!      [--seed N] [--epsilon F] [--max-in-flight N]
+//! ```
+//!
+//! Defaults match `serve_bench`'s serving regime (seed 2020, ε 0.02,
+//! AFPRAS with the paper's `m = ⌈ε⁻²⌉` and the suite's sampling-seed
+//! derivation), so answers from a default `netd` are bit-comparable to
+//! the serve/wire benches at equal scale and seed. See the README's
+//! "Talk to it over the wire" quickstart for a netcat session.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use qarith_core::afpras::{AfprasOptions, SampleCount};
+use qarith_core::{BatchOptions, MeasureOptions, MethodChoice};
+use qarith_datagen::WorkloadScale;
+use qarith_net::{NetConfig, NetServer};
+use qarith_serve::{QueryService, ServeConfig};
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("netd: {problem}");
+    eprintln!(
+        "usage: netd [--addr HOST:PORT] [--scale tiny|small|medium|paper] \
+         [--seed N] [--epsilon F] [--max-in-flight N]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut scale = WorkloadScale::Tiny;
+    let mut seed = 2020u64;
+    let mut epsilon = 0.02f64;
+    let mut max_in_flight = 64usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next();
+        match flag.as_str() {
+            "--addr" => match value() {
+                Some(a) => addr = a,
+                None => return usage("--addr expects HOST:PORT"),
+            },
+            "--scale" => match value().as_deref().and_then(WorkloadScale::parse) {
+                Some(s) => scale = s,
+                None => return usage("--scale expects tiny|small|medium|paper"),
+            },
+            "--seed" => match value().and_then(|v| v.parse().ok()) {
+                Some(n) => seed = n,
+                None => return usage("--seed expects an integer"),
+            },
+            "--epsilon" => match value().and_then(|v| v.parse().ok()) {
+                Some(e) if (0.0..=1.0).contains(&e) && e > 0.0 => epsilon = e,
+                _ => return usage("--epsilon expects a float in (0, 1]"),
+            },
+            "--max-in-flight" => match value().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => max_in_flight = n,
+                _ => return usage("--max-in-flight expects a positive integer"),
+            },
+            other => return usage(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    eprintln!("netd: generating `{}` sales database (seed {seed})...", scale.name());
+    let db = qarith_datagen::sales::sales_database(&scale.params(), seed);
+
+    // The serving regime of `serve_bench` (crates/bench/src/serve.rs):
+    // forced AFPRAS, the paper's m = ⌈ε⁻²⌉, and the workload suite's
+    // sampling-seed derivation (seed ^ 0xF1616), so suite, serve, and
+    // wire runs at equal config sample identically.
+    let options = MeasureOptions {
+        method: MethodChoice::Afpras,
+        afpras: AfprasOptions {
+            epsilon,
+            samples: SampleCount::Paper,
+            seed: seed ^ 0xF1616,
+            ..AfprasOptions::default()
+        },
+        batch: BatchOptions { threads: 1, dedup: true },
+        ..MeasureOptions::default()
+    };
+    let service = Arc::new(QueryService::new(
+        db,
+        ServeConfig { options, max_in_flight, ..ServeConfig::default() },
+    ));
+
+    let config = NetConfig { addr, ..NetConfig::default() };
+    let server = match NetServer::start(service, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("netd: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", server.local_addr());
+    eprintln!(
+        "netd: serving scale={} seed={seed} epsilon={epsilon} on {} \
+         (framed protocol; `GET /metrics` for Prometheus text); ctrl-c to stop",
+        scale.name(),
+        server.local_addr()
+    );
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,494 @@
+//! The wire grammar: length-prefixed frames carrying line-oriented
+//! UTF-8 request and response payloads.
+//!
+//! # Framing
+//!
+//! Every message is one **frame**: a 4-byte big-endian payload length
+//! `N` followed by exactly `N` payload bytes. `N = 0` and
+//! `N >` [the configured cap](crate::NetConfig::max_frame_bytes) are
+//! framing errors: the server answers with a structured `err` frame
+//! and closes the connection, because a stream whose framing cannot be
+//! trusted cannot be resynchronized. Errors *inside* a well-framed
+//! payload (bad UTF-8, a malformed header, rejected SQL) are answered
+//! with an `err` frame and the connection stays usable — framing is
+//! the recovery boundary.
+//!
+//! One deliberate carve-out: a connection whose first four bytes are
+//! ASCII `GET ` is an HTTP/1.x-subset client (interpreted as a length
+//! prefix those bytes would demand a 1.2 GB frame, so the overlap is
+//! unambiguous under any sane cap); the server switches to the
+//! [`/metrics`](crate::metrics) path for that connection.
+//!
+//! # Request payload
+//!
+//! ```text
+//! qarith-query/1 [key=value]...\n
+//! <SQL text, until end of payload>
+//! ```
+//!
+//! Recognized options: `epsilon=<float>` — the client's expected
+//! additive error bound. The serving ε is fixed per service (it is
+//! part of the ν-cache fingerprint), so a mismatched `epsilon` is
+//! answered with `err kind=proto` naming the served value rather than
+//! silently serving different-precision answers. Unknown keys are
+//! `proto` errors too: a client asking for an option this server does
+//! not implement must hear "no", not get defaults. (The deadline knob
+//! of ROADMAP item 5 will land as a new key here.)
+//!
+//! # Response payload
+//!
+//! Success:
+//!
+//! ```text
+//! qarith-reply/1 ok answers=<n> kind=point plan_cached=<0|1>\n
+//! fp <template fingerprint>\n
+//! a nu=<decimal> bits=<16 hex> samples=<n> dim=<n> flags=<[c][r] or -> tuple=<display>\n   (× n)
+//! stats candidates=<n> groups=<n> measured=<n> dedup_hits=<n> cache_hits=<n>\n
+//! ```
+//!
+//! The fingerprint is normalized SQL text (it contains spaces), so it
+//! gets a whole line rather than a `key=value` slot in the header.
+//!
+//! `bits` is the IEEE-754 bit pattern of ν and is the authoritative
+//! value — the torture and bit-identity suites compare it against
+//! in-process execution; `nu` is the same number for human eyes.
+//! `flags` is provenance (`c` ν-cache/dedup hit, `r` rewritten), never
+//! identity. `kind=point` leaves room for the planned
+//! `kind=interval lo=… hi=…` form of the Console–Libkin–Peterfreund
+//! [certain, possible]-answer semantics (PAPERS.md) without a frame
+//! change.
+//!
+//! Error:
+//!
+//! ```text
+//! qarith-reply/1 err kind=<frame|proto|sql|measure|internal|shutdown>\n
+//! <human-readable message>
+//! ```
+//!
+//! The taxonomy: `frame` (framing violated; connection closes),
+//! `proto` (malformed request payload; connection survives),
+//! `sql`/`measure`/`internal` (the [`ServeError`] classes of
+//! [`qarith_serve::ServeError::kind`]; connection survives), and
+//! `shutdown` (the server is draining; connection closes).
+//!
+//! [`ServeError`]: qarith_serve::ServeError
+
+use qarith_serve::QueryResponse;
+
+/// Bytes of the frame length prefix.
+pub const HEADER_LEN: usize = 4;
+
+/// Magic leading the request header line.
+pub const REQUEST_MAGIC: &str = "qarith-query/1";
+
+/// Magic leading the response header line.
+pub const REPLY_MAGIC: &str = "qarith-reply/1";
+
+/// The four bytes that divert a connection to the HTTP `/metrics`
+/// handler when they arrive where a length prefix is expected.
+pub const HTTP_GET: [u8; 4] = *b"GET ";
+
+/// Machine-readable error classes of the `err` response (see the
+/// module docs for the taxonomy). Stable wire strings: renaming one is
+/// a protocol-breaking change.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Framing violated (zero or oversized length prefix); the
+    /// connection closes after this reply.
+    Frame,
+    /// Well-framed but malformed payload; the connection survives.
+    Proto,
+    /// The service rejected the SQL text.
+    Sql,
+    /// Candidate generation or measurement failed.
+    Measure,
+    /// A serving-layer fault the client cannot fix.
+    Internal,
+    /// The server is draining; the connection closes after this reply.
+    Shutdown,
+}
+
+impl ErrorKind {
+    /// The stable wire string.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::Frame => "frame",
+            ErrorKind::Proto => "proto",
+            ErrorKind::Sql => "sql",
+            ErrorKind::Measure => "measure",
+            ErrorKind::Internal => "internal",
+            ErrorKind::Shutdown => "shutdown",
+        }
+    }
+
+    /// Parses a wire string produced by [`ErrorKind::name`].
+    pub fn parse(s: &str) -> Option<ErrorKind> {
+        match s {
+            "frame" => Some(ErrorKind::Frame),
+            "proto" => Some(ErrorKind::Proto),
+            "sql" => Some(ErrorKind::Sql),
+            "measure" => Some(ErrorKind::Measure),
+            "internal" => Some(ErrorKind::Internal),
+            "shutdown" => Some(ErrorKind::Shutdown),
+            _ => None,
+        }
+    }
+
+    /// The [`qarith_serve::ServeError::kind`] classes, mapped onto the
+    /// wire taxonomy.
+    pub fn of_serve_kind(kind: &str) -> ErrorKind {
+        match kind {
+            "sql" => ErrorKind::Sql,
+            "measure" => ErrorKind::Measure,
+            _ => ErrorKind::Internal,
+        }
+    }
+}
+
+/// A parsed request payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// The client's expected ε, when the header carried `epsilon=`.
+    pub epsilon: Option<f64>,
+    /// The SQL text (everything after the header line).
+    pub sql: String,
+}
+
+/// Encodes a request payload (the client half; the server only
+/// decodes).
+pub fn encode_request(request: &Request) -> String {
+    let mut header = REQUEST_MAGIC.to_string();
+    if let Some(eps) = request.epsilon {
+        header.push_str(&format!(" epsilon={eps}"));
+    }
+    format!("{header}\n{}", request.sql)
+}
+
+/// Decodes a request payload. Every failure is a [`ErrorKind::Proto`]
+/// message (the framing was fine; only the payload is malformed).
+pub fn decode_request(payload: &[u8]) -> Result<Request, String> {
+    let text = std::str::from_utf8(payload).map_err(|e| format!("payload is not UTF-8: {e}"))?;
+    let (header, sql) = match text.split_once('\n') {
+        Some(split) => split,
+        None => (text, ""),
+    };
+    let mut words = header.split_ascii_whitespace();
+    if words.next() != Some(REQUEST_MAGIC) {
+        return Err(format!("request header must start with `{REQUEST_MAGIC}`"));
+    }
+    let mut epsilon = None;
+    for option in words {
+        let Some((key, value)) = option.split_once('=') else {
+            return Err(format!("malformed option `{option}` (expected key=value)"));
+        };
+        match key {
+            "epsilon" => match value.parse::<f64>() {
+                Ok(eps) if eps.is_finite() && eps > 0.0 => epsilon = Some(eps),
+                _ => return Err(format!("epsilon `{value}` is not a positive finite number")),
+            },
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if sql.trim().is_empty() {
+        return Err("empty SQL text".to_string());
+    }
+    Ok(Request { epsilon, sql: sql.to_string() })
+}
+
+/// One answer line of a success reply — the μ-relevant bits the
+/// bit-identity suites compare, plus provenance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireAnswer {
+    /// IEEE-754 bit pattern of ν (authoritative).
+    pub nu_bits: u64,
+    /// Monte-Carlo samples behind the estimate.
+    pub samples: u64,
+    /// Dimension of the sampled direction space.
+    pub dimension: u64,
+    /// Provenance: served by a cache/dedup instead of fresh sampling.
+    pub cached: bool,
+    /// Provenance: produced by the rewrite pipeline.
+    pub rewritten: bool,
+    /// Display form of the candidate tuple.
+    pub tuple: String,
+}
+
+/// A decoded success reply.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Reply {
+    /// Per-candidate answers, in candidate order.
+    pub answers: Vec<WireAnswer>,
+    /// The template fingerprint the request mapped to.
+    pub fingerprint: String,
+    /// Whether the template's plan came from the plan cache.
+    pub plan_cached: bool,
+    /// The `stats` snapshot line: `(candidates, groups, measured,
+    /// dedup_hits, cache_hits)` of this execution.
+    pub stats: (u64, u64, u64, u64, u64),
+}
+
+/// Encodes a success reply from a served [`QueryResponse`].
+pub fn encode_reply(response: &QueryResponse) -> String {
+    let mut out = format!(
+        "{REPLY_MAGIC} ok answers={} kind=point plan_cached={}\nfp {}\n",
+        response.answers.len(),
+        u8::from(response.plan_cached),
+        response.fingerprint,
+    );
+    for answer in &response.answers {
+        let c = &answer.certainty;
+        let mut flags = String::new();
+        if c.cached {
+            flags.push('c');
+        }
+        if c.rewritten {
+            flags.push('r');
+        }
+        if flags.is_empty() {
+            flags.push('-');
+        }
+        out.push_str(&format!(
+            "a nu={} bits={:016x} samples={} dim={} flags={flags} tuple={}\n",
+            c.value,
+            c.value.to_bits(),
+            c.samples,
+            c.dimension,
+            answer.tuple,
+        ));
+    }
+    let s = &response.stats;
+    out.push_str(&format!(
+        "stats candidates={} groups={} measured={} dedup_hits={} cache_hits={}\n",
+        s.candidates, s.groups, s.measured, s.dedup_hits, s.cache_hits,
+    ));
+    out
+}
+
+/// Encodes an error reply.
+pub fn encode_error(kind: ErrorKind, message: &str) -> String {
+    // Keep the payload line-parseable: the message is everything after
+    // the header line, newlines included.
+    format!("{REPLY_MAGIC} err kind={}\n{message}\n", kind.name())
+}
+
+/// A decoded reply: success or structured error.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Decoded {
+    /// `ok` reply.
+    Reply(Reply),
+    /// `err` reply.
+    Error {
+        /// The taxonomy class.
+        kind: ErrorKind,
+        /// The human-readable message.
+        message: String,
+    },
+}
+
+/// Decodes a reply payload (the client half; tests and `serve_bench
+/// --wire` drive it). Failures mean the *server* broke the grammar, so
+/// they are plain strings for the harness to surface.
+pub fn decode_reply(payload: &[u8]) -> Result<Decoded, String> {
+    let text = std::str::from_utf8(payload).map_err(|e| format!("reply is not UTF-8: {e}"))?;
+    let (header, body) = match text.split_once('\n') {
+        Some(split) => split,
+        None => (text, ""),
+    };
+    let mut words = header.split_ascii_whitespace();
+    if words.next() != Some(REPLY_MAGIC) {
+        return Err(format!("reply header must start with `{REPLY_MAGIC}`"));
+    }
+    match words.next() {
+        Some("ok") => {}
+        Some("err") => {
+            let kind = words
+                .next()
+                .and_then(|w| w.strip_prefix("kind="))
+                .and_then(ErrorKind::parse)
+                .ok_or("err reply without a recognized kind=")?;
+            return Ok(Decoded::Error { kind, message: body.trim_end().to_string() });
+        }
+        other => return Err(format!("reply status must be ok|err, got {other:?}")),
+    }
+    let mut expected_answers = None;
+    let mut plan_cached = None;
+    for option in words {
+        let Some((key, value)) = option.split_once('=') else {
+            return Err(format!("malformed reply option `{option}`"));
+        };
+        match key {
+            "answers" => expected_answers = value.parse::<u64>().ok(),
+            "kind" => {
+                if value != "point" {
+                    return Err(format!("unsupported answer kind `{value}`"));
+                }
+            }
+            "plan_cached" => plan_cached = Some(value == "1"),
+            other => return Err(format!("unknown reply option `{other}`")),
+        }
+    }
+    let expected = expected_answers.ok_or("ok reply without answers=")?;
+    let plan_cached = plan_cached.ok_or("ok reply without plan_cached=")?;
+
+    let mut fingerprint = None;
+    let mut answers = Vec::new();
+    let mut stats = None;
+    for line in body.lines() {
+        if let Some(rest) = line.strip_prefix("fp ") {
+            fingerprint = Some(rest.to_string());
+        } else if let Some(rest) = line.strip_prefix("a ") {
+            answers.push(decode_answer_line(rest)?);
+        } else if let Some(rest) = line.strip_prefix("stats ") {
+            stats = Some(decode_stats_line(rest)?);
+        } else if !line.trim().is_empty() {
+            return Err(format!("unrecognized reply line `{line}`"));
+        }
+    }
+    let fingerprint = fingerprint.ok_or("ok reply without an fp line")?;
+    if answers.len() as u64 != expected {
+        return Err(format!("reply declared {expected} answers but carried {}", answers.len()));
+    }
+    let stats = stats.ok_or("ok reply without a stats line")?;
+    Ok(Decoded::Reply(Reply { answers, fingerprint, plan_cached, stats }))
+}
+
+fn decode_answer_line(rest: &str) -> Result<WireAnswer, String> {
+    let mut nu_bits = None;
+    let mut samples = None;
+    let mut dimension = None;
+    let mut flags = None;
+    // `tuple=` is last and may contain spaces, so cut it off first.
+    let (fields, tuple) =
+        rest.split_once("tuple=").ok_or_else(|| format!("answer line without tuple=: `{rest}`"))?;
+    for field in fields.split_ascii_whitespace() {
+        let Some((key, value)) = field.split_once('=') else {
+            return Err(format!("malformed answer field `{field}`"));
+        };
+        match key {
+            "nu" => {} // display copy of `bits`; not authoritative
+            "bits" => nu_bits = u64::from_str_radix(value, 16).ok(),
+            "samples" => samples = value.parse().ok(),
+            "dim" => dimension = value.parse().ok(),
+            "flags" => flags = Some(value.to_string()),
+            other => return Err(format!("unknown answer field `{other}`")),
+        }
+    }
+    let flags = flags.ok_or("answer line without flags=")?;
+    Ok(WireAnswer {
+        nu_bits: nu_bits.ok_or("answer line without a parseable bits=")?,
+        samples: samples.ok_or("answer line without samples=")?,
+        dimension: dimension.ok_or("answer line without dim=")?,
+        cached: flags.contains('c'),
+        rewritten: flags.contains('r'),
+        tuple: tuple.to_string(),
+    })
+}
+
+fn decode_stats_line(rest: &str) -> Result<(u64, u64, u64, u64, u64), String> {
+    let get = |name: &str| -> Result<u64, String> {
+        rest.split_ascii_whitespace()
+            .find_map(|f| f.strip_prefix(name).and_then(|v| v.strip_prefix('=')))
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("stats line without {name}=: `{rest}`"))
+    };
+    Ok((
+        get("candidates")?,
+        get("groups")?,
+        get("measured")?,
+        get("dedup_hits")?,
+        get("cache_hits")?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let request =
+            Request { epsilon: Some(0.05), sql: "SELECT P.id FROM Products P\nLIMIT 3".into() };
+        let decoded = decode_request(encode_request(&request).as_bytes()).expect("round trip");
+        assert_eq!(decoded, request);
+        let bare = Request { epsilon: None, sql: "SELECT P.id FROM Products P".into() };
+        assert_eq!(decode_request(encode_request(&bare).as_bytes()).expect("bare"), bare);
+    }
+
+    #[test]
+    fn malformed_requests_are_proto_errors() {
+        assert!(decode_request(b"\xff\xfe").unwrap_err().contains("UTF-8"));
+        assert!(decode_request(b"not-the-magic\nSELECT 1").unwrap_err().contains("header"));
+        assert!(decode_request(b"qarith-query/1 epsilon=nope\nSELECT 1")
+            .unwrap_err()
+            .contains("epsilon"));
+        assert!(decode_request(b"qarith-query/1 deadline=5ms\nSELECT 1")
+            .unwrap_err()
+            .contains("unknown option"));
+        assert!(decode_request(b"qarith-query/1\n   ").unwrap_err().contains("empty SQL"));
+        assert!(decode_request(b"qarith-query/1 epsilon\nSELECT 1")
+            .unwrap_err()
+            .contains("key=value"));
+    }
+
+    #[test]
+    fn error_reply_round_trips() {
+        let encoded = encode_error(ErrorKind::Proto, "unknown option `deadline`");
+        match decode_reply(encoded.as_bytes()).expect("decodes") {
+            Decoded::Error { kind, message } => {
+                assert_eq!(kind, ErrorKind::Proto);
+                assert_eq!(message, "unknown option `deadline`");
+            }
+            other => panic!("expected an error reply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_kinds_round_trip() {
+        for kind in [
+            ErrorKind::Frame,
+            ErrorKind::Proto,
+            ErrorKind::Sql,
+            ErrorKind::Measure,
+            ErrorKind::Internal,
+            ErrorKind::Shutdown,
+        ] {
+            assert_eq!(ErrorKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(ErrorKind::parse("timeout"), None);
+        assert_eq!(ErrorKind::of_serve_kind("sql"), ErrorKind::Sql);
+        assert_eq!(ErrorKind::of_serve_kind("measure"), ErrorKind::Measure);
+        assert_eq!(ErrorKind::of_serve_kind("anything-else"), ErrorKind::Internal);
+    }
+
+    #[test]
+    fn reply_decoder_rejects_grammar_breaks() {
+        assert!(decode_reply(b"qarith-reply/1 ok answers=1\nno stats").is_err());
+        assert!(decode_reply(b"not-a-reply").is_err());
+        assert!(decode_reply(b"qarith-reply/1 maybe").is_err());
+        // Declared/actual answer-count mismatch.
+        let short = "qarith-reply/1 ok answers=2 plan_cached=0\n\
+                     fp select x from y\n\
+                     a nu=0.5 bits=3fe0000000000000 samples=100 dim=2 flags=- tuple=(1)\n\
+                     stats candidates=1 groups=1 measured=1 dedup_hits=0 cache_hits=0\n";
+        assert!(decode_reply(short.as_bytes()).unwrap_err().contains("declared 2"));
+    }
+
+    #[test]
+    fn answer_lines_carry_bits_flags_and_spacey_tuples() {
+        let line = "nu=0.5 bits=3fe0000000000000 samples=400 dim=3 flags=cr tuple=(1, hello world)";
+        let answer = decode_answer_line(line).expect("parses");
+        assert_eq!(answer.nu_bits, 0.5f64.to_bits());
+        assert_eq!((answer.samples, answer.dimension), (400, 3));
+        assert!(answer.cached && answer.rewritten);
+        assert_eq!(answer.tuple, "(1, hello world)");
+    }
+
+    #[test]
+    fn http_get_never_parses_as_a_sane_length() {
+        // `GET ` as a big-endian length prefix demands ~1.19 GB — any
+        // reasonable max_frame_bytes rejects it, so the HTTP carve-out
+        // can never shadow a legitimate frame.
+        assert_eq!(u32::from_be_bytes(HTTP_GET), 0x4745_5420);
+        assert!(u32::from_be_bytes(HTTP_GET) > 1 << 30);
+    }
+}

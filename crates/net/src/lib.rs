@@ -1,0 +1,61 @@
+//! # qarith-net — the wire-protocol front-end for the query service
+//!
+//! `qarith-serve` made the paper's engine a long-lived, concurrent,
+//! in-process service; this crate puts it on a socket. The claim under
+//! test is the same interactive-speed claim (Theorem 8.1 and §9) —
+//! adding the network must not change a single answer bit and must not
+//! weaken the serving layer's overload behavior. The layering:
+//! above `qarith-serve` (it drives [`QueryService`] and nothing
+//! deeper), below `qarith-bench` (whose `serve_bench --wire` mode
+//! load-tests it through real sockets).
+//!
+//! Std-only and hand-rolled, like the vendored crates: a
+//! thread-per-connection TCP listener speaking a minimal
+//! length-prefixed framed protocol ([`frame`] — 4-byte big-endian
+//! length, line-oriented UTF-8 payloads). The pieces:
+//!
+//! * [`NetServer`] ([`server`]) — the listener: tick-sliced blocking
+//!   I/O so every wait observes its deadline and the drain flags;
+//!   per-connection read/write/idle timeouts with distributed idle
+//!   reaping; graceful drain with a bounded force deadline.
+//! * **Backpressure** — admission stays the serving layer's job:
+//!   [`QueryService::query`] scopes its [`AdmissionGate`] permit to
+//!   query *execution*, so a reply wedged against a slow reader never
+//!   holds an admission slot (queue, don't shed — and don't let the
+//!   network starve the queue).
+//! * **`GET /metrics`** ([`metrics`]) — an HTTP/1.0-subset carve-out
+//!   on the same port exporting every `as_pairs` counter block in
+//!   Prometheus text format, including this crate's [`NetStats`].
+//! * [`NetClient`] ([`client`]) — the obviously-correct blocking
+//!   client the tests and the wire bench drive.
+//! * `netd` (`src/bin/netd.rs`) — a standalone daemon serving a
+//!   generated workload database, for netcat-level poking (see the
+//!   README quickstart).
+//!
+//! **Determinism.** The wire protocol transports answers; it never
+//! computes. The torture and bit-identity suites hold the server to
+//! that: answers through real sockets are bit-identical (ν bit
+//! patterns, sample counts, dimensions, candidate order) to in-process
+//! [`QueryService::query`] calls, under concurrency, adversarial
+//! framing, and drain.
+//!
+//! This crate's `server.rs`, `frame.rs`, and `metrics.rs` are part of
+//! analyze.toml's panic-linted request path, and its connection
+//! registry is the `NetConnRegistry` class of the declared lock
+//! hierarchy; `qarith-analyze --deny-all` gates both in CI.
+//!
+//! [`QueryService`]: qarith_serve::QueryService
+//! [`QueryService::query`]: qarith_serve::QueryService::query
+//! [`AdmissionGate`]: qarith_serve::AdmissionGate
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod metrics;
+pub mod server;
+
+pub use client::{scrape_metrics, NetClient};
+pub use frame::{Decoded, ErrorKind, Reply, Request, WireAnswer};
+pub use server::{DrainOutcome, NetConfig, NetServer, NetStats};

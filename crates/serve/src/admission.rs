@@ -24,6 +24,11 @@ pub struct AdmissionStats {
     pub admitted: u64,
     /// Requests that found the gate full and had to queue.
     pub queued: u64,
+    /// Permits held right now (gauge, ≤ `max_in_flight`). The wire
+    /// layer's lifecycle tests watch this: a connection blocked writing
+    /// a response must show `in_flight` back at 0, because permits are
+    /// scoped to query execution, never to response delivery.
+    pub in_flight: u64,
     /// The configured concurrency cap.
     pub max_in_flight: u64,
 }
@@ -33,10 +38,11 @@ impl AdmissionStats {
     /// order — the machine-readable export `serve_bench` serializes
     /// into `BENCH_*.json`. Names are part of the JSON schema: renaming
     /// one is a baseline-breaking change.
-    pub fn as_pairs(&self) -> [(&'static str, u64); 3] {
+    pub fn as_pairs(&self) -> [(&'static str, u64); 4] {
         [
             ("admitted", self.admitted),
             ("queued", self.queued),
+            ("in_flight", self.in_flight),
             ("max_in_flight", self.max_in_flight),
         ]
     }
@@ -92,11 +98,15 @@ impl AdmissionGate {
         AdmissionPermit { gate: self }
     }
 
-    /// Current counters.
+    /// Current counters. Reads the guarded slot count (recovering from
+    /// poison like `acquire` — the counter itself is never torn), so
+    /// the `in_flight` gauge is exact at the instant of the read.
     pub fn stats(&self) -> AdmissionStats {
+        let in_flight = *self.in_flight.lock().unwrap_or_else(PoisonError::into_inner) as u64;
         AdmissionStats {
             admitted: self.admitted.load(Ordering::Relaxed),
             queued: self.queued.load(Ordering::Relaxed),
+            in_flight,
             max_in_flight: self.max_in_flight as u64,
         }
     }
@@ -145,6 +155,7 @@ mod tests {
         let stats = gate.stats();
         assert_eq!(stats.admitted, 8, "nothing is shed");
         assert!(stats.queued > 0, "8 arrivals through a 2-wide gate must queue");
+        assert_eq!(stats.in_flight, 0, "all permits returned");
         assert_eq!(stats.max_in_flight, 2);
     }
 
@@ -163,8 +174,10 @@ mod tests {
             panic!("request died");
         }));
         assert!(result.is_err());
+        assert_eq!(gate.stats().in_flight, 0, "unwound permit released its slot");
         // The slot must be free again.
         let _permit = gate.acquire();
         assert_eq!(gate.stats().admitted, 2);
+        assert_eq!(gate.stats().in_flight, 1);
     }
 }

@@ -19,6 +19,23 @@ pub enum ServeError {
     LockPoisoned(&'static str),
 }
 
+impl ServeError {
+    /// Stable machine-readable error class, for transports that carry
+    /// errors across process boundaries (the wire protocol's
+    /// `err kind=<kind>` taxonomy in `qarith-net`): `"sql"` for
+    /// rejected query text, `"measure"` for candidate-generation or
+    /// measurement failures, `"internal"` for serving-layer faults the
+    /// client cannot fix (poisoned locks). Part of the wire contract —
+    /// renaming a kind is a protocol-breaking change.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::Sql(_) => "sql",
+            ServeError::Measure(_) => "measure",
+            ServeError::LockPoisoned(_) => "internal",
+        }
+    }
+}
+
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -144,6 +144,69 @@ pub struct QueryService {
     plan_hits: AtomicU64,
     plan_misses: AtomicU64,
     plan_evictions: AtomicU64,
+    totals: BatchTotals,
+}
+
+/// Running sums of every executed request's [`BatchStats`] (including
+/// the nested rewrite block), so a long-lived service can export
+/// batch-level accounting as monotone counters — the `/metrics`
+/// endpoint of `qarith-net` scrapes these. Relaxed atomics: each field
+/// is an independent monotone sum, never read transactionally.
+#[derive(Debug, Default)]
+struct BatchTotals {
+    candidates: AtomicU64,
+    certain: AtomicU64,
+    groups: AtomicU64,
+    measured: AtomicU64,
+    dedup_hits: AtomicU64,
+    cache_hits: AtomicU64,
+    rw_groups: AtomicU64,
+    rw_factored: AtomicU64,
+    rw_factors: AtomicU64,
+    rw_exact_factors: AtomicU64,
+    rw_dim_before: AtomicU64,
+    rw_dim_after: AtomicU64,
+}
+
+impl BatchTotals {
+    fn absorb(&self, stats: &BatchStats) {
+        let add = |counter: &AtomicU64, n: usize| {
+            counter.fetch_add(n as u64, Ordering::Relaxed);
+        };
+        add(&self.candidates, stats.candidates);
+        add(&self.certain, stats.certain);
+        add(&self.groups, stats.groups);
+        add(&self.measured, stats.measured);
+        add(&self.dedup_hits, stats.dedup_hits);
+        add(&self.cache_hits, stats.cache_hits);
+        add(&self.rw_groups, stats.rewrite.groups);
+        add(&self.rw_factored, stats.rewrite.factored);
+        add(&self.rw_factors, stats.rewrite.factors);
+        add(&self.rw_exact_factors, stats.rewrite.exact_factors);
+        add(&self.rw_dim_before, stats.rewrite.dim_before);
+        add(&self.rw_dim_after, stats.rewrite.dim_after);
+    }
+
+    fn snapshot(&self, threads: usize) -> BatchStats {
+        let get = |counter: &AtomicU64| counter.load(Ordering::Relaxed) as usize;
+        BatchStats {
+            candidates: get(&self.candidates),
+            certain: get(&self.certain),
+            groups: get(&self.groups),
+            measured: get(&self.measured),
+            dedup_hits: get(&self.dedup_hits),
+            cache_hits: get(&self.cache_hits),
+            threads,
+            rewrite: qarith_core::RewriteStats {
+                groups: get(&self.rw_groups),
+                factored: get(&self.rw_factored),
+                factors: get(&self.rw_factors),
+                exact_factors: get(&self.rw_exact_factors),
+                dim_before: get(&self.rw_dim_before),
+                dim_after: get(&self.rw_dim_after),
+            },
+        }
+    }
 }
 
 /// A cached plan — the fully prepared template (parse → lower →
@@ -179,6 +242,7 @@ impl QueryService {
             plan_hits: AtomicU64::new(0),
             plan_misses: AtomicU64::new(0),
             plan_evictions: AtomicU64::new(0),
+            totals: BatchTotals::default(),
         }
     }
 
@@ -189,6 +253,7 @@ impl QueryService {
         let fingerprint = qarith_sql::sql_fingerprint(sql)?;
         let (plan, plan_cached) = self.plan_for(sql, &fingerprint)?;
         let outcome = self.engine.execute_plan(&plan)?;
+        self.totals.absorb(&outcome.stats);
         Ok(QueryResponse {
             answers: outcome.answers,
             stats: outcome.stats,
@@ -281,6 +346,15 @@ impl QueryService {
     /// Counters of the bounded sharded ν-cache.
     pub fn cache_stats(&self) -> ShardedCacheStats {
         self.cache.stats()
+    }
+
+    /// Running sums of every executed request's [`BatchStats`]
+    /// (including the nested rewrite block) since creation, with
+    /// `threads` reporting the configured per-request fan-out. This is
+    /// the monotone-counter view a metrics scrape wants; per-request
+    /// accounting stays on [`QueryResponse::stats`].
+    pub fn batch_totals(&self) -> BatchStats {
+        self.totals.snapshot(self.engine.options().batch.threads)
     }
 
     /// Counters of the admission gate.

@@ -20,6 +20,7 @@
 //! | [`geometry`] | `qarith-geometry` | sampling, LP, hit-and-run, volume, union volumes |
 //! | [`core`] | `qarith-core` | the measure: AFPRAS (Thm 8.1), FPRAS (Thm 7.1), exact evaluators, pipeline |
 //! | [`serve`] | `qarith-serve` | concurrent query serving: prepared plans, sharded ν-cache, admission |
+//! | [`net`] | `qarith-net` | framed TCP wire protocol + `/metrics` over the service |
 //! | [`datagen`] | `qarith-datagen` | synthetic data, the §9 sales workload |
 //!
 //! See `examples/quickstart.rs` for a five-minute tour, and
@@ -35,6 +36,7 @@ pub use qarith_core as core;
 pub use qarith_datagen as datagen;
 pub use qarith_engine as engine;
 pub use qarith_geometry as geometry;
+pub use qarith_net as net;
 pub use qarith_numeric as numeric;
 pub use qarith_query as query;
 pub use qarith_rewrite as rewrite;
@@ -134,6 +136,7 @@ pub mod prelude {
     };
     pub use qarith_datagen::{QueryFamily, Workload, WorkloadQuery, WorkloadScale, WorkloadSpec};
     pub use qarith_engine::cq::CqOptions;
+    pub use qarith_net::{NetClient, NetConfig, NetServer, NetStats};
     pub use qarith_numeric::Rational;
     pub use qarith_query::{Arg, BaseTerm, CompareOp, Formula, NumTerm, Query, TypedVar};
     pub use qarith_rewrite::Rewriter;

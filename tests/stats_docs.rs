@@ -51,6 +51,7 @@ fn documented_counter_table_matches_as_pairs_exactly() {
         ("ShardedCacheStats".to_string(), names(&ShardedCacheStats::default().as_pairs())),
         ("ServiceStats".to_string(), names(&ServiceStats::default().as_pairs())),
         ("AdmissionStats".to_string(), names(&AdmissionStats::default().as_pairs())),
+        ("NetStats".to_string(), names(&NetStats::default().as_pairs())),
     ]
     .into_iter()
     .collect();
@@ -87,6 +88,6 @@ fn every_block_has_a_meaning_column() {
         assert!(!cells[3].is_empty() && !cells[4].is_empty(), "empty cells in: {line}");
         rows += 1;
     }
-    // 7 + 6 + 3 + 6 + 5 + 3 counters across the six blocks.
-    assert_eq!(rows, 30, "expected one row per exported counter");
+    // 7 + 6 + 3 + 6 + 5 + 4 + 7 counters across the seven blocks.
+    assert_eq!(rows, 38, "expected one row per exported counter");
 }
