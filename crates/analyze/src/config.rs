@@ -60,6 +60,11 @@ pub struct Config {
     /// Function names that must never be called while holding any
     /// hierarchy guard (service re-entry points).
     pub no_reentry: Vec<String>,
+    /// Method names that read timing back out of the tracer
+    /// (`latency_stats`, `quantile`, …). Calling one inside a
+    /// bit-pinned file (outside `clock_allowed`) is a `trace-flow`
+    /// finding: observability data must never feed measurement inputs.
+    pub trace_read_back: Vec<String>,
 }
 
 impl Config {
@@ -129,7 +134,7 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
         }
         if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
             match name.trim() {
-                "determinism" | "panic" | "lock" => section = name.trim().to_string(),
+                "determinism" | "panic" | "lock" | "trace" => section = name.trim().to_string(),
                 other => return Err(err(format!("unknown section `[{other}]`"))),
             }
             continue;
@@ -188,6 +193,7 @@ fn assign(config: &mut Config, section: &str, key: &str, value: Value) -> Result
         ("determinism", "clock_allowed") => config.clock_allowed = arr(value)?,
         ("panic", "request_path") => config.request_path = arr(value)?,
         ("lock", "no_reentry") => config.no_reentry = arr(value)?,
+        ("trace", "read_back") => config.trace_read_back = arr(value)?,
         ("lock.class", "name") => {
             let class = config.classes.last_mut().ok_or("no open [[lock.class]]")?;
             class.name = string(value)?;
@@ -307,6 +313,9 @@ request_path = ["crates/serve/src/service.rs"]
 [lock]
 no_reentry = ["query", "execute_plan"]
 
+[trace]
+read_back = ["latency_stats", "quantile"]
+
 [[lock.class]]
 name = "AdmissionGate"
 acquire = ["in_flight.lock"]
@@ -327,6 +336,7 @@ class = "AdmissionGate"
         assert_eq!(config.clock_allowed, ["crates/core/src/report.rs"]);
         assert_eq!(config.request_path, ["crates/serve/src/service.rs"]);
         assert_eq!(config.no_reentry, ["query", "execute_plan"]);
+        assert_eq!(config.trace_read_back, ["latency_stats", "quantile"]);
         assert_eq!(config.classes.len(), 2);
         assert_eq!(config.classes[1].acquire, ["plans.read", "plans.write"]);
         assert_eq!(config.condvars[0].class, "AdmissionGate");

@@ -18,7 +18,10 @@
 //!   foreign guard across a condvar wait, never re-enter the service
 //!   under a lock;
 //! * **panic safety** ([`lints::panics`]) — no `unwrap`/`expect`/
-//!   `panic!`/indexing in the serve request path.
+//!   `panic!`/indexing in the serve request path;
+//! * **trace flow** ([`lints::trace`]) — bit-pinned modules must not
+//!   read timing back out of the tracer; observability data never
+//!   flows into measurement inputs.
 //!
 //! Policy (which paths are bit-pinned, the lock hierarchy, the request
 //! path) lives in the checked-in [`analyze.toml`](crate::config);
@@ -83,6 +86,9 @@ pub fn analyze_source(rel_path: &str, source: &str, config: &Config) -> Vec<Find
     if in_scope(rel_path, &config.bit_pinned) {
         let clock_allowed = in_scope(rel_path, &config.clock_allowed);
         lints::determinism::check(rel_path, &tokens, clock_allowed, &mut findings);
+        if !clock_allowed {
+            lints::trace::check(rel_path, &tokens, config, &mut findings);
+        }
     }
     if in_scope(rel_path, &config.request_path) {
         lints::panics::check(rel_path, &tokens, &mut findings);
@@ -227,6 +233,33 @@ acquire = ["a.lock"]
         let out = analyze_source("crates/sql/src/lib.rs", src, &config);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].lint, "pragma");
+    }
+
+    #[test]
+    fn trace_read_back_is_flagged_only_outside_clock_allowed() {
+        let config = config::parse(
+            r#"
+[determinism]
+bit_pinned = ["crates/core/src", "crates/trace/src"]
+clock_allowed = ["crates/trace/src"]
+
+[trace]
+read_back = ["latency_stats"]
+
+[[lock.class]]
+name = "A"
+acquire = ["a.lock"]
+"#,
+        )
+        .unwrap();
+        let src = "fn f(&self) { let s = self.tracer.latency_stats(); }";
+        let pinned = analyze_source("crates/core/src/pipeline.rs", src, &config);
+        assert_eq!(pinned.len(), 1, "{pinned:?}");
+        assert_eq!(pinned[0].lint, "trace-flow");
+        // The tracer's own (clock_allowed) sources read themselves back
+        // by definition; out-of-scope crates are free to observe.
+        assert!(analyze_source("crates/trace/src/span.rs", src, &config).is_empty());
+        assert!(analyze_source("crates/serve/src/service.rs", src, &config).is_empty());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The lint passes.
 //!
-//! Three families, one per headline guarantee of the workspace:
+//! Four families, one per headline guarantee of the workspace:
 //!
 //! * [`determinism`] — bit-pinned modules must not iterate hash
 //!   collections into output or keys, and must not read ambient
@@ -9,7 +9,10 @@
 //!   hierarchy in `analyze.toml`, never hold a foreign guard across a
 //!   condvar wait, and never re-enter the service under a lock;
 //! * [`panics`] — the serve request path must not contain panicking
-//!   constructs without a reviewed pragma.
+//!   constructs without a reviewed pragma;
+//! * [`trace`] — bit-pinned modules may write spans into the tracer
+//!   but must never read timing back out of it, so observability stays
+//!   observational.
 //!
 //! Every pass is *lexical*: it scans the token stream with receiver
 //! chains and balanced delimiters, not a typed AST. The approximations
@@ -20,3 +23,4 @@
 pub mod determinism;
 pub mod locks;
 pub mod panics;
+pub mod trace;

@@ -1,0 +1,103 @@
+//! The trace-flow lint: observability must stay observational.
+//!
+//! The `qarith-trace` crate records per-stage wall-clock durations from
+//! inside bit-pinned code. That is safe exactly as long as the data
+//! flows one way: pinned code may *write* spans into a `StageSink`, but
+//! must never *read* timing back out of the tracer — a measurement that
+//! branches on its own latency is nondeterministic in precisely the way
+//! the bit-pinning contract forbids, while compiling, sampling, and
+//! caching identically whether or not anyone is watching.
+//!
+//! The write half is policed by the existing `nondet-source` lint
+//! (every `Instant::now` at an instrumentation site carries a reviewed
+//! pragma saying where the value flows). This pass is the read half:
+//! inside a bit-pinned file that is not `clock_allowed`, any *method
+//! call* whose name appears in the configured `[trace] read_back` list
+//! (`latency_stats`, `stage_nanos`, `quantile`, `slow_queries`, …) is
+//! a **`trace-flow`** finding.
+//!
+//! Lexical, like every pass here: the lint matches method names, not
+//! types, so an unrelated method that happens to share a configured
+//! name needs a pragma — acceptable, because the read-back surface is
+//! small and deliberately distinctive. Free functions are not matched
+//! (only `.name(…)` receiver calls); the trace getters are all
+//! methods, and this keeps locally-defined helpers out of scope.
+
+use crate::config::Config;
+use crate::findings::Finding;
+use crate::lexer::{Tok, Token};
+use crate::scan::is_call;
+
+/// Runs the trace-flow lint over one bit-pinned (non-`clock_allowed`)
+/// file.
+pub fn check(file: &str, tokens: &[Token], config: &Config, out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        let Tok::Ident(word) = &t.tok else { continue };
+        if config.trace_read_back.iter().any(|m| m == word)
+            && is_call(tokens, i)
+            && i > 0
+            && tokens[i - 1].tok == Tok::Punct('.')
+        {
+            out.push(Finding {
+                lint: "trace-flow",
+                file: file.to_string(),
+                line: t.line,
+                message: format!(
+                    "`.{word}(…)` reads timing back out of the tracer inside a bit-pinned \
+                     module; trace data is observational and must never flow into \
+                     measurement inputs (pragma only with a reviewed reason why this \
+                     read-back cannot reach pinned state)"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config;
+    use crate::lexer::lex;
+    use crate::scan::strip_tests;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let cfg = config::parse(
+            "[trace]\nread_back = [\"latency_stats\", \"quantile\", \"stage_nanos\"]\n\
+             [[lock.class]]\nname = \"A\"\nacquire = [\"a.lock\"]\n",
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        check("f.rs", &strip_tests(&lex(src).tokens), &cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn read_back_method_calls_are_flagged() {
+        let src = "fn f(&self) { let s = self.tracer.latency_stats(); \
+                   let q = snap.quantile(0.95); }";
+        let found = run(src);
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert!(found.iter().all(|f| f.lint == "trace-flow"), "{found:?}");
+    }
+
+    #[test]
+    fn writes_and_free_functions_are_not_flagged() {
+        // The write half (record_stage) and a free function that
+        // happens to share a configured name are both out of scope.
+        let src = "fn f(sink: &mut dyn StageSink) { \
+                   sink.record_stage(Stage::Measure, observed_nanos(b)); \
+                   let n = stage_nanos(begun); }";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn unconfigured_methods_pass() {
+        assert!(run("fn f() { x.snapshot(); y.summaries(); }").is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n#[test]\nfn t() { tracer.latency_stats(); }\n}";
+        assert!(run(src).is_empty());
+    }
+}

@@ -26,9 +26,10 @@ fn corpus_config() -> Config {
 }
 
 /// Every seeded-bad fixture with the single lint it must trigger.
-const SEEDED_BAD: [(&str, &str); 8] = [
+const SEEDED_BAD: [(&str, &str); 9] = [
     ("pinned/hash_iteration.rs", "hash-iteration"),
     ("pinned/nondet_source.rs", "nondet-source"),
+    ("pinned/trace_flow.rs", "trace-flow"),
     ("request/panic_unwrap.rs", "panic-unwrap"),
     ("request/panic_expect.rs", "panic-expect"),
     ("request/panic_macro.rs", "panic-macro"),

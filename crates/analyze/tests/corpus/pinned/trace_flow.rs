@@ -1,0 +1,12 @@
+// Seeded-bad fixture: a bit-pinned module reading timing back out of
+// the tracer. Writing spans is fine; branching on the observed latency
+// (here: sizing a batch from a quantile) lets wall-clock time leak into
+// measurement inputs, which breaks the bit-pinning contract.
+
+fn batch_size(&self) -> usize {
+    let snap = self.tracer.latency_stats();
+    if snap.stage(Stage::Measure).count() > 0 {
+        return self.base;
+    }
+    self.base * 2
+}

@@ -1,0 +1,214 @@
+//! `metrics_smoke` — the CI gate for the observability surface.
+//!
+//! Drives a real `netd` process end to end:
+//!
+//! 1. spawns `netd` on an ephemeral loopback port (path from
+//!    `--netd`, default `target/release/netd`);
+//! 2. issues a few framed queries so the tracer has observations;
+//! 3. opens **one** TCP connection and scrapes `GET /metrics` twice
+//!    over HTTP/1.1 keep-alive — both scrapes must validate against
+//!    [`qarith_bench::promcheck`] (cumulative buckets, `+Inf` ==
+//!    `_count`, TYPE/HELP preambles) and export at least 6
+//!    `qarith_stage_*` histogram families;
+//! 4. fetches `GET /slow` and checks the JSON array carries the
+//!    request ids and per-stage breakdowns of the framed queries;
+//! 5. writes `quit` to netd's stdin and requires a clean drain: exit
+//!    status 0 and the final per-stage latency summary on stderr.
+//!
+//! Any violation prints the failure list and exits non-zero.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, ExitCode, Stdio};
+use std::time::Duration;
+
+use qarith_bench::promcheck;
+use qarith_net::NetClient;
+
+fn fail(child: &mut Child, msg: &str) -> ExitCode {
+    let _ = child.kill();
+    let _ = child.wait();
+    eprintln!("metrics_smoke: FAIL: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut netd_path = "target/release/netd".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--netd" => match args.next() {
+                Some(p) => netd_path = p,
+                None => {
+                    eprintln!("metrics_smoke: --netd expects a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("metrics_smoke: unknown flag `{other}` (only --netd PATH)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut child = match Command::new(&netd_path)
+        .args(["--addr", "127.0.0.1:0", "--scale", "tiny", "--slow-threshold-ms", "0", "--quiet"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+    {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("metrics_smoke: cannot spawn `{netd_path}`: {e} (pass --netd PATH)");
+            return ExitCode::FAILURE;
+        }
+    };
+    // netd prints the bound address as its first stdout line once the
+    // database is generated and the listener is up.
+    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut addr = String::new();
+    if stdout.read_line(&mut addr).is_err() || addr.trim().is_empty() {
+        return fail(&mut child, "netd never printed its bound address");
+    }
+    let addr = addr.trim().to_string();
+    println!("metrics_smoke: netd serving on {addr}");
+
+    // A few framed queries so the tracer, the slow log (threshold
+    // 0 ms... well, 0 disables; see below), and the counters are warm.
+    let queries = [
+        "SELECT P.id FROM Products P",
+        "SELECT P.id FROM Products P WHERE P.rrp >= 80 AND P.dis >= 0.9 LIMIT 25",
+        "SELECT P.id FROM Products P",
+    ];
+    let mut client = match NetClient::connect(addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => return fail(&mut child, &format!("framed connect failed: {e}")),
+    };
+    for q in queries {
+        match client.query(q) {
+            Ok(qarith_net::Decoded::Reply(reply)) => {
+                if reply.request_id.is_none() {
+                    return fail(&mut child, &format!("reply to `{q}` carried no rid="));
+                }
+            }
+            Ok(other) => return fail(&mut child, &format!("`{q}` answered {other:?}")),
+            Err(e) => return fail(&mut child, &format!("`{q}` failed on the wire: {e}")),
+        }
+    }
+    drop(client);
+
+    // Two scrapes over ONE keep-alive connection.
+    let mut http = match TcpStream::connect(&addr) {
+        Ok(s) => s,
+        Err(e) => return fail(&mut child, &format!("http connect failed: {e}")),
+    };
+    http.set_read_timeout(Some(Duration::from_secs(10))).expect("read timeout");
+    for scrape in 1..=2 {
+        let body = match http_get(&mut http, "/metrics") {
+            Ok(b) => b,
+            Err(e) => return fail(&mut child, &format!("keep-alive scrape {scrape} failed: {e}")),
+        };
+        let report = promcheck::validate(&body);
+        if !report.failures.is_empty() {
+            for f in &report.failures {
+                eprintln!("metrics_smoke: scrape {scrape}: {f}");
+            }
+            return fail(&mut child, &format!("scrape {scrape} violates the exposition format"));
+        }
+        if report.stage_families < 6 {
+            return fail(
+                &mut child,
+                &format!(
+                    "scrape {scrape} exports only {} qarith_stage_* histogram families (< 6)",
+                    report.stage_families
+                ),
+            );
+        }
+        println!(
+            "metrics_smoke: scrape {scrape} ok — {} scalar families, {} histograms \
+             ({} per-stage)",
+            report.scalar_families, report.histogram_families, report.stage_families
+        );
+    }
+
+    // The slow log over the same connection (still keep-alive): with a
+    // 0 ms threshold the ring is disabled, so this asserts the shape —
+    // a JSON array — not contents; the torture tests cover population.
+    let slow = match http_get(&mut http, "/slow") {
+        Ok(b) => b,
+        Err(e) => return fail(&mut child, &format!("GET /slow failed: {e}")),
+    };
+    let slow = slow.trim();
+    if !(slow.starts_with('[') && slow.ends_with(']')) {
+        return fail(&mut child, &format!("GET /slow is not a JSON array: {slow:?}"));
+    }
+    println!("metrics_smoke: GET /slow ok ({} bytes)", slow.len());
+    drop(http);
+
+    // Graceful drain through stdin; the daemon must exit 0 and print
+    // its final per-stage summary.
+    let mut stdin = child.stdin.take().expect("piped stdin");
+    if stdin.write_all(b"quit\n").is_err() {
+        return fail(&mut child, "cannot write `quit` to netd stdin");
+    }
+    drop(stdin);
+    let output = {
+        let mut stderr = child.stderr.take().expect("piped stderr");
+        let status = match child.wait() {
+            Ok(s) => s,
+            Err(e) => return fail(&mut child, &format!("waiting for netd: {e}")),
+        };
+        let mut err = String::new();
+        let _ = stderr.read_to_string(&mut err);
+        (status, err)
+    };
+    if !output.0.success() {
+        eprintln!("{}", output.1);
+        eprintln!("metrics_smoke: FAIL: netd exited {:?} after `quit`", output.0.code());
+        return ExitCode::FAILURE;
+    }
+    if !output.1.contains("per-stage latency") {
+        eprintln!("{}", output.1);
+        eprintln!("metrics_smoke: FAIL: drain summary missing the per-stage latency table");
+        return ExitCode::FAILURE;
+    }
+    println!("metrics_smoke: netd drained cleanly with a per-stage summary");
+    println!("metrics_smoke: PASS");
+    ExitCode::SUCCESS
+}
+
+/// One HTTP/1.1 GET on an already-open keep-alive connection, body
+/// framed by Content-Length (the server always sends it).
+fn http_get(stream: &mut TcpStream, path: &str) -> Result<String, String> {
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: qarith\r\n\r\n").as_bytes())
+        .map_err(|e| format!("write: {e}"))?;
+    let mut header = Vec::new();
+    let mut byte = [0u8; 1];
+    while !header.ends_with(b"\r\n\r\n") {
+        match stream.read(&mut byte) {
+            Ok(1) => header.push(byte[0]),
+            Ok(_) => return Err("connection closed mid-header".to_string()),
+            Err(e) => return Err(format!("read: {e}")),
+        }
+        if header.len() > 64 << 10 {
+            return Err("unreasonable response header".to_string());
+        }
+    }
+    let header = String::from_utf8_lossy(&header);
+    let status = header.lines().next().unwrap_or("");
+    if !status.contains("200") {
+        return Err(format!("non-200 status line `{status}`"));
+    }
+    let length: usize = header
+        .lines()
+        .find_map(|l| {
+            let (key, value) = l.split_once(':')?;
+            key.eq_ignore_ascii_case("content-length").then(|| value.trim().parse().ok())?
+        })
+        .ok_or("response without Content-Length")?;
+    let mut body = vec![0u8; length];
+    stream.read_exact(&mut body).map_err(|e| format!("body read: {e}"))?;
+    String::from_utf8(body).map_err(|e| format!("body is not UTF-8: {e}"))
+}

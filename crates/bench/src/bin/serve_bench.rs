@@ -1,8 +1,9 @@
 //! Load generator for the `qarith-serve` query service: replays the
 //! workload-suite queries from M client threads through one shared
-//! [`QueryService`], closed- or open-loop, and emits the schema-v3
+//! [`QueryService`], closed- or open-loop, and emits the schema-v4
 //! `"serve"` `BENCH_*.json` document with p50/p95/p99 latency,
-//! throughput, and the plan/shard/admission counter blocks — optionally
+//! throughput, the per-stage latency summaries from the service
+//! tracer, and the plan/shard/admission counter blocks — optionally
 //! gated against a checked-in baseline (the CI `serve-smoke` step).
 //!
 //! With `--wire` the same load runs through real loopback sockets and
@@ -255,6 +256,19 @@ fn print_summary(report: &ServeBenchReport) {
         counter(&report.admission, "admitted"),
         counter(&report.admission, "queued"),
     );
+    if !report.stages.is_empty() {
+        println!("per-stage latency (count, p50/p95/p99 as tracer bucket bounds):");
+        for s in &report.stages {
+            println!(
+                "  {:<14} n={:<6} p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms",
+                s.stage,
+                s.count,
+                s.p50 * 1e3,
+                s.p95 * 1e3,
+                s.p99 * 1e3,
+            );
+        }
+    }
     if report.kind == "wire" {
         println!(
             "net: {} connections ({} opened / {} closed), {} frames in / {} out, \

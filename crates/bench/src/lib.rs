@@ -35,6 +35,7 @@ use qarith_engine::cq::{self, CandidateAnswer};
 use qarith_types::Database;
 
 pub mod json;
+pub mod promcheck;
 pub mod serve;
 pub mod suite;
 pub mod wire;

@@ -1,0 +1,327 @@
+//! A small Prometheus text-format (version 0.0.4) validator for the
+//! `GET /metrics` exposition — the checked-in arbiter behind the CI
+//! `metrics-smoke` step and the `metrics_smoke` binary.
+//!
+//! This is not a full parser of the exposition format; it checks the
+//! invariants a scrape of *this* workspace must satisfy:
+//!
+//! * every sample line parses as `name[{labels}] value` with a
+//!   `qarith_`-prefixed name and a finite numeric value;
+//! * every sample's family has `# HELP` and `# TYPE` preambles, and
+//!   the declared type is one of `counter`/`gauge`/`histogram`;
+//! * every `histogram` family is complete and internally consistent:
+//!   its `_bucket` cumulative counts are non-decreasing in `le` order,
+//!   the last bucket is `le="+Inf"`, and `_count` equals that `+Inf`
+//!   cumulative count exactly (the tracer derives the count from the
+//!   buckets, so even a scrape racing recording must satisfy this);
+//! * `counter` and `gauge` samples carry non-negative integer values.
+//!
+//! [`validate`] returns every violation found (empty ⇒ the text is a
+//! valid qarith exposition), plus summary counts the caller can assert
+//! coverage on (e.g. "≥ 6 per-stage histogram families").
+
+/// What [`validate`] found in one exposition body.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PromReport {
+    /// Every invariant violation, human-readable. Empty ⇒ valid.
+    pub failures: Vec<String>,
+    /// Families declared `# TYPE ... counter` or `gauge` that carried
+    /// at least one sample.
+    pub scalar_families: usize,
+    /// Families declared `# TYPE ... histogram` that carried at least
+    /// one `_bucket` sample.
+    pub histogram_families: usize,
+    /// Histogram families whose name starts with `qarith_stage_` —
+    /// the per-stage latency families the tracer exports.
+    pub stage_families: usize,
+}
+
+/// One parsed sample line: family name (label set stripped, histogram
+/// suffix kept), optional `le` label, value text.
+struct Sample<'a> {
+    name: &'a str,
+    le: Option<&'a str>,
+    value: &'a str,
+    line: &'a str,
+}
+
+fn parse_sample(line: &str) -> Result<Sample<'_>, String> {
+    let Some((name_labels, value)) = line.rsplit_once(' ') else {
+        return Err(format!("sample line without a value: `{line}`"));
+    };
+    let (name, le) = match name_labels.split_once('{') {
+        Some((name, rest)) => {
+            let labels = rest
+                .strip_suffix('}')
+                .ok_or_else(|| format!("unterminated label set: `{line}`"))?;
+            let mut le = None;
+            for label in labels.split(',').filter(|l| !l.is_empty()) {
+                let (key, val) = label
+                    .split_once('=')
+                    .ok_or_else(|| format!("malformed label `{label}` in `{line}`"))?;
+                let val = val
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| format!("unquoted label value in `{line}`"))?;
+                if key == "le" {
+                    le = Some(val);
+                }
+            }
+            (name, le)
+        }
+        None => (name_labels, None),
+    };
+    Ok(Sample { name, le, value, line })
+}
+
+/// Validates one `/metrics` body. See the module docs for the
+/// invariant list.
+pub fn validate(text: &str) -> PromReport {
+    let mut report = PromReport::default();
+    let mut types: Vec<(String, String)> = Vec::new();
+    let mut helps: Vec<String> = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut words = rest.split_ascii_whitespace();
+            match (words.next(), words.next()) {
+                (Some(name), Some(kind)) => {
+                    if !matches!(kind, "counter" | "gauge" | "histogram") {
+                        report.failures.push(format!("unknown TYPE `{kind}` for {name}"));
+                    }
+                    types.push((name.to_string(), kind.to_string()));
+                }
+                _ => report.failures.push(format!("malformed TYPE line: `{line}`")),
+            }
+        } else if let Some(rest) = line.strip_prefix("# HELP ") {
+            if let Some(name) = rest.split_ascii_whitespace().next() {
+                helps.push(name.to_string());
+            }
+        }
+    }
+    let type_of = |name: &str| types.iter().find(|(n, _)| n == name).map(|(_, k)| k.as_str());
+
+    // Group samples by family: a histogram family `f` owns `f_bucket`,
+    // `f_sum`, and `f_count`; scalars own their own name.
+    let samples: Vec<Sample<'_>> = text
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+        .filter_map(|l| match parse_sample(l) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                report.failures.push(e);
+                None
+            }
+        })
+        .collect();
+
+    let mut seen_scalar: Vec<&str> = Vec::new();
+    let mut seen_histogram: Vec<&str> = Vec::new();
+    for sample in &samples {
+        if !sample.name.starts_with("qarith_") {
+            report.failures.push(format!("unprefixed metric `{}`", sample.name));
+        }
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suffix| {
+                let stem = sample.name.strip_suffix(suffix)?;
+                // `_count`/`_sum` are histogram samples only when the
+                // stem is a declared histogram (a plain counter named
+                // `..._count` stays a scalar).
+                (type_of(stem) == Some("histogram")).then_some(stem)
+            })
+            .unwrap_or(sample.name);
+        let declared = type_of(family);
+        if declared.is_none() {
+            report.failures.push(format!("sample without a TYPE preamble: `{}`", sample.line));
+            continue;
+        }
+        if !helps.iter().any(|h| h == family) {
+            report.failures.push(format!("family `{family}` has no HELP line"));
+        }
+        match declared {
+            Some("histogram") => {
+                if !seen_histogram.contains(&family) {
+                    seen_histogram.push(family);
+                }
+            }
+            _ => {
+                if sample.value.parse::<u64>().is_err() {
+                    report.failures.push(format!(
+                        "non-integer {} sample: `{}`",
+                        declared.unwrap_or("scalar"),
+                        sample.line
+                    ));
+                }
+                if !seen_scalar.contains(&sample.name) {
+                    seen_scalar.push(sample.name);
+                }
+            }
+        }
+    }
+
+    for family in &seen_histogram {
+        check_histogram(family, &samples, &mut report.failures);
+    }
+    report.scalar_families = seen_scalar.len();
+    report.histogram_families = seen_histogram.len();
+    report.stage_families =
+        seen_histogram.iter().filter(|f| f.starts_with("qarith_stage_")).count();
+    report
+}
+
+/// The histogram invariants: buckets cumulative and ordered, `+Inf`
+/// last, `_count == +Inf`, `_sum` present and finite.
+fn check_histogram(family: &str, samples: &[Sample<'_>], failures: &mut Vec<String>) {
+    let bucket_name = format!("{family}_bucket");
+    let buckets: Vec<&Sample<'_>> = samples.iter().filter(|s| s.name == bucket_name).collect();
+    if buckets.is_empty() {
+        failures.push(format!("histogram `{family}` has no _bucket samples"));
+        return;
+    }
+
+    let mut prev_le = f64::NEG_INFINITY;
+    let mut prev_count = 0u64;
+    let mut inf_count = None;
+    for bucket in &buckets {
+        let Some(le) = bucket.le else {
+            failures.push(format!("bucket without an le label: `{}`", bucket.line));
+            continue;
+        };
+        let Ok(count) = bucket.value.parse::<u64>() else {
+            failures.push(format!("non-integer bucket count: `{}`", bucket.line));
+            continue;
+        };
+        let le_value =
+            if le == "+Inf" { f64::INFINITY } else { le.parse::<f64>().unwrap_or(f64::NAN) };
+        // NaN (an unparseable bound) must fail too, so compare via
+        // partial_cmp rather than `le_value > prev_le`.
+        if le_value.partial_cmp(&prev_le) != Some(std::cmp::Ordering::Greater) {
+            failures.push(format!(
+                "bucket bounds not strictly increasing at `{}` (previous {prev_le})",
+                bucket.line
+            ));
+        }
+        if count < prev_count {
+            failures.push(format!(
+                "cumulative bucket count decreased at `{}` (previous {prev_count})",
+                bucket.line
+            ));
+        }
+        if le == "+Inf" {
+            inf_count = Some(count);
+        }
+        prev_le = le_value;
+        prev_count = count;
+    }
+    let last_is_inf = buckets.last().and_then(|b| b.le) == Some("+Inf");
+    if !last_is_inf {
+        failures.push(format!("histogram `{family}` does not end with an le=\"+Inf\" bucket"));
+    }
+
+    let scalar = |suffix: &str| -> Option<&str> {
+        let name = format!("{family}{suffix}");
+        samples.iter().find(|s| s.name == name).map(|s| s.value)
+    };
+    match scalar("_count").map(str::parse::<u64>) {
+        Some(Ok(count)) => {
+            if inf_count.is_some() && inf_count != Some(count) {
+                failures.push(format!(
+                    "`{family}_count` is {count} but the +Inf bucket holds {}",
+                    inf_count.unwrap_or(0)
+                ));
+            }
+        }
+        Some(Err(_)) => failures.push(format!("`{family}_count` is not an integer")),
+        None => failures.push(format!("histogram `{family}` has no _count sample")),
+    }
+    match scalar("_sum").map(str::parse::<f64>) {
+        Some(Ok(sum)) if sum.is_finite() && sum >= 0.0 => {}
+        Some(_) => failures.push(format!("`{family}_sum` is not a finite non-negative number")),
+        None => failures.push(format!("histogram `{family}` has no _sum sample")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "\
+# HELP qarith_net_frames_in qarith wire layer: `frames_in`.
+# TYPE qarith_net_frames_in counter
+qarith_net_frames_in 12
+# HELP qarith_admission_in_flight qarith admission gate: `in_flight`.
+# TYPE qarith_admission_in_flight gauge
+qarith_admission_in_flight 0
+# HELP qarith_stage_total_seconds qarith per-request stage latency: end-to-end.
+# TYPE qarith_stage_total_seconds histogram
+qarith_stage_total_seconds_bucket{le=\"0.000001\"} 0
+qarith_stage_total_seconds_bucket{le=\"0.000002\"} 3
+qarith_stage_total_seconds_bucket{le=\"+Inf\"} 5
+qarith_stage_total_seconds_sum 0.0123
+qarith_stage_total_seconds_count 5
+";
+
+    #[test]
+    fn a_valid_exposition_passes_and_is_counted() {
+        let report = validate(GOOD);
+        assert_eq!(report.failures, Vec::<String>::new());
+        assert_eq!(report.scalar_families, 2);
+        assert_eq!(report.histogram_families, 1);
+        assert_eq!(report.stage_families, 1);
+    }
+
+    #[test]
+    fn count_must_equal_the_inf_bucket() {
+        let bad = GOOD
+            .replace("qarith_stage_total_seconds_count 5", "qarith_stage_total_seconds_count 4");
+        let report = validate(&bad);
+        assert!(
+            report.failures.iter().any(|f| f.contains("_count` is 4")),
+            "{:?}",
+            report.failures
+        );
+    }
+
+    #[test]
+    fn decreasing_cumulative_buckets_fail() {
+        let bad = GOOD.replace("le=\"+Inf\"} 5", "le=\"+Inf\"} 2");
+        let report = validate(&bad);
+        assert!(report.failures.iter().any(|f| f.contains("decreased")), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn missing_inf_bucket_sum_type_and_help_fail() {
+        let no_inf = GOOD.replace("qarith_stage_total_seconds_bucket{le=\"+Inf\"} 5\n", "");
+        assert!(validate(&no_inf).failures.iter().any(|f| f.contains("+Inf")));
+        let no_sum = GOOD.replace("qarith_stage_total_seconds_sum 0.0123\n", "");
+        assert!(validate(&no_sum).failures.iter().any(|f| f.contains("no _sum")));
+        let no_type = GOOD.replace("# TYPE qarith_net_frames_in counter\n", "");
+        assert!(validate(&no_type).failures.iter().any(|f| f.contains("TYPE preamble")));
+        let no_help =
+            GOOD.replace("# HELP qarith_net_frames_in qarith wire layer: `frames_in`.\n", "");
+        assert!(validate(&no_help).failures.iter().any(|f| f.contains("no HELP")));
+    }
+
+    #[test]
+    fn scalar_samples_must_be_integers() {
+        let bad = GOOD.replace("qarith_net_frames_in 12", "qarith_net_frames_in 12.5");
+        assert!(validate(&bad).failures.iter().any(|f| f.contains("non-integer counter")));
+    }
+
+    #[test]
+    fn the_live_exposition_validates() {
+        // The real render, straight from a served query — the same
+        // body the CI metrics-smoke step scrapes over a socket.
+        let db = qarith_datagen::sales::sales_database(
+            &qarith_datagen::WorkloadScale::Tiny.params(),
+            2020,
+        );
+        let service = qarith_serve::QueryService::new(db, qarith_serve::ServeConfig::default());
+        service.query("SELECT P.id FROM Products P").expect("query serves");
+        let text = qarith_net::metrics::render(&service, &Default::default());
+        let report = validate(&text);
+        assert_eq!(report.failures, Vec::<String>::new());
+        assert!(report.stage_families >= 6, "only {} stage families", report.stage_families);
+        assert_eq!(report.histogram_families, 10);
+    }
+}

@@ -24,7 +24,7 @@
 //!    ever adds latency — the same min-of-reps estimator the workload
 //!    suite uses for wall times).
 //!
-//! The result serializes into the schema-v3 `BENCH_*.json` document
+//! The result serializes into the schema-v4 `BENCH_*.json` document
 //! kind `"serve"` ([`ServeBenchReport::to_json`]);
 //! [`check_serve_baseline`] is the CI gate — certainty drift fails
 //! hard, p95 latency may regress at most the tolerance.
@@ -164,7 +164,7 @@ impl LatencySummary {
     }
 }
 
-/// A full serving-load run: the schema-v3 `"serve"` document, or —
+/// A full serving-load run: the schema-v4 `"serve"` document, or —
 /// when produced by [`crate::wire::run_wire_bench`] — the `"wire"`
 /// document measured through real sockets.
 #[derive(Clone, Debug, PartialEq)]
@@ -218,9 +218,50 @@ pub struct ServeBenchReport {
     /// Wire-listener counters ([`qarith_net::NetStats::as_pairs`]
     /// names). Empty for in-process (`"serve"`) runs.
     pub net: Vec<(String, u64)>,
+    /// Per-stage latency summaries from the service tracer, covering
+    /// the run's full lifetime (reference pass + every repetition).
+    /// Stages with zero observations are omitted. Informational — the
+    /// gate does not compare them.
+    pub stages: Vec<StageLatency>,
     /// FNV-1a digest over every reference-pass certainty bit, hex —
     /// the quantity the CI gate pins.
     pub certainty_digest: String,
+}
+
+/// One stage row of the schema-v4 `stages` block: observation count
+/// and p50/p95/p99 in seconds. The quantiles are bucket upper bounds
+/// from the tracer's ~2× log-bucketed histograms, so they over-report
+/// by at most one octave.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StageLatency {
+    /// Stage wire name (`qarith_trace::Stage::name`).
+    pub stage: String,
+    /// Observation count.
+    pub count: u64,
+    /// Median estimate, seconds.
+    pub p50: f64,
+    /// 95th-percentile estimate, seconds.
+    pub p95: f64,
+    /// 99th-percentile estimate, seconds.
+    pub p99: f64,
+}
+
+/// The tracer's per-stage summaries as report rows, dropping stages
+/// that never fired (e.g. the wire stages of an in-process run).
+pub(crate) fn stage_latencies(service: &QueryService) -> Vec<StageLatency> {
+    service
+        .latency_stats()
+        .summaries()
+        .into_iter()
+        .filter(|s| s.count > 0)
+        .map(|s| StageLatency {
+            stage: s.stage.name().to_string(),
+            count: s.count,
+            p50: s.p50_nanos as f64 / 1e9,
+            p95: s.p95_nanos as f64 / 1e9,
+            p99: s.p99_nanos as f64 / 1e9,
+        })
+        .collect()
 }
 
 /// Paper-style engine options for serving: forced AFPRAS, the §8
@@ -343,6 +384,7 @@ pub fn run_serve_bench(config: &ServeBenchConfig) -> ServeBenchReport {
         admission: pairs(&service.admission_stats().as_pairs()),
         cache: pairs(&service.cache_stats().as_pairs()),
         net: Vec::new(),
+        stages: stage_latencies(&service),
         certainty_digest: format!("{:#018x}", digest.finish()),
     }
 }
@@ -509,6 +551,25 @@ impl ServeBenchReport {
             ("admission", counters_to_json(&self.admission)),
             ("cache", counters_to_json(&self.cache)),
             ("net", counters_to_json(&self.net)),
+            (
+                "stages",
+                Json::Obj(
+                    self.stages
+                        .iter()
+                        .map(|s| {
+                            (
+                                s.stage.clone(),
+                                Json::obj([
+                                    ("count", Json::num_u64(s.count)),
+                                    ("p50", Json::Num(s.p50)),
+                                    ("p95", Json::Num(s.p95)),
+                                    ("p99", Json::Num(s.p99)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
             ("certainty_digest", Json::str(&self.certainty_digest)),
         ])
         .pretty()
@@ -568,6 +629,23 @@ impl ServeBenchReport {
             cache: counters_from_json(doc.get("cache").ok_or("missing `cache`")?, "cache")?,
             net: match doc.get("net") {
                 Some(v) => counters_from_json(v, "net")?,
+                None => Vec::new(),
+            },
+            // v3 documents predate the stages block.
+            stages: match doc.get("stages") {
+                Some(Json::Obj(rows)) => rows
+                    .iter()
+                    .map(|(stage, v)| {
+                        Ok(StageLatency {
+                            stage: stage.clone(),
+                            count: req_u64(v, "count")?,
+                            p50: req_f64(v, "p50")?,
+                            p95: req_f64(v, "p95")?,
+                            p99: req_f64(v, "p99")?,
+                        })
+                    })
+                    .collect::<Result<Vec<StageLatency>, String>>()?,
+                Some(_) => return Err("stages: expected an object".to_string()),
                 None => Vec::new(),
             },
             certainty_digest: req_str(&doc, "certainty_digest")?,
@@ -685,6 +763,13 @@ mod tests {
             admission: vec![("admitted".into(), 130)],
             cache: vec![("hits".into(), 100), ("evictions".into(), 0)],
             net: vec![],
+            stages: vec![StageLatency {
+                stage: "total".into(),
+                count: 130,
+                p50: 0.001024,
+                p95: 0.004096,
+                p99: 0.008192,
+            }],
             certainty_digest: "0x0123456789abcdef".into(),
         }
     }

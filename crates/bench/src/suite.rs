@@ -56,7 +56,13 @@ use crate::{secs, BatchPoint, Fig1Harness};
 /// serve-report shape and additionally carry a `net` counter block
 /// ([`qarith_net::NetStats::as_pairs`] names). Serve documents gain
 /// the same field as an empty object.
-pub const SCHEMA_VERSION: u64 = 3;
+///
+/// **v4** (PR 8): serve/wire documents carry a `stages` block — the
+/// per-stage latency summaries (count, p50/p95/p99 in seconds, bucket
+/// upper bounds from the `qarith-trace` histograms) of the run's full
+/// lifetime, keyed by stage wire name. Informational, not gated: the
+/// gated quantities stay the certainty digest and end-to-end p95.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// The schema identifier stored in every report.
 pub const SCHEMA_NAME: &str = "qarith-bench-suite";

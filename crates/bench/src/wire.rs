@@ -36,8 +36,8 @@ use qarith_net::{Decoded, NetClient, NetConfig, NetServer};
 use qarith_serve::{QueryService, ServeConfig, ShardedCacheConfig};
 
 use crate::serve::{
-    pairs, response_bits, serving_options, LatencySummary, LoadMode, ServeBenchConfig,
-    ServeBenchReport,
+    pairs, response_bits, serving_options, stage_latencies, LatencySummary, LoadMode,
+    ServeBenchConfig, ServeBenchReport,
 };
 use crate::suite::SCHEMA_VERSION;
 
@@ -150,6 +150,7 @@ pub fn run_wire_bench(config: &ServeBenchConfig) -> ServeBenchReport {
         admission: pairs(&service.admission_stats().as_pairs()),
         cache: pairs(&service.cache_stats().as_pairs()),
         net: pairs(&net.as_pairs()),
+        stages: stage_latencies(service),
         certainty_digest: format!("{:#018x}", digest.finish()),
     }
 }
@@ -266,6 +267,17 @@ mod tests {
         assert_eq!(net["protocol_errors"], 0);
         assert_eq!(net["connections_active"], 0);
         assert_eq!(net["connections_opened"], net["connections_closed"]);
+
+        // The stages block saw every framed request cross the wire
+        // stages, plus the reference pass on the in-process route.
+        let stage = |name: &str| {
+            wire.stages.iter().find(|s| s.stage == name).unwrap_or_else(|| {
+                panic!("wire report without a `{name}` stage: {:?}", wire.stages)
+            })
+        };
+        assert_eq!(stage("frame_decode").count, wire.requests);
+        assert_eq!(stage("frame_encode").count, wire.requests);
+        assert!(stage("total").count >= wire.requests, "reference pass also counts");
 
         let back = ServeBenchReport::from_json(&wire.to_json()).expect("parse own output");
         assert_eq!(back, wire);

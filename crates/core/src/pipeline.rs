@@ -25,6 +25,7 @@ use qarith_engine::{ground, naive, ActiveDomain};
 use qarith_numeric::Rational;
 use qarith_query::Query;
 use qarith_rewrite::{ae_simplify, RewriteOptions, RewriteOutcome, Rewriter};
+use qarith_trace::{Stage, StageSink};
 use qarith_types::{Database, Sort, Tuple, Value};
 
 use crate::afpras::{afpras_estimate, AfprasOptions, SampleCount};
@@ -567,7 +568,7 @@ impl CertaintyEngine {
         candidates: Vec<CandidateAnswer>,
     ) -> Result<BatchOutcome, MeasureError> {
         let plan = self.prepare_batch(candidates);
-        let (results, stats) = self.run_plan(&plan);
+        let (results, stats) = self.run_plan(&plan, None);
         // Single-shot: the plan is discarded, so the candidates move out
         // of it instead of being cloned.
         let BatchPlan { candidates, slots, .. } = plan;
@@ -581,6 +582,30 @@ impl CertaintyEngine {
     /// [`BatchPlan`] contains no measurements — execute it with
     /// [`CertaintyEngine::execute_plan`], as often as needed.
     pub fn prepare_batch(&self, candidates: Vec<CandidateAnswer>) -> BatchPlan {
+        self.prepare_batch_traced(candidates, None)
+    }
+
+    /// [`CertaintyEngine::prepare_batch`] with an optional stage sink:
+    /// when `sink` is given, the elapsed preparation time is recorded
+    /// under [`Stage::Prepare`]. Timing is **observational only** — the
+    /// duration flows into the sink and nowhere else, so the returned
+    /// plan is bit-identical with or without a sink (the sink is not
+    /// consulted, only written).
+    pub fn prepare_batch_traced(
+        &self,
+        candidates: Vec<CandidateAnswer>,
+        sink: Option<&mut (dyn StageSink + '_)>,
+    ) -> BatchPlan {
+        // analyze: allow(nondet-source, reason = "observational span timing: the instant flows only into the StageSink, never into plan or measurement state; read-back from pinned code is barred by the trace-flow lint")
+        let begun = sink.is_some().then(std::time::Instant::now);
+        let plan = self.prepare_batch_inner(candidates);
+        if let (Some(sink), Some(begun)) = (sink, begun) {
+            sink.record_stage(Stage::Prepare, observed_nanos(begun));
+        }
+        plan
+    }
+
+    fn prepare_batch_inner(&self, candidates: Vec<CandidateAnswer>) -> BatchPlan {
         // Groups: the work to measure (the structural canonical form
         // when dedup is on — bit-identical to the member formulas — or
         // the original formula verbatim when dedup is off; with
@@ -649,17 +674,42 @@ impl CertaintyEngine {
     /// [`CertaintyEngine::measure_batch`]). Cache state only shifts
     /// work between lookup and recomputation.
     pub fn execute_plan(&self, plan: &BatchPlan) -> Result<BatchOutcome, MeasureError> {
-        let (results, stats) = self.run_plan(plan);
-        rehydrate(plan.candidates.iter().cloned(), &plan.slots, results, stats)
+        self.execute_plan_traced(plan, None)
+    }
+
+    /// [`CertaintyEngine::execute_plan`] with an optional stage sink:
+    /// when `sink` is given, the ν-cache consultation, the measurement
+    /// fan-out, and the rehydration pass record their durations under
+    /// [`Stage::NuLookup`], [`Stage::Measure`], and
+    /// [`Stage::Rehydrate`]. Timing is **observational only**: the
+    /// sink is written, never read, so estimates stay bit-identical to
+    /// the untraced call (the determinism contract of
+    /// [`CertaintyEngine::execute_plan`] is unchanged).
+    pub fn execute_plan_traced(
+        &self,
+        plan: &BatchPlan,
+        mut sink: Option<&mut (dyn StageSink + '_)>,
+    ) -> Result<BatchOutcome, MeasureError> {
+        let (results, stats) = self.run_plan(plan, sink.as_deref_mut());
+        // analyze: allow(nondet-source, reason = "observational span timing: the instant flows only into the StageSink, never into the rehydrated answers; read-back from pinned code is barred by the trace-flow lint")
+        let begun = sink.is_some().then(std::time::Instant::now);
+        let outcome = rehydrate(plan.candidates.iter().cloned(), &plan.slots, results, stats);
+        if let (Some(sink), Some(begun)) = (sink, begun) {
+            sink.record_stage(Stage::Rehydrate, observed_nanos(begun));
+        }
+        outcome
     }
 
     /// Shared back half: cache lookups, fan-out measurement of the
     /// misses, trace aggregation, cache publication. Returns per-group
-    /// results (in plan group order) plus the filled-in stats.
+    /// results (in plan group order) plus the filled-in stats. The
+    /// optional sink receives the ν-lookup and measurement durations;
+    /// it is write-only (see [`CertaintyEngine::execute_plan_traced`]).
     #[allow(clippy::type_complexity)]
     fn run_plan(
         &self,
         plan: &BatchPlan,
+        mut sink: Option<&mut (dyn StageSink + '_)>,
     ) -> (Vec<Option<Result<CertaintyEstimate, MeasureError>>>, BatchStats) {
         let fingerprint = self.options.fingerprint();
         let mut stats = BatchStats {
@@ -674,6 +724,8 @@ impl CertaintyEngine {
         // Consult the cache per group, against *current* cache state
         // (plans outlive batches; a key missed on one execution can hit
         // on the next).
+        // analyze: allow(nondet-source, reason = "observational span timing: the instant flows only into the StageSink, never into cache decisions or estimates; read-back from pinned code is barred by the trace-flow lint")
+        let lookup_begun = sink.is_some().then(std::time::Instant::now);
         let mut results: Vec<Option<Result<CertaintyEstimate, MeasureError>>> =
             Vec::with_capacity(plan.groups.len());
         for (_, key) in &plan.groups {
@@ -689,6 +741,11 @@ impl CertaintyEngine {
                 results.push(None);
             }
         }
+        if let (Some(sink), Some(begun)) = (sink.as_deref_mut(), lookup_begun) {
+            sink.record_stage(Stage::NuLookup, observed_nanos(begun));
+        }
+        // analyze: allow(nondet-source, reason = "observational span timing: the instant flows only into the StageSink, never into worker scheduling or estimates; read-back from pinned code is barred by the trace-flow lint")
+        let measure_begun = sink.is_some().then(std::time::Instant::now);
 
         // Fan the not-yet-known groups out across scoped workers. The
         // configured width is additionally capped at the machine's
@@ -761,6 +818,9 @@ impl CertaintyEngine {
                 }
             }
         }
+        if let (Some(sink), Some(begun)) = (sink, measure_begun) {
+            sink.record_stage(Stage::Measure, observed_nanos(begun));
+        }
         (results, stats)
     }
 
@@ -821,6 +881,12 @@ impl CertaintyEngine {
     pub fn naive_answers(&self, query: &Query, db: &Database) -> Result<Vec<Tuple>, MeasureError> {
         Ok(naive::evaluate(query, db)?)
     }
+}
+
+/// Saturating nanoseconds since a span start, for [`StageSink`]
+/// recording (observational only; see the pragma'd call sites).
+fn observed_nanos(begun: std::time::Instant) -> u64 {
+    u64::try_from(begun.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Rehydrates per-candidate answers in input order from per-group

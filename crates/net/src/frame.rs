@@ -40,7 +40,7 @@
 //! Success:
 //!
 //! ```text
-//! qarith-reply/1 ok answers=<n> kind=point plan_cached=<0|1>\n
+//! qarith-reply/1 ok answers=<n> kind=point plan_cached=<0|1> rid=<epoch-hex>-<seq>\n
 //! fp <template fingerprint>\n
 //! a nu=<decimal> bits=<16 hex> samples=<n> dim=<n> flags=<[c][r] or -> tuple=<display>\n   (× n)
 //! stats candidates=<n> groups=<n> measured=<n> dedup_hits=<n> cache_hits=<n>\n
@@ -48,6 +48,10 @@
 //!
 //! The fingerprint is normalized SQL text (it contains spaces), so it
 //! gets a whole line rather than a `key=value` slot in the header.
+//! `rid=` is the server-minted [`qarith_trace::RequestId`] of this
+//! request — quote it when reporting a slow query so the operator can
+//! find the matching [`/slow`](crate::metrics) record. The decoder
+//! tolerates its absence (pre-tracing servers never sent it).
 //!
 //! `bits` is the IEEE-754 bit pattern of ν and is the authoritative
 //! value — the torture and bit-identity suites compare it against
@@ -225,14 +229,18 @@ pub struct Reply {
     /// The `stats` snapshot line: `(candidates, groups, measured,
     /// dedup_hits, cache_hits)` of this execution.
     pub stats: (u64, u64, u64, u64, u64),
+    /// The server-minted request id (`rid=`), absent when talking to a
+    /// pre-tracing server.
+    pub request_id: Option<qarith_trace::RequestId>,
 }
 
 /// Encodes a success reply from a served [`QueryResponse`].
 pub fn encode_reply(response: &QueryResponse) -> String {
     let mut out = format!(
-        "{REPLY_MAGIC} ok answers={} kind=point plan_cached={}\nfp {}\n",
+        "{REPLY_MAGIC} ok answers={} kind=point plan_cached={} rid={}\nfp {}\n",
         response.answers.len(),
         u8::from(response.plan_cached),
+        response.request_id,
         response.fingerprint,
     );
     for answer in &response.answers {
@@ -312,6 +320,7 @@ pub fn decode_reply(payload: &[u8]) -> Result<Decoded, String> {
     }
     let mut expected_answers = None;
     let mut plan_cached = None;
+    let mut request_id = None;
     for option in words {
         let Some((key, value)) = option.split_once('=') else {
             return Err(format!("malformed reply option `{option}`"));
@@ -324,6 +333,12 @@ pub fn decode_reply(payload: &[u8]) -> Result<Decoded, String> {
                 }
             }
             "plan_cached" => plan_cached = Some(value == "1"),
+            "rid" => {
+                request_id = Some(
+                    qarith_trace::RequestId::parse(value)
+                        .ok_or_else(|| format!("malformed rid `{value}`"))?,
+                );
+            }
             other => return Err(format!("unknown reply option `{other}`")),
         }
     }
@@ -349,7 +364,7 @@ pub fn decode_reply(payload: &[u8]) -> Result<Decoded, String> {
         return Err(format!("reply declared {expected} answers but carried {}", answers.len()));
     }
     let stats = stats.ok_or("ok reply without a stats line")?;
-    Ok(Decoded::Reply(Reply { answers, fingerprint, plan_cached, stats }))
+    Ok(Decoded::Reply(Reply { answers, fingerprint, plan_cached, stats, request_id }))
 }
 
 fn decode_answer_line(rest: &str) -> Result<WireAnswer, String> {
@@ -481,6 +496,29 @@ mod tests {
         assert_eq!((answer.samples, answer.dimension), (400, 3));
         assert!(answer.cached && answer.rewritten);
         assert_eq!(answer.tuple, "(1, hello world)");
+    }
+
+    #[test]
+    fn reply_rid_is_parsed_when_present_and_tolerated_when_absent() {
+        let with = "qarith-reply/1 ok answers=0 plan_cached=1 rid=68959c1f-42\n\
+                    fp select x from y\n\
+                    stats candidates=0 groups=0 measured=0 dedup_hits=0 cache_hits=0\n";
+        match decode_reply(with.as_bytes()).expect("decodes") {
+            Decoded::Reply(reply) => {
+                let rid = reply.request_id.expect("rid present");
+                assert_eq!(rid.to_string(), "68959c1f-42");
+            }
+            other => panic!("expected ok reply, got {other:?}"),
+        }
+        // A pre-tracing server never sends rid=; the decoder shrugs.
+        let without = with.replace(" rid=68959c1f-42", "");
+        match decode_reply(without.as_bytes()).expect("decodes") {
+            Decoded::Reply(reply) => assert_eq!(reply.request_id, None),
+            other => panic!("expected ok reply, got {other:?}"),
+        }
+        // A malformed rid is a grammar break, not a silent None.
+        let broken = with.replace("rid=68959c1f-42", "rid=what");
+        assert!(decode_reply(broken.as_bytes()).unwrap_err().contains("malformed rid"));
     }
 
     #[test]

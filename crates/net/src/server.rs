@@ -555,7 +555,15 @@ fn serve_connection(shared: &Shared, stream: &mut TcpStream) {
         }
         shared.frames_in.fetch_add(1, Ordering::Relaxed);
 
-        let reply = respond(shared, &payload);
+        // One trace per frame: decode and encode time lands in the
+        // same per-request record as the service stages, and the
+        // minted request id rides back on the reply (`rid=`). The
+        // trace closes before the reply write — socket time is the
+        // peer's speed, not this request's cost (see the module docs
+        // on backpressure).
+        let mut trace = shared.service.begin_trace();
+        let (reply, fingerprint) = respond(shared, &payload, &mut trace);
+        shared.service.finish_trace(&trace, &fingerprint, "wire");
         if write_frame(shared, stream, &reply).is_err() {
             return;
         }
@@ -566,16 +574,26 @@ fn serve_connection(shared: &Shared, stream: &mut TcpStream) {
     }
 }
 
-/// Executes one well-framed request payload and renders the reply.
-/// Always returns a payload — every failure mode maps to the `err`
-/// taxonomy, and only framing-level failures (handled by the caller)
-/// close the connection.
-fn respond(shared: &Shared, payload: &[u8]) -> String {
-    let request = match frame::decode_request(payload) {
+/// Executes one well-framed request payload and renders the reply,
+/// recording frame decode/encode and every service stage into `trace`.
+/// Always returns `(payload, fingerprint)` — every failure mode maps
+/// to the `err` taxonomy (with an empty fingerprint), and only
+/// framing-level failures (handled by the caller) close the
+/// connection.
+fn respond(
+    shared: &Shared,
+    payload: &[u8],
+    trace: &mut qarith_trace::RequestTrace,
+) -> (String, String) {
+    let decoded = {
+        let _span = trace.span(qarith_trace::Stage::FrameDecode);
+        frame::decode_request(payload)
+    };
+    let request = match decoded {
         Ok(request) => request,
         Err(msg) => {
             shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
-            return frame::encode_error(frame::ErrorKind::Proto, &msg);
+            return (frame::encode_error(frame::ErrorKind::Proto, &msg), String::new());
         }
     };
     if let Some(eps) = request.epsilon {
@@ -587,40 +605,130 @@ fn respond(shared: &Shared, payload: &[u8]) -> String {
             let msg = format!(
                 "this service serves epsilon={served}; re-issue with that value or omit epsilon="
             );
-            return frame::encode_error(frame::ErrorKind::Proto, &msg);
+            return (frame::encode_error(frame::ErrorKind::Proto, &msg), String::new());
         }
     }
-    match shared.service.query(&request.sql) {
-        Ok(response) => frame::encode_reply(&response),
+    match shared.service.query_with_trace(&request.sql, trace) {
+        Ok(response) => {
+            let _span = trace.span(qarith_trace::Stage::FrameEncode);
+            let fingerprint = response.fingerprint.clone();
+            (frame::encode_reply(&response), fingerprint)
+        }
         Err(e) => {
             let kind = frame::ErrorKind::of_serve_kind(e.kind());
-            frame::encode_error(kind, &e.to_string())
+            (frame::encode_error(kind, &e.to_string()), String::new())
         }
     }
 }
 
-/// The `GET /metrics` carve-out: an HTTP/1.0-subset exchange on a
-/// connection whose first four bytes were `GET `. One request, one
-/// response, close — scrapers reconnect per scrape.
+/// The HTTP carve-out: a connection whose first four bytes were
+/// `GET ` stays in HTTP mode for its lifetime, serving `/metrics`
+/// (Prometheus text) and `/slow` (the slow-query log as JSON) with
+/// **HTTP/1.1 keep-alive**: responses carry `Content-Length`, and the
+/// loop reads the next request off the same socket, so a Prometheus
+/// scraper pays connection setup once, not per scrape. A connection
+/// closes after the response when the client is HTTP/1.0 (without
+/// `Connection: keep-alive`), asked for `Connection: close`, or the
+/// server is draining; between requests the idle clock runs, exactly
+/// as on framed connections.
 fn serve_http(shared: &Shared, stream: &mut TcpStream, first: &[u8; frame::HEADER_LEN]) {
-    const MAX_HTTP_REQUEST: usize = 8 << 10;
-    let deadline = Instant::now() + shared.config.read_timeout;
-    let mut request: Vec<u8> = first.to_vec();
-    // Read until the blank line ending the header block; nothing after
-    // it matters (GET carries no body).
-    while !request.windows(4).any(|w| w == b"\r\n\r\n") && !request.ends_with(b"\n\n") {
-        if request.len() >= MAX_HTTP_REQUEST {
-            shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    let mut carry: Vec<u8> = first.to_vec();
+    loop {
+        let Some((request, leftover)) =
+            read_http_request(shared, stream, std::mem::take(&mut carry))
+        else {
+            return;
+        };
+        carry = leftover;
+        let text = String::from_utf8_lossy(&request);
+        let mut lines = text.lines();
+        let mut words = lines.next().unwrap_or("").split_ascii_whitespace();
+        let _method = words.next();
+        let path = words.next().unwrap_or("");
+        // Echo the client's HTTP minor version; anything unrecognized
+        // is answered (and closed) as HTTP/1.0.
+        let version = if words.next() == Some("HTTP/1.1") { "HTTP/1.1" } else { "HTTP/1.0" };
+        let connection_header = lines
+            .filter_map(|l| l.split_once(':'))
+            .find(|(name, _)| name.trim().eq_ignore_ascii_case("connection"))
+            .map(|(_, value)| value.trim().to_ascii_lowercase());
+        let keep = !shared.draining.load(Ordering::Acquire)
+            && match connection_header.as_deref() {
+                Some("close") => false,
+                Some("keep-alive") => true,
+                _ => version == "HTTP/1.1",
+            };
+        let (status, content_type, body) = route_http(shared, path);
+        let response = http_response(version, status, content_type, &body, keep);
+        if write_all_ticking(shared, stream, response.as_bytes()).is_err() || !keep {
             return;
         }
+    }
+}
+
+/// Resolves one HTTP path to `(status, content type, body)`.
+fn route_http(shared: &Shared, path: &str) -> (&'static str, &'static str, String) {
+    match path {
+        "/metrics" => {
+            let body = metrics::render(&shared.service, &shared.stats());
+            ("200 OK", "text/plain; version=0.0.4", body)
+        }
+        "/slow" => {
+            let mut body = shared.service.slow_queries_json();
+            body.push('\n');
+            ("200 OK", "application/json", body)
+        }
+        _ => {
+            let body = "only /metrics and /slow live here\n".to_string();
+            ("404 Not Found", "text/plain; version=0.0.4", body)
+        }
+    }
+}
+
+/// Reads one HTTP request (through the blank line ending its header
+/// block), starting from `carry` (bytes already read past the previous
+/// request). Returns the request bytes plus any leftover belonging to
+/// the next pipelined request, or `None` when the connection must
+/// close (clean EOF, timeout, drain, protocol violation — counters
+/// bumped here as appropriate).
+fn read_http_request(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    carry: Vec<u8>,
+) -> Option<(Vec<u8>, Vec<u8>)> {
+    const MAX_HTTP_REQUEST: usize = 8 << 10;
+    // Waiting for the next request is idle time (like the framed
+    // loop's wait for a header); the drain points below mirror it.
+    let deadline = Instant::now() + shared.config.idle_timeout;
+    let mut request = carry;
+    loop {
+        if let Some(end) = http_header_end(&request) {
+            let leftover = request.split_off(end);
+            return Some((request, leftover));
+        }
+        if request.len() >= MAX_HTTP_REQUEST {
+            shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
         if shared.force.load(Ordering::Acquire) {
-            return;
+            return None;
+        }
+        if request.is_empty() && shared.draining.load(Ordering::Acquire) {
+            // Idle between requests while draining: close, as framed
+            // connections do.
+            return None;
         }
         let mut chunk = [0u8; 256];
         match stream.read(&mut chunk) {
-            Ok(0) => break,
+            Ok(0) => {
+                if !request.is_empty() {
+                    // EOF mid-request: never complete, never answerable.
+                    shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                return None;
+            }
             Ok(n) => {
-                let Some(read) = chunk.get(..n) else { return };
+                let read = chunk.get(..n)?;
                 request.extend_from_slice(read);
             }
             Err(e)
@@ -628,30 +736,39 @@ fn serve_http(shared: &Shared, stream: &mut TcpStream, first: &[u8; frame::HEADE
             {
                 if Instant::now() >= deadline {
                     shared.timeouts.fetch_add(1, Ordering::Relaxed);
-                    return;
+                    return None;
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => return,
+            Err(_) => return None,
         }
     }
-    let text = String::from_utf8_lossy(&request);
-    let path = text.lines().next().and_then(|l| l.split_ascii_whitespace().nth(1));
-    let response = if path == Some("/metrics") {
-        let body = metrics::render(&shared.service, &shared.stats());
-        http_response("200 OK", &body)
-    } else {
-        http_response("404 Not Found", "only /metrics lives here\n")
-    };
-    let _ = write_all_ticking(shared, stream, response.as_bytes());
 }
 
-/// Renders a minimal HTTP/1.0 response (close-delimited semantics made
-/// explicit with `Connection: close`).
-fn http_response(status: &str, body: &str) -> String {
+/// The index just past the blank line ending an HTTP header block, if
+/// one is present (`\r\n\r\n` per spec, bare `\n\n` tolerated).
+fn http_header_end(buf: &[u8]) -> Option<usize> {
+    let crlf = buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4);
+    let lf = buf.windows(2).position(|w| w == b"\n\n").map(|i| i + 2);
+    match (crlf, lf) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    }
+}
+
+/// Renders a minimal HTTP response with explicit `Content-Length`
+/// (the framing keep-alive relies on) and `Connection` semantics.
+fn http_response(
+    version: &str,
+    status: &str,
+    content_type: &str,
+    body: &str,
+    keep: bool,
+) -> String {
+    let connection = if keep { "keep-alive" } else { "close" };
     format!(
-        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "{version} {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
         body.len()
     )
 }

@@ -292,6 +292,102 @@ fn mid_request_disconnects_always_return_active_to_zero() {
     assert_eq!(stats.frames_in, 1);
 }
 
+/// Reads one HTTP response framed by Content-Length, returning
+/// `(status line, headers, body)` and leaving the stream positioned at
+/// the next response.
+fn read_http_response(stream: &mut TcpStream) -> (String, String, String) {
+    let mut raw = Vec::new();
+    let mut byte = [0u8; 1];
+    while !raw.ends_with(b"\r\n\r\n") {
+        assert_eq!(stream.read(&mut byte).expect("header byte"), 1, "EOF mid-header");
+        raw.push(byte[0]);
+        assert!(raw.len() < 64 << 10, "unreasonable response header");
+    }
+    let header = String::from_utf8(raw).expect("UTF-8 header");
+    let status = header.lines().next().expect("status line").to_string();
+    let length: usize = header
+        .lines()
+        .find_map(|l| {
+            let (key, value) = l.split_once(':')?;
+            key.eq_ignore_ascii_case("content-length").then(|| value.trim().parse().ok())?
+        })
+        .expect("Content-Length header");
+    let mut body = vec![0u8; length];
+    stream.read_exact(&mut body).expect("body");
+    (status, header, String::from_utf8(body).expect("UTF-8 body"))
+}
+
+#[test]
+fn http_keep_alive_serves_sequential_scrapes_on_one_connection() {
+    let server = start_server();
+    server.service().query("SELECT P.id FROM Products P").expect("warm the tracer");
+
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+
+    // Two sequential GETs on the SAME connection — the keep-alive
+    // contract the CI metrics-smoke step scrapes with.
+    for scrape in 1..=2 {
+        stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: torture\r\n\r\n").expect("request");
+        let (status, header, body) = read_http_response(&mut stream);
+        assert!(status.starts_with("HTTP/1.1 200"), "scrape {scrape}: {status}");
+        assert!(
+            header.to_ascii_lowercase().contains("connection: keep-alive"),
+            "scrape {scrape} not keep-alive: {header}"
+        );
+        assert!(body.contains("qarith_stage_total_seconds_bucket{le=\"+Inf\"}"));
+        assert!(body.contains("# TYPE qarith_stage_measure_seconds histogram"));
+    }
+
+    // `GET /slow` rides the same connection; the log is empty (no
+    // threshold configured) but the JSON shape is live.
+    stream.write_all(b"GET /slow HTTP/1.1\r\nHost: torture\r\n\r\n").expect("request");
+    let (status, header, body) = read_http_response(&mut stream);
+    assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+    assert!(header.contains("application/json"), "{header}");
+    assert_eq!(body.trim(), "[]");
+
+    // `Connection: close` is honored: one more response, then EOF.
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: torture\r\nConnection: close\r\n\r\n")
+        .expect("request");
+    let (status, header, _) = read_http_response(&mut stream);
+    assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+    assert!(header.to_ascii_lowercase().contains("connection: close"), "{header}");
+    let mut rest = Vec::new();
+    assert_eq!(stream.read_to_end(&mut rest).expect("EOF"), 0, "close honored");
+    wait_until("http connection reaped", || server.stats().connections_active == 0);
+}
+
+#[test]
+fn http_1_0_requests_default_to_close() {
+    let server = start_server();
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").expect("request");
+    let (status, header, body) = read_http_response(&mut stream);
+    assert!(status.starts_with("HTTP/1.0 200"), "version echoed: {status}");
+    assert!(header.to_ascii_lowercase().contains("connection: close"), "{header}");
+    assert!(body.contains("qarith_net_frames_in"));
+    let mut rest = Vec::new();
+    assert_eq!(stream.read_to_end(&mut rest).expect("EOF"), 0, "1.0 closes by default");
+}
+
+#[test]
+fn unknown_http_paths_get_a_404_and_keep_alive_continues() {
+    let server = start_server();
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    stream.write_all(b"GET /nope HTTP/1.1\r\nHost: torture\r\n\r\n").expect("request");
+    let (status, _, _) = read_http_response(&mut stream);
+    assert!(status.starts_with("HTTP/1.1 404"), "{status}");
+    // The connection survives the 404 and still serves real paths.
+    stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: torture\r\n\r\n").expect("request");
+    let (status, _, body) = read_http_response(&mut stream);
+    assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+    assert!(body.contains("qarith_service_queries"));
+}
+
 #[test]
 fn the_server_refuses_frames_beyond_the_configured_cap() {
     let service = test_service();

@@ -8,6 +8,7 @@ use qarith_core::{
     AnswerWithCertainty, BatchPlan, BatchStats, CertaintyCache, CertaintyEngine, MeasureOptions,
 };
 use qarith_engine::cq;
+use qarith_trace::{LatencyStats, RequestTrace, SlowRecord, Stage, Tracer};
 use qarith_types::{Catalog, Database};
 
 use crate::admission::{AdmissionGate, AdmissionStats};
@@ -40,6 +41,12 @@ pub struct ServeConfig {
     /// cost-only: plans are deterministic functions of the template,
     /// so a rebuilt plan is interchangeable with the evicted one.
     pub max_plans: usize,
+    /// Slow-query capture threshold in nanoseconds; requests whose
+    /// end-to-end time reaches it are recorded in the bounded
+    /// slow-query log ([`QueryService::slow_queries`]). 0 (the
+    /// default) disables capture. Tunable later via
+    /// [`QueryService::set_slow_threshold`].
+    pub slow_threshold_nanos: u64,
 }
 
 impl Default for ServeConfig {
@@ -51,6 +58,7 @@ impl Default for ServeConfig {
             cache: ShardedCacheConfig::default(),
             max_in_flight: 64,
             max_plans: 1024,
+            slow_threshold_nanos: 0,
         }
     }
 }
@@ -104,6 +112,9 @@ pub struct QueryResponse {
     pub plan_cached: bool,
     /// The template fingerprint the request mapped to.
     pub fingerprint: String,
+    /// The request id minted at service entry (threaded into wire
+    /// reply frames and slow-log records).
+    pub request_id: qarith_trace::RequestId,
 }
 
 /// A long-lived, thread-safe query-serving engine: one loaded
@@ -145,6 +156,7 @@ pub struct QueryService {
     plan_misses: AtomicU64,
     plan_evictions: AtomicU64,
     totals: BatchTotals,
+    tracer: Tracer,
 }
 
 /// Running sums of every executed request's [`BatchStats`] (including
@@ -225,6 +237,8 @@ impl QueryService {
     /// candidates generated from it, so a mutable database would
     /// invalidate every plan.
     pub fn new(db: Database, config: ServeConfig) -> QueryService {
+        let tracer = Tracer::new();
+        tracer.set_slow_threshold(config.slow_threshold_nanos);
         let cache = Arc::new(ShardedNuCache::new(config.cache));
         let engine = CertaintyEngine::new(config.options)
             .with_shared_cache(cache.clone() as Arc<dyn CertaintyCache>);
@@ -243,23 +257,73 @@ impl QueryService {
             plan_misses: AtomicU64::new(0),
             plan_evictions: AtomicU64::new(0),
             totals: BatchTotals::default(),
+            tracer,
         }
     }
 
     /// Serves one SQL query. Blocks while the admission gate is full.
+    ///
+    /// Equivalent to [`QueryService::begin_trace`] →
+    /// [`QueryService::query_with_trace`] →
+    /// [`QueryService::finish_trace`] on the `"inproc"` route; callers
+    /// that wrap the request in their own envelope (the wire layer)
+    /// use those pieces directly so frame decode/encode time lands in
+    /// the same trace.
     pub fn query(&self, sql: &str) -> Result<QueryResponse, ServeError> {
-        let _permit = self.gate.acquire();
+        let mut trace = self.begin_trace();
+        let out = self.query_with_trace(sql, &mut trace);
+        let fingerprint = out.as_ref().map_or("", |r| r.fingerprint.as_str());
+        self.finish_trace(&trace, fingerprint, "inproc");
+        out
+    }
+
+    /// Mints a [`RequestTrace`] (request id + start instant) for a
+    /// request this caller will serve via
+    /// [`QueryService::query_with_trace`].
+    pub fn begin_trace(&self) -> RequestTrace {
+        self.tracer.begin()
+    }
+
+    /// Serves one SQL query under a caller-owned trace: every pipeline
+    /// stage (admission wait, fingerprint, plan lookup, prepare,
+    /// ν-lookup, measure, rehydrate) records its duration into
+    /// `trace`. Timing is observational only — answers are
+    /// bit-identical to [`QueryService::query`]. The caller finishes
+    /// the trace with [`QueryService::finish_trace`].
+    pub fn query_with_trace(
+        &self,
+        sql: &str,
+        trace: &mut RequestTrace,
+    ) -> Result<QueryResponse, ServeError> {
+        let _permit = {
+            let _span = trace.span(Stage::AdmissionWait);
+            self.gate.acquire()
+        };
         self.queries.fetch_add(1, Ordering::Relaxed);
-        let fingerprint = qarith_sql::sql_fingerprint(sql)?;
-        let (plan, plan_cached) = self.plan_for(sql, &fingerprint)?;
-        let outcome = self.engine.execute_plan(&plan)?;
+        let fingerprint = {
+            let _span = trace.span(Stage::Fingerprint);
+            qarith_sql::sql_fingerprint(sql)?
+        };
+        let (plan, plan_cached) = self.plan_for(sql, &fingerprint, trace)?;
+        let outcome = self.engine.execute_plan_traced(&plan, Some(trace))?;
         self.totals.absorb(&outcome.stats);
         Ok(QueryResponse {
             answers: outcome.answers,
             stats: outcome.stats,
             plan_cached,
             fingerprint,
+            request_id: trace.id(),
         })
+    }
+
+    /// Finishes a trace begun with [`QueryService::begin_trace`]:
+    /// folds its per-stage durations into the service histograms
+    /// ([`QueryService::latency_stats`]) and captures a slow-log
+    /// record when the total crosses the configured threshold.
+    /// `route` names the entry point (`"inproc"`, `"wire"`).
+    pub fn finish_trace(&self, trace: &RequestTrace, fingerprint: &str, route: &'static str) {
+        let epsilon = self.engine.options().afpras.epsilon;
+        self.tracer.finish(trace, fingerprint, epsilon, route);
     }
 
     /// Plan-cache lookup with build-on-miss and LRU eviction under
@@ -267,7 +331,12 @@ impl QueryService {
     /// each build (plans are deterministic, so the copies are
     /// interchangeable); the first publication wins and the rest adopt
     /// it, keeping the cache single-entry per template.
-    fn plan_for(&self, sql: &str, fingerprint: &str) -> Result<(Arc<BatchPlan>, bool), ServeError> {
+    fn plan_for(
+        &self,
+        sql: &str,
+        fingerprint: &str,
+        trace: &mut RequestTrace,
+    ) -> Result<(Arc<BatchPlan>, bool), ServeError> {
         // A poisoned plan-cache lock means an earlier request panicked
         // while publishing; the map may hold a half-finished update, so
         // fail this request cleanly rather than trusting it (the
@@ -275,18 +344,22 @@ impl QueryService {
         fn poisoned<Guard>(_: std::sync::PoisonError<Guard>) -> ServeError {
             ServeError::LockPoisoned("plan cache")
         }
-        if let Some(entry) = self.plans.read().map_err(poisoned)?.get(fingerprint) {
-            self.plan_hits.fetch_add(1, Ordering::Relaxed);
-            entry
-                .last_used
-                .store(self.plan_tick.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
-            return Ok((entry.plan.clone(), true));
+        {
+            let _span = trace.span(Stage::PlanLookup);
+            if let Some(entry) = self.plans.read().map_err(poisoned)?.get(fingerprint) {
+                self.plan_hits.fetch_add(1, Ordering::Relaxed);
+                entry
+                    .last_used
+                    .store(self.plan_tick.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+                return Ok((entry.plan.clone(), true));
+            }
         }
         self.plan_misses.fetch_add(1, Ordering::Relaxed);
         // Build outside any lock: candidate generation and preparation
         // are the expensive half, and other templates must keep flowing.
-        let built = Arc::new(self.build_plan(sql)?);
+        let built = Arc::new(self.build_plan(sql, trace)?);
         let tick = self.plan_tick.fetch_add(1, Ordering::Relaxed);
+        let _span = trace.span(Stage::PlanLookup);
         let mut plans = self.plans.write().map_err(poisoned)?;
         if !plans.contains_key(fingerprint) {
             // Evict least-recently-used templates down to cap − 1. The
@@ -313,10 +386,17 @@ impl QueryService {
     /// The front half, template-granular: parse + lower against the
     /// catalog, generate candidates under the template's LIMIT
     /// semantics (folded into the executor options), prepare the batch.
-    fn build_plan(&self, sql: &str) -> Result<BatchPlan, ServeError> {
-        let lowered = qarith_sql::compile(sql, &self.catalog)?;
-        let candidates = cq::execute(&lowered.query, &self.db, &lowered.cq_options())?;
-        Ok(self.engine.prepare_batch(candidates))
+    /// Both the SQL front (parse, lower, candidate generation —
+    /// "grounding") and the engine's batch preparation accumulate into
+    /// [`Stage::Prepare`]: together they are the template-build cost a
+    /// plan-cache hit saves.
+    fn build_plan(&self, sql: &str, trace: &mut RequestTrace) -> Result<BatchPlan, ServeError> {
+        let candidates = {
+            let _span = trace.span(Stage::Prepare);
+            let lowered = qarith_sql::compile(sql, &self.catalog)?;
+            cq::execute(&lowered.query, &self.db, &lowered.cq_options())?
+        };
+        Ok(self.engine.prepare_batch_traced(candidates, Some(trace)))
     }
 
     /// The served database (read-only).
@@ -360,5 +440,36 @@ impl QueryService {
     /// Counters of the admission gate.
     pub fn admission_stats(&self) -> AdmissionStats {
         self.gate.stats()
+    }
+
+    /// A snapshot of every per-stage latency histogram (admission wait
+    /// through frame encode, plus the end-to-end total), in
+    /// [`Stage::ALL`] order. This is the `/metrics` histogram source
+    /// and the schema-v4 BENCH per-stage summary source.
+    pub fn latency_stats(&self) -> LatencyStats {
+        self.tracer.latency_stats()
+    }
+
+    /// The slow-query log: every request whose end-to-end time reached
+    /// [`ServeConfig::slow_threshold_nanos`], oldest first, bounded by
+    /// the ring capacity.
+    pub fn slow_queries(&self) -> Vec<SlowRecord> {
+        self.tracer.slow_queries()
+    }
+
+    /// The slow-query log as a JSON array (the `GET /slow` body).
+    pub fn slow_queries_json(&self) -> String {
+        self.tracer.slow_json()
+    }
+
+    /// Adjusts the slow-query capture threshold at runtime
+    /// (nanoseconds; 0 disables capture).
+    pub fn set_slow_threshold(&self, nanos: u64) {
+        self.tracer.set_slow_threshold(nanos);
+    }
+
+    /// The slow-query capture threshold currently in force.
+    pub fn slow_threshold(&self) -> u64 {
+        self.tracer.slow_threshold()
     }
 }

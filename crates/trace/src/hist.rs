@@ -1,0 +1,245 @@
+//! The log-bucketed latency histogram: fixed ~2× bucket boundaries
+//! from 1 µs to ~67 s, atomic per-bucket accumulation, exact merge.
+//!
+//! Boundaries are `1000 · 2^i` nanoseconds for `i = 0..27` — 1 µs,
+//! 2 µs, 4 µs, …, ≈67.1 s — plus one overflow (`+Inf`) bucket. Fixed
+//! boundaries make merge *exact*: two histograms (from two shards, two
+//! processes, or two scrapes) merge by adding bucket counts, with no
+//! re-bucketing error. The ~2× spacing bounds the quantile estimation
+//! error at one octave, which is the resolution latency dashboards
+//! operate at anyway.
+//!
+//! Recording is a relaxed `fetch_add` on one bucket plus one on the
+//! nanosecond sum — no locks anywhere on the hot path. A
+//! [`HistogramSnapshot`] derives its count from the bucket counts it
+//! read, so the Prometheus invariant `_count == +Inf cumulative
+//! bucket` holds by construction even when a scrape races recording.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of finite buckets (`1000 · 2^i` ns for `i = 0..FINITE_BUCKETS`).
+pub const FINITE_BUCKETS: usize = 27;
+
+/// Total bucket count: the finite buckets plus the overflow (`+Inf`)
+/// bucket.
+pub const BUCKETS: usize = FINITE_BUCKETS + 1;
+
+/// Upper bound (inclusive, in nanoseconds) of finite bucket `i`, or
+/// `None` for the overflow bucket (`i >= FINITE_BUCKETS`).
+pub fn bucket_bound(i: usize) -> Option<u64> {
+    if i < FINITE_BUCKETS {
+        Some(1_000u64 << i)
+    } else {
+        None
+    }
+}
+
+/// The bucket a duration of `nanos` lands in: the smallest `i` with
+/// `nanos <= bucket_bound(i)`, or the overflow bucket when the value
+/// exceeds every finite bound. `0` lands in bucket 0.
+pub fn bucket_index(nanos: u64) -> usize {
+    if nanos <= 1_000 {
+        return 0;
+    }
+    // nanos <= 1000·2^i  ⟺  ceil(nanos/1000) <= 2^i, so the bucket is
+    // the bit length of ceil(nanos/1000) - 1.
+    let micros_ceil = nanos.div_ceil(1_000);
+    let i = (64 - (micros_ceil - 1).leading_zeros()) as usize;
+    if i < FINITE_BUCKETS {
+        i
+    } else {
+        FINITE_BUCKETS
+    }
+}
+
+/// A mergeable latency histogram with atomic per-bucket counts.
+///
+/// There is no separate count cell: the observation count *is* the sum
+/// of the bucket counts, so snapshots are internally consistent by
+/// construction (see module docs).
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum_nanos: AtomicU64,
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one observation of `nanos`. Lock-free: one relaxed
+    /// `fetch_add` per cell.
+    pub fn record(&self, nanos: u64) {
+        if let Some(bucket) = self.buckets.get(bucket_index(nanos)) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Merges a snapshot into this histogram — exact, since both sides
+    /// share the fixed boundaries.
+    pub fn absorb(&self, snapshot: &HistogramSnapshot) {
+        for (bucket, count) in self.buckets.iter().zip(snapshot.buckets.iter()) {
+            bucket.fetch_add(*count, Ordering::Relaxed);
+        }
+        self.sum_nanos.fetch_add(snapshot.sum_nanos, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts and nanosecond sum.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (out, bucket) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *out = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot { buckets, sum_nanos: self.sum_nanos.load(Ordering::Relaxed) }
+    }
+}
+
+/// An owned copy of a [`Histogram`]'s state: plain integers, safe to
+/// merge, compare, serialize, and estimate quantiles from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (`BUCKETS` cells; the last is the
+    /// overflow bucket).
+    pub buckets: [u64; BUCKETS],
+    /// Sum of all recorded durations, in nanoseconds.
+    pub sum_nanos: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total number of observations (the sum of the bucket counts).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Merges `other` into `self` — exact (shared fixed boundaries).
+    /// The nanosecond sum wraps on overflow, matching the wrapping
+    /// `fetch_add` semantics of live [`Histogram`] accumulation
+    /// (2⁶⁴ ns ≈ 584 years of recorded time).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += *theirs;
+        }
+        self.sum_nanos = self.sum_nanos.wrapping_add(other.sum_nanos);
+    }
+
+    /// Cumulative view for Prometheus rendering: `(upper bound in
+    /// nanoseconds — `None` for `+Inf`, cumulative count)` per bucket.
+    pub fn cumulative(&self) -> impl Iterator<Item = (Option<u64>, u64)> + '_ {
+        let mut seen = 0u64;
+        self.buckets.iter().enumerate().map(move |(i, count)| {
+            seen += count;
+            (bucket_bound(i), seen)
+        })
+    }
+
+    /// Nearest-rank quantile estimate in nanoseconds, resolved to the
+    /// upper bound of the bucket holding the rank (so the estimate
+    /// over-reports by at most one ~2× bucket). Observations in the
+    /// overflow bucket clamp to the largest finite bound, as Prometheus
+    /// `histogram_quantile` does. Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = {
+            let r = (q * count as f64).ceil();
+            if r < 1.0 {
+                1
+            } else if r >= count as f64 {
+                count
+            } else {
+                r as u64
+            }
+        };
+        let top = 1_000u64 << (FINITE_BUCKETS - 1);
+        for (bound, seen) in self.cumulative() {
+            if seen >= rank {
+                return bound.unwrap_or(top);
+            }
+        }
+        top
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_monotone_and_cover_the_spec_range() {
+        // 1 µs at the bottom, ~67.1 s at the top (the smallest
+        // power-of-two scale covering the issue's "1 µs to ~60 s").
+        assert_eq!(bucket_bound(0), Some(1_000));
+        assert_eq!(bucket_bound(FINITE_BUCKETS - 1), Some(67_108_864_000));
+        assert_eq!(bucket_bound(FINITE_BUCKETS), None);
+        for i in 1..FINITE_BUCKETS {
+            assert!(bucket_bound(i) > bucket_bound(i - 1));
+        }
+    }
+
+    #[test]
+    fn boundary_values_land_in_their_bucket() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(1_000), 0);
+        assert_eq!(bucket_index(1_001), 1);
+        assert_eq!(bucket_index(2_000), 1);
+        assert_eq!(bucket_index(2_001), 2);
+        assert_eq!(bucket_index(67_108_864_000), FINITE_BUCKETS - 1);
+        assert_eq!(bucket_index(67_108_864_001), FINITE_BUCKETS);
+        assert_eq!(bucket_index(u64::MAX), FINITE_BUCKETS);
+    }
+
+    #[test]
+    fn record_snapshot_and_merge_are_exact() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for nanos in [0, 999, 1_000, 1_500, 1_000_000, u64::MAX] {
+            a.record(nanos);
+        }
+        b.record(2_500);
+
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count(), 7);
+
+        let union = Histogram::new();
+        for nanos in [0, 999, 1_000, 1_500, 1_000_000, u64::MAX, 2_500] {
+            union.record(nanos);
+        }
+        assert_eq!(merged, union.snapshot());
+    }
+
+    #[test]
+    fn cumulative_counts_reach_the_total() {
+        let h = Histogram::new();
+        for nanos in [10, 5_000, 9_000_000, 80_000_000_000] {
+            h.record(nanos);
+        }
+        let snap = h.snapshot();
+        let last = snap.cumulative().last().expect("buckets");
+        assert_eq!(last, (None, snap.count()));
+    }
+
+    #[test]
+    fn quantiles_resolve_to_bucket_upper_bounds() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().quantile(0.5), 0, "empty histogram");
+        for _ in 0..99 {
+            h.record(1_500); // bucket 1, bound 2 µs
+        }
+        h.record(5_000_000); // bucket 13, bound ~8.2 ms
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(0.5), 2_000);
+        assert_eq!(snap.quantile(0.95), 2_000);
+        assert_eq!(snap.quantile(1.0), 8_192_000);
+
+        let over = Histogram::new();
+        over.record(u64::MAX);
+        assert_eq!(over.snapshot().quantile(0.99), 67_108_864_000, "overflow clamps to top");
+    }
+}

@@ -1,0 +1,232 @@
+//! The bounded slow-query log: a mutex-guarded ring buffer of
+//! structured records for every request whose total time crossed the
+//! capture threshold, dumpable as JSON (`GET /slow`).
+//!
+//! The ring holds the most recent `capacity` records; older ones are
+//! evicted FIFO. The mutex (`ring.lock`, declared as the innermost
+//! class in `analyze.toml`'s lock hierarchy) is held only for a push
+//! or a copy-out — never across service calls or I/O. This module is
+//! on the analyzer's request path, so it is written panic-free: no
+//! unwraps, no indexing; a poisoned mutex is recovered with
+//! `into_inner` (the ring holds plain data, always valid).
+//!
+//! The JSON encoder is hand-rolled (this crate has zero dependencies):
+//! objects with string, finite-float, and integer fields only, with
+//! standard escaping for the fingerprint strings.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use crate::{RequestId, Stage};
+
+/// One captured slow query: identity, shape, and the per-stage
+/// breakdown. `stage_nanos` is indexed by [`Stage::index`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct SlowRecord {
+    /// The request id minted at service entry.
+    pub id: RequestId,
+    /// The plan-cache fingerprint of the SQL (empty when the request
+    /// failed before fingerprinting).
+    pub fingerprint: String,
+    /// The ε the service measured under.
+    pub epsilon: f64,
+    /// Which entry point served the request (`"inproc"` or `"wire"`).
+    pub route: &'static str,
+    /// Accumulated nanoseconds per stage, in [`Stage::ALL`] order.
+    pub stage_nanos: [u64; Stage::COUNT],
+    /// End-to-end request nanoseconds.
+    pub total_nanos: u64,
+}
+
+impl SlowRecord {
+    /// The top-level JSON field names of one record, in emission
+    /// order — mirrored by the EXPERIMENTS.md slow-log table (enforced
+    /// by `tests/stats_docs.rs`).
+    pub const JSON_FIELDS: [&'static str; 6] =
+        ["request_id", "fingerprint", "epsilon", "route", "stages", "total_nanos"];
+
+    /// The record as one JSON object. Stages with zero accumulated
+    /// time are omitted from `stages`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"request_id\":\"{}\"", self.id);
+        let _ = write!(out, ",\"fingerprint\":\"{}\"", escape(&self.fingerprint));
+        let _ = write!(out, ",\"epsilon\":{}", finite(self.epsilon));
+        let _ = write!(out, ",\"route\":\"{}\"", escape(self.route));
+        out.push_str(",\"stages\":{");
+        let mut first = true;
+        for (stage, nanos) in Stage::ALL.iter().zip(self.stage_nanos.iter()) {
+            if *nanos == 0 || *stage == Stage::Total {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\":{}", stage.name(), nanos);
+        }
+        out.push('}');
+        let _ = write!(out, ",\"total_nanos\":{}}}", self.total_nanos);
+        out
+    }
+}
+
+/// Formats a float for JSON, mapping non-finite values to `null`
+/// (JSON has no NaN/Infinity).
+fn finite(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// JSON string escaping: quote, backslash, and control characters.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The bounded ring of [`SlowRecord`]s plus the capture threshold.
+#[derive(Debug)]
+pub struct SlowLog {
+    ring: Mutex<VecDeque<SlowRecord>>,
+    capacity: usize,
+    threshold_nanos: AtomicU64,
+}
+
+impl SlowLog {
+    /// An empty ring retaining at most `capacity` records (minimum 1),
+    /// with capture disabled (threshold 0).
+    pub fn new(capacity: usize) -> SlowLog {
+        SlowLog {
+            ring: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            threshold_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the capture threshold in nanoseconds (0 disables capture).
+    pub fn set_threshold(&self, nanos: u64) {
+        self.threshold_nanos.store(nanos, Ordering::Relaxed);
+    }
+
+    /// The current capture threshold in nanoseconds.
+    pub fn threshold(&self) -> u64 {
+        self.threshold_nanos.load(Ordering::Relaxed)
+    }
+
+    /// Recovers the ring guard even if a holder panicked: the ring is
+    /// plain data, valid at every point the lock can be observed.
+    fn guard(&self) -> MutexGuard<'_, VecDeque<SlowRecord>> {
+        match self.ring.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Appends a record, evicting the oldest beyond capacity.
+    pub fn push(&self, record: SlowRecord) {
+        let mut ring = self.guard();
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(record);
+    }
+
+    /// A copy of the retained records, oldest first.
+    pub fn records(&self) -> Vec<SlowRecord> {
+        self.guard().iter().cloned().collect()
+    }
+
+    /// Number of records currently retained.
+    pub fn len(&self) -> usize {
+        self.guard().len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The ring as a JSON array, oldest record first.
+    pub fn to_json(&self) -> String {
+        let records = self.records();
+        let mut out = String::from("[");
+        for (i, record) in records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&record.to_json());
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(seq: u64, total: u64) -> SlowRecord {
+        let mut stage_nanos = [0; Stage::COUNT];
+        if let Some(cell) = stage_nanos.get_mut(Stage::Measure.index()) {
+            *cell = total / 2;
+        }
+        SlowRecord {
+            id: RequestId { epoch: 16, seq },
+            fingerprint: format!("fp-\"{seq}\""),
+            epsilon: 0.05,
+            route: "test",
+            stage_nanos,
+            total_nanos: total,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_beyond_capacity() {
+        let log = SlowLog::new(2);
+        for seq in 1..=3 {
+            log.push(record(seq, 1_000 * seq));
+        }
+        let records = log.records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records.first().map(|r| r.id.seq), Some(2));
+        assert_eq!(records.last().map(|r| r.id.seq), Some(3));
+    }
+
+    #[test]
+    fn json_dump_has_every_documented_field_and_escapes() {
+        let log = SlowLog::new(4);
+        log.push(record(1, 5_000));
+        let json = log.to_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        for field in SlowRecord::JSON_FIELDS {
+            assert!(json.contains(&format!("\"{field}\":")), "{field} in {json}");
+        }
+        assert!(json.contains("\"request_id\":\"10-1\""));
+        assert!(json.contains("fp-\\\"1\\\""), "quotes escaped: {json}");
+        assert!(json.contains("\"measure\":2500"));
+        assert!(!json.contains("\"total\":"), "total is a field, not a stage");
+    }
+
+    #[test]
+    fn empty_ring_dumps_an_empty_array() {
+        assert_eq!(SlowLog::new(1).to_json(), "[]");
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the histogram kernel: merge is exactly the
+//! union, bucket boundaries are monotone, cumulative counts are
+//! non-decreasing and reach the total, and boundary values land in the
+//! right bucket.
+
+use proptest::prelude::*;
+use qarith_trace::{bucket_bound, bucket_index, Histogram, HistogramSnapshot, FINITE_BUCKETS};
+
+/// Durations spread across the full bucket scale: raw u64s plus exact
+/// boundary values and their neighbors.
+fn durations() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            0u64..5_000,           // around the bottom buckets
+            0u64..100_000_000_000, // across the finite scale
+            Just(0u64),
+            Just(u64::MAX),
+            (0usize..FINITE_BUCKETS).prop_map(|i| 1_000u64 << i), // exact bounds
+            (0usize..FINITE_BUCKETS).prop_map(|i| (1_000u64 << i) + 1),
+        ],
+        0..64,
+    )
+}
+
+fn accumulate(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for v in values {
+        h.record(*v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// merge(a, b) is bit-identical to accumulating the union of the
+    /// two observation streams into one histogram.
+    #[test]
+    fn merge_equals_accumulating_the_union(a in durations(), b in durations()) {
+        let mut merged = accumulate(&a);
+        merged.merge(&accumulate(&b));
+
+        let mut union = a.clone();
+        union.extend_from_slice(&b);
+        prop_assert_eq!(merged, accumulate(&union));
+        prop_assert_eq!(merged.count(), (a.len() + b.len()) as u64);
+    }
+
+    /// `Histogram::absorb` agrees with snapshot-level merge.
+    #[test]
+    fn absorb_agrees_with_snapshot_merge(a in durations(), b in durations()) {
+        let h = Histogram::new();
+        for v in &a {
+            h.record(*v);
+        }
+        h.absorb(&accumulate(&b));
+
+        let mut expected = accumulate(&a);
+        expected.merge(&accumulate(&b));
+        prop_assert_eq!(h.snapshot(), expected);
+    }
+
+    /// Cumulative counts are non-decreasing and end at the total.
+    #[test]
+    fn cumulative_counts_are_monotone(values in durations()) {
+        let snap = accumulate(&values);
+        let mut prev = 0u64;
+        let mut last = 0u64;
+        for (_, cum) in snap.cumulative() {
+            prop_assert!(cum >= prev, "cumulative dipped: {cum} < {prev}");
+            prev = cum;
+            last = cum;
+        }
+        prop_assert_eq!(last, values.len() as u64);
+        prop_assert_eq!(snap.count(), values.len() as u64);
+    }
+
+    /// Every value lands in the bucket whose bound first covers it:
+    /// v ≤ bound(i) and (i = 0 or v > bound(i−1)).
+    #[test]
+    fn values_land_in_the_covering_bucket(v in prop_oneof![
+        0u64..10_000,
+        0u64..u64::MAX,
+        Just(u64::MAX),
+        (0usize..FINITE_BUCKETS).prop_map(|i| 1_000u64 << i),
+    ]) {
+        let i = bucket_index(v);
+        match bucket_bound(i) {
+            Some(bound) => {
+                prop_assert!(v <= bound, "{v} above its bucket bound {bound}");
+                if i > 0 {
+                    let below = bucket_bound(i - 1).expect("finite predecessor");
+                    prop_assert!(v > below, "{v} should have landed in bucket {}", i - 1);
+                }
+            }
+            None => {
+                // Overflow bucket: above every finite bound.
+                let top = bucket_bound(FINITE_BUCKETS - 1).expect("top finite bound");
+                prop_assert!(v > top, "{v} should fit a finite bucket");
+            }
+        }
+    }
+}
+
+/// Deterministic spot-checks the properties above rely on: exact
+/// powers sit inside (not above) their bucket, and the extremes pin
+/// to the first and overflow buckets.
+#[test]
+fn boundary_spot_checks() {
+    assert_eq!(bucket_index(0), 0);
+    assert_eq!(bucket_index(u64::MAX), FINITE_BUCKETS);
+    for i in 0..FINITE_BUCKETS {
+        let bound = bucket_bound(i).expect("finite bound");
+        assert_eq!(bucket_index(bound), i, "exact power 1000*2^{i} in its own bucket");
+        assert_eq!(bucket_index(bound + 1), i + 1, "one past the bound spills over");
+    }
+    // Monotone bounds, ~2× apart.
+    for i in 1..FINITE_BUCKETS {
+        assert_eq!(bucket_bound(i), bucket_bound(i - 1).map(|b| b * 2));
+    }
+}

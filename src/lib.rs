@@ -21,6 +21,7 @@
 //! | [`core`] | `qarith-core` | the measure: AFPRAS (Thm 8.1), FPRAS (Thm 7.1), exact evaluators, pipeline |
 //! | [`serve`] | `qarith-serve` | concurrent query serving: prepared plans, sharded ν-cache, admission |
 //! | [`net`] | `qarith-net` | framed TCP wire protocol + `/metrics` over the service |
+//! | [`trace`] | `qarith-trace` | request ids, per-stage latency histograms, the slow-query log |
 //! | [`datagen`] | `qarith-datagen` | synthetic data, the §9 sales workload |
 //!
 //! See `examples/quickstart.rs` for a five-minute tour, and
@@ -42,6 +43,7 @@ pub use qarith_query as query;
 pub use qarith_rewrite as rewrite;
 pub use qarith_serve as serve;
 pub use qarith_sql as sql;
+pub use qarith_trace as trace;
 pub use qarith_types as types;
 
 /// The most common imports, for examples and downstream users.
@@ -145,6 +147,7 @@ pub mod prelude {
         ShardedCacheConfig, ShardedCacheStats, ShardedNuCache,
     };
     pub use qarith_sql::sql_fingerprint;
+    pub use qarith_trace::{LatencyStats, RequestId, SlowRecord, Stage, StageSummary, Tracer};
     pub use qarith_types::{
         BaseNullId, BaseValue, Catalog, Column, Database, NumNullId, Relation, RelationSchema,
         Sort, Tuple, Valuation, Value,

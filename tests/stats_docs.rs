@@ -3,6 +3,10 @@
 //! stats block's `as_pairs` emits, in declaration order. Adding,
 //! renaming, or reordering a counter in code without updating the
 //! table (or vice versa) fails here — the documentation cannot rot.
+//!
+//! The observability tables are pinned the same way: the per-stage
+//! histogram family table must match `Stage::ALL` (names and order),
+//! and the slow-log field table must match `SlowRecord::JSON_FIELDS`.
 
 use std::collections::BTreeMap;
 
@@ -67,6 +71,64 @@ fn documented_counter_table_matches_as_pairs_exactly() {
             "`{block}`: EXPERIMENTS.md rows must list exactly its as_pairs keys, in order"
         );
     }
+}
+
+/// Returns the first backticked cell of every data row in the named
+/// EXPERIMENTS.md section's table, in document order.
+fn documented_column(section_header: &str) -> Vec<String> {
+    let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/EXPERIMENTS.md"))
+        .expect("EXPERIMENTS.md exists at the repo root");
+    let section = text
+        .split(section_header)
+        .nth(1)
+        .unwrap_or_else(|| panic!("EXPERIMENTS.md has the `{section_header}` section"))
+        .split("\n## ")
+        .next()
+        .expect("section body");
+    section
+        .lines()
+        .filter(|l| l.starts_with("| `"))
+        .filter_map(|l| {
+            let cell = l.split('|').nth(1)?.trim();
+            Some(cell.strip_prefix('`')?.strip_suffix('`')?.to_string())
+        })
+        .collect()
+}
+
+#[test]
+fn documented_histogram_families_match_stage_all_exactly() {
+    // Both observability tables share the section; the family rows are
+    // the `_seconds`-suffixed ones (the rest are slow-log fields).
+    let documented: Vec<String> = documented_column("## Per-stage latency histograms")
+        .into_iter()
+        .filter(|name| name.ends_with("_seconds"))
+        .collect();
+    let expected: Vec<String> = qarith::trace::Stage::ALL
+        .iter()
+        .map(|s| format!("qarith_stage_{}_seconds", s.name()))
+        .collect();
+    assert_eq!(
+        documented, expected,
+        "the EXPERIMENTS.md histogram-family table must list exactly one \
+         `qarith_stage_<name>_seconds` family per Stage::ALL entry, in pipeline order"
+    );
+}
+
+#[test]
+fn documented_slow_log_fields_match_json_fields_exactly() {
+    // The slow-log field table follows the family table inside the same
+    // section; families all end in `_seconds`, so filtering them out
+    // leaves the record fields.
+    let documented: Vec<String> = documented_column("## Per-stage latency histograms")
+        .into_iter()
+        .filter(|name| !name.ends_with("_seconds"))
+        .collect();
+    assert_eq!(
+        documented,
+        qarith::trace::SlowRecord::JSON_FIELDS,
+        "the EXPERIMENTS.md slow-log field table must list exactly \
+         SlowRecord::JSON_FIELDS, in serialization order"
+    );
 }
 
 #[test]
