@@ -24,7 +24,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use qarith_core::afpras::{estimate_nu_compiled, AfprasOptions, SampleCount};
+use qarith_core::afpras::{estimate_nu_compiled_many, AfprasOptions, SampleCount};
 use qarith_core::{
     BatchOptions, BatchStats, CertaintyEngine, CertaintyEstimate, MeasureOptions, MethodChoice,
     NuCache, RewriteOptions,
@@ -35,6 +35,7 @@ use qarith_engine::cq::{self, CandidateAnswer};
 use qarith_types::Database;
 
 pub mod json;
+pub mod kernel;
 pub mod promcheck;
 pub mod serve;
 pub mod suite;
@@ -145,7 +146,12 @@ impl Fig1Harness {
     ///
     /// Matches the paper's implementation: `m = ⌈ε⁻²⌉` directions
     /// (their §8 prescription), partial-vector sampling, no exact-method
-    /// shortcuts.
+    /// shortcuts. The uncertain candidates are measured through the
+    /// template-sharing batched kernel
+    /// ([`estimate_nu_compiled_many`]) — per-candidate estimates are
+    /// bit-identical to formula-at-a-time calls (each candidate's
+    /// direction stream depends only on seed and sampled dimension),
+    /// but candidates with equal dimension share direction blocks.
     pub fn run_epsilon(&self, query_idx: usize, epsilon: f64, seed: u64) -> Fig1Point {
         let q = &self.queries[query_idx];
         let opts = AfprasOptions {
@@ -155,14 +161,14 @@ impl Fig1Harness {
             ..AfprasOptions::default()
         };
         let started = Instant::now();
+        let refs: Vec<&CompiledFormula> = q.compiled.iter().collect();
+        let mut outcomes = estimate_nu_compiled_many(&refs, &opts).into_iter();
         let mut estimates = Vec::with_capacity(q.candidates.len());
-        let mut compiled_iter = q.compiled.iter();
         for cand in &q.candidates {
             if cand.certain {
                 estimates.push(CertaintyEstimate::exact_rational(qarith_numeric::Rational::ONE, 0));
             } else {
-                let compiled = compiled_iter.next().expect("one compiled per uncertain");
-                let out = estimate_nu_compiled(compiled, &opts);
+                let out = outcomes.next().expect("one outcome per uncertain");
                 estimates.push(CertaintyEstimate {
                     value: out.estimate,
                     exact: None,

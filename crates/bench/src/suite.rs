@@ -62,6 +62,12 @@ use crate::{secs, BatchPoint, Fig1Harness};
 /// upper bounds from the `qarith-trace` histograms) of the run's full
 /// lifetime, keyed by stage wire name. Informational, not gated: the
 /// gated quantities stay the certainty digest and end-to-end p95.
+///
+/// **v4 addendum** (PR 9): a fourth document kind, `"kernel"` — the
+/// sampling-kernel microbench of [`crate::kernel`] (`kernel_bench`),
+/// gating the blocked kernel's hits digest, allocs-per-sample pin, and
+/// directions/sec against `baselines/KERNEL_*.json`. Additive (no
+/// existing document changes shape), so the version stays 4.
 pub const SCHEMA_VERSION: u64 = 4;
 
 /// The schema identifier stored in every report.

@@ -157,6 +157,32 @@ pub fn eval_at_scaled(f: &QfFormula, dir: &[f64], k: f64) -> bool {
 /// index, exponent)])`.
 type LoweredTerm = (f64, Box<[(u32, u32)]>);
 
+/// `x^e` for the tiny exponents of ground formulas, bit-identical to
+/// `x.powi(e as i32)` for finite `x`.
+///
+/// `powi` with a runtime exponent is a `__powidf2` libcall whose
+/// square-and-multiply runs `mul = 1.0; if odd { mul *= a }; a *= a; …`
+/// — so `e = 1` yields `1.0·x`, `e = 2` yields `1.0·(x·x)`, `e = 3`
+/// yields `(1.0·x)·(x·x)`, `e = 4` yields `1.0·((x·x)·(x·x))`.
+/// Multiplying a finite value by `1.0` is exact, and f64 multiplication
+/// is commutative, so the inlined products below reproduce those bits
+/// exactly while letting LLVM keep the hot loop free of libcalls (and
+/// auto-vectorize it in the blocked evaluator).
+#[inline(always)]
+fn pow_small(x: f64, e: u32) -> f64 {
+    match e {
+        0 => 1.0,
+        1 => x,
+        2 => x * x,
+        3 => x * (x * x),
+        4 => {
+            let sq = x * x;
+            sq * sq
+        }
+        _ => x.powi(e as i32),
+    }
+}
+
 /// An atom lowered for the Monte-Carlo hot loop: homogeneous components in
 /// *descending* degree order, each a list of lowered terms.
 struct CompiledAtom {
@@ -166,6 +192,10 @@ struct CompiledAtom {
     components: Vec<Vec<LoweredTerm>>,
 }
 
+/// Sentinel for a lane whose atom sign is still undecided (the real
+/// signs are `-1`, `0`, `1`).
+const SIGN_UNDECIDED: i8 = 2;
+
 impl CompiledAtom {
     fn limit_truth(&self, dir: &[f64]) -> bool {
         let mut sign = 0i32;
@@ -174,9 +204,7 @@ impl CompiledAtom {
             for (coeff, factors) in comp {
                 let mut term = *coeff;
                 for &(v, e) in factors.iter() {
-                    // Exponents in ground formulas are tiny (≤ 3 in
-                    // practice); powi is the right tool.
-                    term *= dir[v as usize].powi(e as i32);
+                    term *= pow_small(dir[v as usize], e);
                 }
                 acc += term;
             }
@@ -190,6 +218,128 @@ impl CompiledAtom {
             }
         }
         self.op.holds(sign)
+    }
+
+    /// Blockwise twin of [`CompiledAtom::limit_truth`] over `count`
+    /// directions in SoA layout (`soa[v * count + j]` is coordinate `v`
+    /// of direction `j`). Writes the atom's op-truth per lane into
+    /// `out[..count]`.
+    ///
+    /// Bit-identity with the scalar path: each lane's component sum is
+    /// built term by term with the identical association — `term`
+    /// starts at the coefficient, multiplies factors left to right, and
+    /// is added into an accumulator that starts at `0.0` — and a lane's
+    /// sign is frozen by the first component whose sum is nonzero, just
+    /// as the scalar `break` freezes it. Components past a lane's
+    /// freeze point still compute for that lane (the block has no
+    /// per-lane control flow) but their values are discarded, so they
+    /// cannot perturb the result.
+    fn limit_truth_lanes(
+        &self,
+        soa: &[f64],
+        count: usize,
+        term: &mut [f64],
+        acc: &mut [f64],
+        sign: &mut [i8],
+        out: &mut [u8],
+    ) {
+        sign[..count].fill(SIGN_UNDECIDED);
+        for comp in &self.components {
+            acc[..count].fill(0.0);
+            for (coeff, factors) in comp {
+                term[..count].fill(*coeff);
+                for &(v, e) in factors.iter() {
+                    let row = &soa[v as usize * count..(v as usize + 1) * count];
+                    // Hoist the exponent dispatch out of the lane loop:
+                    // each arm is a branch-free independent-lane loop
+                    // that LLVM auto-vectorizes.
+                    match e {
+                        1 => {
+                            for (t, &x) in term[..count].iter_mut().zip(row) {
+                                *t *= x;
+                            }
+                        }
+                        2 => {
+                            for (t, &x) in term[..count].iter_mut().zip(row) {
+                                *t *= x * x;
+                            }
+                        }
+                        3 => {
+                            for (t, &x) in term[..count].iter_mut().zip(row) {
+                                *t *= x * (x * x);
+                            }
+                        }
+                        _ => {
+                            for (t, &x) in term[..count].iter_mut().zip(row) {
+                                *t *= pow_small(x, e);
+                            }
+                        }
+                    }
+                }
+                // 4-wide manually unrolled accumulate (the pinned
+                // stable toolchain has no `std::simd`): independent
+                // lanes, so no reassociation — bit-identical to the
+                // scalar `acc += term` per lane.
+                let mut a4 = acc[..count].chunks_exact_mut(4);
+                let mut t4 = term[..count].chunks_exact(4);
+                for (a, t) in a4.by_ref().zip(t4.by_ref()) {
+                    a[0] += t[0];
+                    a[1] += t[1];
+                    a[2] += t[2];
+                    a[3] += t[3];
+                }
+                for (a, t) in a4.into_remainder().iter_mut().zip(t4.remainder()) {
+                    *a += *t;
+                }
+            }
+            let mut undecided = 0usize;
+            for (s, &a) in sign[..count].iter_mut().zip(acc[..count].iter()) {
+                if *s == SIGN_UNDECIDED {
+                    if a > 0.0 {
+                        *s = 1;
+                    } else if a < 0.0 {
+                        *s = -1;
+                    } else {
+                        undecided += 1;
+                    }
+                }
+            }
+            if undecided == 0 {
+                break;
+            }
+        }
+        for (o, &s) in out[..count].iter_mut().zip(sign[..count].iter()) {
+            let resolved = if s == SIGN_UNDECIDED { 0 } else { i32::from(s) };
+            *o = u8::from(self.op.holds(resolved));
+        }
+    }
+}
+
+/// Reusable scratch for [`CompiledFormula::limit_truth_block`]: every
+/// buffer the blocked evaluator needs, allocated once per worker and
+/// reused for every block (the allocs-per-sample pin in `kernel_bench`
+/// asserts these never reallocate).
+pub struct BlockScratch {
+    /// Per-lane running product for the current lowered term.
+    term: Vec<f64>,
+    /// Per-lane accumulator for the current homogeneous component.
+    acc: Vec<f64>,
+    /// Per-lane resolved sign for the current atom
+    /// ([`SIGN_UNDECIDED`] while open).
+    sign: Vec<i8>,
+    /// `atom_count × capacity` truth table, one row per atom.
+    truth: Vec<u8>,
+    /// One lane-row per boolean-skeleton depth level (row 0 holds the
+    /// root's truth after a block evaluation).
+    node_levels: Vec<Vec<u8>>,
+    /// Maximum lane count this scratch serves.
+    capacity: usize,
+}
+
+impl BlockScratch {
+    /// Maximum lane count this scratch was allocated for.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 }
 
@@ -337,6 +487,117 @@ impl CompiledFormula {
             }
             Node::And(parts) => parts.iter().all(|p| self.eval_node(p, dir, memo)),
             Node::Or(parts) => parts.iter().any(|p| self.eval_node(p, dir, memo)),
+        }
+    }
+
+    /// Allocates a scratch for [`CompiledFormula::limit_truth_block`]
+    /// serving up to `capacity` lanes.
+    pub fn new_block_scratch(&self, capacity: usize) -> BlockScratch {
+        BlockScratch {
+            term: vec![0.0; capacity],
+            acc: vec![0.0; capacity],
+            sign: vec![0; capacity],
+            truth: vec![0; self.atoms.len() * capacity],
+            node_levels: vec![vec![0; capacity]; skeleton_depth(&self.root) + 1],
+            capacity,
+        }
+    }
+
+    /// The asymptotic truth of the formula along `count` directions at
+    /// once, returning the number of satisfied lanes.
+    ///
+    /// `soa` is the structure-of-arrays block of
+    /// `qarith_geometry::fill_unit_sphere_block`: `soa[v * count + j]`
+    /// is dense coordinate `v` of direction `j`, `soa.len() =
+    /// dim() * count`. `scratch` comes from
+    /// [`CompiledFormula::new_block_scratch`] with `capacity ≥ count`.
+    ///
+    /// **Bit-identity contract:** for every lane `j`, the result equals
+    /// `limit_truth(dir_j, memo)` on the contiguous copy of that
+    /// direction. Atom signs reduce per lane with the exact scalar
+    /// association (see `CompiledAtom::limit_truth_lanes`); the
+    /// boolean skeleton is then evaluated lane-parallel over the
+    /// precomputed atom truths (`&=`/`|=` rows, one scratch row per
+    /// tree depth) — the scalar walk memoizes and short-circuits, but
+    /// an atom's truth is a pure function of the direction and `all` /
+    /// `any` equal the bitwise fold, so evaluating every node eagerly
+    /// changes no lane's outcome.
+    pub fn limit_truth_block(
+        &self,
+        soa: &[f64],
+        count: usize,
+        scratch: &mut BlockScratch,
+    ) -> usize {
+        debug_assert_eq!(soa.len(), self.vars.len() * count);
+        assert!(count <= scratch.capacity, "block wider than scratch capacity");
+        for (i, atom) in self.atoms.iter().enumerate() {
+            let row = &mut scratch.truth[i * count..(i + 1) * count];
+            atom.limit_truth_lanes(
+                soa,
+                count,
+                &mut scratch.term,
+                &mut scratch.acc,
+                &mut scratch.sign,
+                row,
+            );
+        }
+        let (root_row, deeper) = scratch.node_levels.split_first_mut().expect("≥ 1 level");
+        eval_node_block(&self.root, &scratch.truth, count, deeper, root_row);
+        root_row[..count].iter().map(|&b| usize::from(b)).sum()
+    }
+}
+
+/// Depth of the boolean skeleton: the number of nested And/Or levels
+/// (leaves are depth 0). Sizes the per-level scratch rows of
+/// [`BlockScratch`].
+fn skeleton_depth(node: &Node) -> usize {
+    match node {
+        Node::True | Node::False | Node::Atom(_) => 0,
+        Node::And(parts) | Node::Or(parts) => {
+            1 + parts.iter().map(skeleton_depth).max().unwrap_or(0)
+        }
+    }
+}
+
+/// Lane-parallel boolean-skeleton evaluation: writes the subtree's truth
+/// per lane into `out[..count]`. Children evaluate into `levels[0]` (one
+/// scratch row per depth, so recursion never aliases) and fold into
+/// `out` with `&=`/`|=` — branch-free independent-lane loops that LLVM
+/// auto-vectorizes. Equal to the scalar short-circuit walk because
+/// `all`/`any` over pure per-lane truths are exactly the bitwise folds.
+fn eval_node_block(
+    node: &Node,
+    truth: &[u8],
+    count: usize,
+    levels: &mut [Vec<u8>],
+    out: &mut [u8],
+) {
+    match node {
+        Node::True => out[..count].fill(1),
+        Node::False => out[..count].fill(0),
+        Node::Atom(id) => {
+            let i = *id as usize;
+            out[..count].copy_from_slice(&truth[i * count..i * count + count]);
+        }
+        Node::And(parts) => {
+            out[..count].fill(1);
+            let (child, deeper) = levels.split_first_mut().expect("depth-sized levels");
+            for p in parts {
+                eval_node_block(p, truth, count, deeper, child);
+                for (o, &c) in out[..count].iter_mut().zip(child[..count].iter()) {
+                    *o &= c;
+                }
+            }
+        }
+        Node::Or(parts) => {
+            out[..count].fill(0);
+            let (child, deeper) = levels.split_first_mut().expect("depth-sized levels");
+            for p in parts {
+                eval_node_block(p, truth, count, deeper, child);
+                for (o, &c) in out[..count].iter_mut().zip(child[..count].iter()) {
+                    *o |= c;
+                }
+            }
         }
     }
 }
@@ -505,6 +766,90 @@ mod tests {
         for dir in [[0.6], [-0.9], [1.0]] {
             assert!(!atom_limit_truth(&b, &dir), "at {dir:?}");
         }
+    }
+
+    #[test]
+    fn pow_small_matches_powi() {
+        // The contract is with the *runtime* `__powidf2` libcall (what a
+        // runtime exponent compiles to) — black_box both operands, or in
+        // release LLVM const-folds `powi` on these literal inputs to a
+        // correctly-rounded value that can differ by 1 ulp from the
+        // libcall's square-and-multiply (seen at x=-0.988123, e=4).
+        use std::hint::black_box;
+        for x in [0.0f64, -0.0, 1.0, -1.0, 0.3071594, -0.988123, 1e-9, -7.25] {
+            for e in 0u32..8 {
+                let via_powi = black_box(x).powi(black_box(e as i32));
+                assert_eq!(pow_small(x, e).to_bits(), via_powi.to_bits(), "x={x} e={e}");
+            }
+        }
+    }
+
+    /// Builds a blockwise SoA copy of `dirs` (count lanes, dim rows).
+    fn soa_of(dirs: &[Vec<f64>]) -> (Vec<f64>, usize) {
+        let count = dirs.len();
+        let dim = dirs.first().map_or(0, Vec::len);
+        let mut soa = vec![0.0; dim * count];
+        for (j, d) in dirs.iter().enumerate() {
+            for (c, &x) in d.iter().enumerate() {
+                soa[c * count + j] = x;
+            }
+        }
+        (soa, count)
+    }
+
+    #[test]
+    fn block_matches_scalar_lane_for_lane() {
+        // Mixed ops, shared atoms, a degree-3 term, and nested ∧/∨ —
+        // exercises dedup rows, the powi specializations, and the
+        // skeleton walk.
+        let f = QfFormula::or([
+            QfFormula::and([
+                atom(z(0) * z(0) - z(1), ConstraintOp::Lt),
+                atom(z(2) + z(0), ConstraintOp::Gt),
+                atom(z(0) * z(0) * z(0) + z(1) * z(2), ConstraintOp::Ge),
+            ]),
+            atom(z(1) - c(3) * z(2), ConstraintOp::Le).negated(),
+            QfFormula::and([
+                atom(z(0) * z(0) - z(1), ConstraintOp::Lt),
+                atom(z(2) - z(1), ConstraintOp::Eq),
+            ]),
+        ]);
+        let compiled = CompiledFormula::compile(&f);
+        let dirs: Vec<Vec<f64>> = vec![
+            vec![0.3, 0.2, 0.1],
+            vec![-0.5, 0.5, 0.5],
+            vec![1.0, -1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+            vec![0.7, 0.7, -0.7],
+            vec![0.25, 0.75, 0.5],
+            vec![-0.1, -0.2, -0.3],
+        ];
+        let mut memo = compiled.new_memo();
+        // Run at several widths, including non-multiples of 4 (the
+        // unroll remainder) and width 1.
+        for width in [1usize, 3, 4, 5, 7] {
+            let mut scratch = compiled.new_block_scratch(width);
+            for chunk in dirs.chunks(width) {
+                let (soa, count) = soa_of(chunk);
+                let scalar_hits =
+                    chunk.iter().filter(|d| compiled.limit_truth(d, &mut memo)).count();
+                assert_eq!(
+                    compiled.limit_truth_block(&soa, count, &mut scratch),
+                    scalar_hits,
+                    "width={width}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_handles_constant_formulas() {
+        let t = CompiledFormula::compile(&QfFormula::True);
+        let mut s = t.new_block_scratch(8);
+        assert_eq!(t.limit_truth_block(&[], 8, &mut s), 8);
+        let f = CompiledFormula::compile(&QfFormula::False);
+        let mut s = f.new_block_scratch(8);
+        assert_eq!(f.limit_truth_block(&[], 8, &mut s), 0);
     }
 
     #[test]

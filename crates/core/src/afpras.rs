@@ -126,75 +126,150 @@ pub fn estimate_nu(phi: &QfFormula, opts: &AfprasOptions) -> Result<AfprasOutcom
 /// Estimates `ν(φ)` for an already-compiled formula (the §9 pipeline
 /// compiles once per candidate and reuses across ε values in benches).
 pub fn estimate_nu_compiled(compiled: &CompiledFormula, opts: &AfprasOptions) -> AfprasOutcome {
-    let m = opts.sample_count();
-    let dim = compiled.dim();
-
-    // Zero-dimensional formulas are decided, not sampled.
-    if dim == 0 {
-        let mut memo = compiled.new_memo();
-        let truth = compiled.limit_truth(&[], &mut memo);
-        return AfprasOutcome {
-            estimate: if truth { 1.0 } else { 0.0 },
-            samples: 0,
-            hits: truth as usize,
-            dimension: 0,
-        };
-    }
-
-    let threads = opts.threads.max(1).min(m);
-    let hits = if threads == 1 {
-        worker(compiled, opts, 0, m)
-    } else {
-        let mut counts = vec![0usize; threads];
-        let chunk = m / threads;
-        let rem = m % threads;
-        std::thread::scope(|scope| {
-            for (t, slot) in counts.iter_mut().enumerate() {
-                let quota = chunk + usize::from(t < rem);
-                scope.spawn(move || {
-                    *slot = worker(compiled, opts, t as u64 + 1, quota);
-                });
-            }
-        });
-        counts.iter().sum()
-    };
-
-    AfprasOutcome { estimate: hits as f64 / m as f64, samples: m, hits, dimension: dim }
+    estimate_nu_compiled_many(&[compiled], opts).pop().expect("one outcome per formula")
 }
 
-/// Draws `quota` directions and counts asymptotic satisfaction.
-fn worker(compiled: &CompiledFormula, opts: &AfprasOptions, stream: u64, quota: usize) -> usize {
+/// Estimates `ν` for a batch of compiled formulas under one option set,
+/// sharing direction generation between formulas that sample the same
+/// number of coordinates — the "candidates sharing a template" layout
+/// of the blocked kernel. Outcomes are returned in input order.
+///
+/// **Bit-pinning.** The per-formula direction stream is a pure function
+/// of `(seed, worker stream, sampled dimension)`: two formulas with the
+/// same sampled dimension would draw the *same* directions from their
+/// own independent [`estimate_nu_compiled`] calls, coordinate for
+/// coordinate. Sharing therefore changes nothing observable — each
+/// group fills one SoA block per iteration and evaluates every member
+/// formula on it, and every outcome is bit-identical to the
+/// formula-at-a-time path (asserted by the
+/// `shared_sampling_matches_per_formula_estimates` test and, end to
+/// end, by the checked-in certainty baselines). What *does* change is
+/// cost: the Gaussian sampling — the dominant term for workload-sized
+/// formulas — is paid once per dimension group instead of once per
+/// formula.
+pub fn estimate_nu_compiled_many(
+    formulas: &[&CompiledFormula],
+    opts: &AfprasOptions,
+) -> Vec<AfprasOutcome> {
+    let m = opts.sample_count();
+    let mut outcomes: Vec<Option<AfprasOutcome>> = vec![None; formulas.len()];
+
+    // Group by the sampled dimension (`rows`): members consume the RNG
+    // identically, so they can share blocks. BTreeMap for deterministic
+    // group order (the order does not affect results — each group owns
+    // fresh RNGs — but determinism everywhere keeps profiles stable).
+    let mut groups: std::collections::BTreeMap<usize, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for (i, compiled) in formulas.iter().enumerate() {
+        let dim = compiled.dim();
+        if dim == 0 {
+            // Zero-dimensional formulas are decided, not sampled.
+            let mut memo = compiled.new_memo();
+            let truth = compiled.limit_truth(&[], &mut memo);
+            outcomes[i] = Some(AfprasOutcome {
+                estimate: if truth { 1.0 } else { 0.0 },
+                samples: 0,
+                hits: truth as usize,
+                dimension: 0,
+            });
+            continue;
+        }
+        let rows = match opts.full_dimension {
+            None => dim,
+            Some(full) => full.max(dim),
+        };
+        groups.entry(rows).or_default().push(i);
+    }
+
+    for (rows, members) in &groups {
+        let group: Vec<&CompiledFormula> = members.iter().map(|&i| formulas[i]).collect();
+        let threads = opts.threads.max(1).min(m);
+        let hits: Vec<usize> = if threads == 1 {
+            shared_worker(&group, *rows, opts, 0, m)
+        } else {
+            let mut counts = vec![vec![0usize; group.len()]; threads];
+            let chunk = m / threads;
+            let rem = m % threads;
+            std::thread::scope(|scope| {
+                for (t, slot) in counts.iter_mut().enumerate() {
+                    let quota = chunk + usize::from(t < rem);
+                    let group = &group;
+                    scope.spawn(move || {
+                        *slot = shared_worker(group, *rows, opts, t as u64 + 1, quota);
+                    });
+                }
+            });
+            counts.into_iter().fold(vec![0usize; group.len()], |mut acc, c| {
+                for (a, x) in acc.iter_mut().zip(c) {
+                    *a += x;
+                }
+                acc
+            })
+        };
+        for (&i, &h) in members.iter().zip(&hits) {
+            outcomes[i] = Some(AfprasOutcome {
+                estimate: h as f64 / m as f64,
+                samples: m,
+                hits: h,
+                dimension: formulas[i].dim(),
+            });
+        }
+    }
+
+    outcomes.into_iter().map(|o| o.expect("every formula measured")).collect()
+}
+
+/// Directions per block in the worker hot loop. 64 lanes keep the SoA
+/// block and the evaluator scratch comfortably in L1 for workload-sized
+/// formulas while amortizing loop overhead; the value does not affect
+/// results (the RNG is consumed direction-by-direction regardless of
+/// how the quota is partitioned into blocks).
+const DIRECTION_BLOCK: usize = 256;
+
+/// The blocked worker: draws `quota` directions and counts asymptotic
+/// satisfaction for a group of formulas with equal sampled dimension
+/// `rows`. A structure-of-arrays block of directions is filled per
+/// iteration (`fill_unit_sphere_block`) and evaluated lane-parallel
+/// (`limit_truth_block`) by every member, so the Gaussian sampling cost
+/// is amortized across the group. All buffers are allocated once per
+/// worker — the loop itself is allocation-free. Returns per-formula hit
+/// counts, in group order.
+///
+/// Bit-pinning: the block fill consumes the per-stream RNG
+/// direction-by-direction in exactly the order the scalar
+/// one-`Vec`-per-draw loop did, and the blocked evaluator is
+/// lane-for-lane bit-identical to the scalar `limit_truth`, so hits
+/// (and therefore every digest downstream) are unchanged for any
+/// (seed, thread count, group composition).
+///
+/// Ablation (`full_dimension`): sample all |N_num(D)| coordinates, then
+/// project. The projection of a uniform sphere vector onto a coordinate
+/// subspace points in a uniform direction, so the estimate is identical
+/// in distribution — only slower. In SoA layout the projection is the
+/// first `dim` coordinate rows of the block, so it costs zero copies
+/// (the old scalar path paid a `to_vec()` per sample here).
+fn shared_worker(
+    group: &[&CompiledFormula],
+    rows: usize,
+    opts: &AfprasOptions,
+    stream: u64,
+    quota: usize,
+) -> Vec<usize> {
     // Distinct deterministic stream per worker.
     let mut rng =
         StdRng::seed_from_u64(opts.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream + 1)));
-    let dim = compiled.dim();
-    let mut memo = compiled.new_memo();
-    let mut hits = 0usize;
-    match opts.full_dimension {
-        None => {
-            // Partial-vector sampling (§9 optimization): only the
-            // formula's own coordinates.
-            for _ in 0..quota {
-                let dir = qarith_geometry::sample_unit_sphere(&mut rng, dim);
-                if compiled.limit_truth(&dir, &mut memo) {
-                    hits += 1;
-                }
-            }
+    let block = quota.clamp(1, DIRECTION_BLOCK);
+    let mut soa = vec![0.0f64; rows * block];
+    let mut scratches: Vec<_> = group.iter().map(|c| c.new_block_scratch(block)).collect();
+    let mut hits = vec![0usize; group.len()];
+    let mut remaining = quota;
+    while remaining > 0 {
+        let count = remaining.min(block);
+        qarith_geometry::fill_unit_sphere_block(&mut rng, rows, count, &mut soa[..rows * count]);
+        for ((compiled, scratch), h) in group.iter().zip(&mut scratches).zip(&mut hits) {
+            *h += compiled.limit_truth_block(&soa[..compiled.dim() * count], count, scratch);
         }
-        Some(full) => {
-            // Ablation: sample all |N_num(D)| coordinates, then project.
-            // The projection of a uniform sphere vector onto a coordinate
-            // subspace points in a uniform direction, so the estimate is
-            // identical in distribution — only slower.
-            let full = full.max(dim);
-            for _ in 0..quota {
-                let full_dir = qarith_geometry::sample_unit_sphere(&mut rng, full);
-                let dir: Vec<f64> = full_dir[..dim].to_vec();
-                if compiled.limit_truth(&dir, &mut memo) {
-                    hits += 1;
-                }
-            }
-        }
+        remaining -= count;
     }
     hits
 }
@@ -349,6 +424,118 @@ mod tests {
         for eps in [0.0, -0.3, 1.5] {
             let o = AfprasOptions { epsilon: eps, ..AfprasOptions::default() };
             assert!(matches!(estimate_nu(&phi, &o), Err(MeasureError::BadTolerance { .. })));
+        }
+    }
+
+    /// The pre-blocking worker, kept verbatim as a reference: one `Vec`
+    /// per draw, scalar evaluation, `to_vec()` projection. The blocked
+    /// worker must reproduce its hit count bit-for-bit on every stream.
+    fn scalar_reference_worker(
+        compiled: &CompiledFormula,
+        opts: &AfprasOptions,
+        stream: u64,
+        quota: usize,
+    ) -> usize {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(
+            opts.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream + 1)),
+        );
+        let dim = compiled.dim();
+        let mut memo = compiled.new_memo();
+        let mut hits = 0usize;
+        match opts.full_dimension {
+            None => {
+                for _ in 0..quota {
+                    let dir = qarith_geometry::sample_unit_sphere(&mut rng, dim);
+                    if compiled.limit_truth(&dir, &mut memo) {
+                        hits += 1;
+                    }
+                }
+            }
+            Some(full) => {
+                let full = full.max(dim);
+                for _ in 0..quota {
+                    let full_dir = qarith_geometry::sample_unit_sphere(&mut rng, full);
+                    let dir: Vec<f64> = full_dir[..dim].to_vec();
+                    if compiled.limit_truth(&dir, &mut memo) {
+                        hits += 1;
+                    }
+                }
+            }
+        }
+        hits
+    }
+
+    #[test]
+    fn shared_sampling_matches_per_formula_estimates() {
+        // Mixed dimensions (1, 2, 3, and a repeat of 2), plus a decided
+        // zero-dimensional formula: the batched entry point must return
+        // exactly what formula-at-a-time calls return, for any thread
+        // count and for the full-dimension ablation.
+        let formulas = [
+            atom(z(0), ConstraintOp::Gt),
+            QfFormula::and([atom(z(0), ConstraintOp::Gt), atom(z(1) - z(0), ConstraintOp::Gt)]),
+            QfFormula::or([
+                atom(z(0) * z(0) - z(1), ConstraintOp::Lt),
+                atom(z(1) * z(2), ConstraintOp::Ge),
+            ]),
+            QfFormula::and([atom(z(3), ConstraintOp::Gt), atom(z(7), ConstraintOp::Lt)]),
+            QfFormula::True,
+        ];
+        let compiled: Vec<CompiledFormula> =
+            formulas.iter().map(CompiledFormula::compile).collect();
+        let refs: Vec<&CompiledFormula> = compiled.iter().collect();
+        for threads in [1usize, 4] {
+            for full_dimension in [None, Some(12)] {
+                let opts = AfprasOptions {
+                    epsilon: 0.05,
+                    seed: 0xFEED_BEEF,
+                    threads,
+                    full_dimension,
+                    ..AfprasOptions::default()
+                };
+                let batched = estimate_nu_compiled_many(&refs, &opts);
+                for (c, out) in refs.iter().zip(&batched) {
+                    let solo = estimate_nu_compiled(c, &opts);
+                    assert_eq!(out.hits, solo.hits, "threads={threads} full={full_dimension:?}");
+                    assert_eq!(out.estimate.to_bits(), solo.estimate.to_bits());
+                    assert_eq!(out.samples, solo.samples);
+                    assert_eq!(out.dimension, solo.dimension);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_worker_matches_scalar_reference_bit_for_bit() {
+        let formulas = [
+            atom(z(0), ConstraintOp::Gt),
+            QfFormula::and([atom(z(0), ConstraintOp::Gt), atom(z(1) - z(0), ConstraintOp::Gt)]),
+            QfFormula::or([
+                atom(z(0) * z(0) - z(1), ConstraintOp::Lt),
+                atom(z(1) * z(2), ConstraintOp::Ge),
+            ]),
+        ];
+        for phi in &formulas {
+            let compiled = CompiledFormula::compile(phi);
+            for full_dimension in [None, Some(12)] {
+                let opts =
+                    AfprasOptions { seed: 0xFEED_BEEF, full_dimension, ..AfprasOptions::default() };
+                // Quotas straddling the block size: sub-block, exact
+                // multiples, and a remainder tail.
+                let rows = match full_dimension {
+                    None => compiled.dim(),
+                    Some(full) => full.max(compiled.dim()),
+                };
+                for quota in [1usize, 3, 63, 64, 65, 200] {
+                    for stream in [0u64, 1, 5] {
+                        assert_eq!(
+                            shared_worker(&[&compiled], rows, &opts, stream, quota)[0],
+                            scalar_reference_worker(&compiled, &opts, stream, quota),
+                            "phi={phi:?} quota={quota} stream={stream} full={full_dimension:?}"
+                        );
+                    }
+                }
+            }
         }
     }
 }

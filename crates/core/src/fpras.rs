@@ -18,6 +18,12 @@
 //! dropped. Strictness of inequalities is likewise immaterial for
 //! volumes. All such symbolic pre-processing happens exactly, on
 //! rationals, before any `f64` geometry runs.
+//!
+//! The Monte-Carlo inner loops (rejection sampling, hit-and-run walks,
+//! union multiplicity counting) are allocation-free: the geometry crate
+//! exposes `_into` samplers and an `advance`/`current` chain API that
+//! reuse per-loop buffers while consuming the RNG in exactly the order
+//! of the allocating variants, so seeded runs are bit-identical.
 
 use std::collections::HashMap;
 

@@ -185,8 +185,10 @@ pub struct AnswerWithCertainty {
     pub tuple: Tuple,
     /// Its measure of certainty.
     pub certainty: CertaintyEstimate,
-    /// The ground formula (for inspection/debugging).
-    pub formula: QfFormula,
+    /// The ground formula (for inspection/debugging). `Arc`-shared with
+    /// the originating [`CandidateAnswer`] and any batch plan holding
+    /// it, so rehydrating answers never deep-clones a formula tree.
+    pub formula: Arc<QfFormula>,
 }
 
 /// Per-batch accounting from [`CertaintyEngine::measure_batch`].
@@ -249,8 +251,10 @@ pub struct BatchOutcome {
 /// group key, so the pass pipeline never runs twice on a formula.
 #[derive(Clone, Debug)]
 enum Work {
-    /// Measure this formula under the configured method.
-    Formula(QfFormula),
+    /// Measure this formula under the configured method (`Arc`-shared
+    /// with the candidate it came from — plans hold references, not
+    /// copies).
+    Formula(Arc<QfFormula>),
     /// Measure this prepared decomposition (rewrite pipeline).
     Prepared(Box<RewriteOutcome>),
 }
@@ -630,7 +634,7 @@ impl CertaintyEngine {
                 continue;
             }
             if !self.options.batch.dedup {
-                groups.push((Work::Formula(cand.formula.clone()), None));
+                groups.push((Work::Formula(Arc::clone(&cand.formula)), None));
                 slots.push(Slot::Group(groups.len() - 1, true));
                 continue;
             }
@@ -651,7 +655,7 @@ impl CertaintyEngine {
                     // alone).
                     let work = match &key_of_class[&class].1 {
                         Some(out) => Work::Prepared(out.clone()),
-                        None => Work::Formula(interner.get(class).formula.clone()),
+                        None => Work::Formula(Arc::new(interner.get(class).formula.clone())),
                     };
                     groups.push((work, Some(e.key().clone())));
                     e.insert(groups.len() - 1);
@@ -858,7 +862,7 @@ impl CertaintyEngine {
             let phi = ground::ground(query, db, &tuple)?;
             let certainty = self.nu(&phi)?;
             if exceeds_min_certainty(&certainty, min_certainty) {
-                out.push(AnswerWithCertainty { tuple, certainty, formula: phi });
+                out.push(AnswerWithCertainty { tuple, certainty, formula: Arc::new(phi) });
             }
             return Ok(());
         }
@@ -1037,7 +1041,7 @@ mod tests {
     fn uncertain_candidate(formula: QfFormula, id: i64) -> CandidateAnswer {
         CandidateAnswer {
             tuple: Tuple::new(vec![Value::int(id)]),
-            formula,
+            formula: Arc::new(formula),
             derivations: 1,
             certain: false,
             truncated: false,
@@ -1145,7 +1149,7 @@ mod tests {
         use qarith_constraints::{Atom, ConstraintOp, Polynomial, Var};
         let certain = CandidateAnswer {
             tuple: Tuple::new(vec![Value::int(0)]),
-            formula: QfFormula::True,
+            formula: Arc::new(QfFormula::True),
             derivations: 0,
             certain: true,
             truncated: false,

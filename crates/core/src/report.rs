@@ -75,7 +75,7 @@ mod tests {
         AnswerWithCertainty {
             tuple: Tuple::new(vec![Value::str(label)]),
             certainty: est,
-            formula: QfFormula::True,
+            formula: std::sync::Arc::new(QfFormula::True),
         }
     }
 

@@ -21,6 +21,7 @@
 
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use qarith_constraints::{Atom, ConstraintOp, Polynomial, QfFormula};
 use qarith_numeric::Rational;
@@ -101,7 +102,12 @@ pub struct CandidateAnswer {
     /// The candidate tuple (values for the query head).
     pub tuple: Tuple,
     /// `φ(z̄)` — disjunction over the recorded derivations.
-    pub formula: QfFormula,
+    ///
+    /// `Arc`-shared: downstream batch plans, caches, and rehydrated
+    /// answers all reference the same immutable tree instead of deep-
+    /// cloning it per candidate (formula trees dominate candidate size
+    /// on real workloads).
+    pub formula: Arc<QfFormula>,
     /// Number of derivations recorded (0 when `certain`, whose formula
     /// collapses to `true`).
     pub derivations: usize,
@@ -347,7 +353,8 @@ pub fn execute(
         let state = candidates.remove(&key).expect("candidate recorded");
         let certain = state.certain;
         let derivations = state.disjuncts.len();
-        let formula = if certain { QfFormula::True } else { QfFormula::or(state.disjuncts) };
+        let formula =
+            Arc::new(if certain { QfFormula::True } else { QfFormula::or(state.disjuncts) });
         out.push(CandidateAnswer {
             tuple: key,
             formula,
@@ -824,7 +831,7 @@ mod tests {
         // one certain derivation suffices.)
         let toys = answers.iter().find(|a| a.tuple.get(0) == &Value::str("toys")).unwrap();
         assert!(toys.certain, "toys should be certain");
-        assert_eq!(toys.formula, QfFormula::True);
+        assert_eq!(*toys.formula, QfFormula::True);
 
         // "games": 30·0.9 = 27 ≤ z1·1 — a genuine residual constraint.
         let games = answers.iter().find(|a| a.tuple.get(0) == &Value::str("games")).unwrap();

@@ -2,7 +2,7 @@ use rand::Rng;
 
 use crate::body::ConvexBody;
 use crate::error::GeometryError;
-use crate::sampler::sample_unit_sphere;
+use crate::sampler::sample_unit_sphere_into;
 
 /// Hit-and-run sampler over a [`ConvexBody`].
 ///
@@ -17,13 +17,18 @@ use crate::sampler::sample_unit_sphere;
 pub struct HitAndRun<'a> {
     body: &'a ConvexBody,
     current: Vec<f64>,
+    /// Owned direction scratch: `step` fills it in place, so the chain
+    /// allocates only at construction (the old per-step `Vec` was the
+    /// dominant allocation of the FPRAS walk loops).
+    dir: Vec<f64>,
 }
 
 impl<'a> HitAndRun<'a> {
     /// Starts a chain at the body's LP interior point.
     pub fn new(body: &'a ConvexBody) -> Result<Self, GeometryError> {
         let (start, _) = body.interior_point()?;
-        Ok(HitAndRun { body, current: start })
+        let dir = vec![0.0; body.dim()];
+        Ok(HitAndRun { body, current: start, dir })
     }
 
     /// Starts a chain at a given interior point.
@@ -37,7 +42,8 @@ impl<'a> HitAndRun<'a> {
         if !body.contains(&start) {
             return Err(GeometryError::EmptyInterior);
         }
-        Ok(HitAndRun { body, current: start })
+        let dir = vec![0.0; body.dim()];
+        Ok(HitAndRun { body, current: start, dir })
     }
 
     /// The current chain state.
@@ -47,26 +53,33 @@ impl<'a> HitAndRun<'a> {
 
     /// One hit-and-run step.
     pub fn step(&mut self, rng: &mut impl Rng) {
-        let d = sample_unit_sphere(rng, self.body.dim());
-        if let Some((lo, hi)) = self.body.chord(&self.current, &d) {
+        sample_unit_sphere_into(rng, &mut self.dir);
+        if let Some((lo, hi)) = self.body.chord(&self.current, &self.dir) {
             let t = lo + (hi - lo) * rng.gen::<f64>();
-            for (c, di) in self.current.iter_mut().zip(&d) {
+            for (c, di) in self.current.iter_mut().zip(&self.dir) {
                 *c += t * di;
             }
             // Numerical safety: fall back if the step left the body.
             if !self.body.contains(&self.current) {
-                for (c, di) in self.current.iter_mut().zip(&d) {
+                for (c, di) in self.current.iter_mut().zip(&self.dir) {
                     *c -= t * di;
                 }
             }
         }
     }
 
-    /// Runs `burn_in` steps and returns a sample (clone of the state).
-    pub fn sample(&mut self, rng: &mut impl Rng, burn_in: usize) -> Vec<f64> {
-        for _ in 0..burn_in {
+    /// Runs `steps` steps without materializing a sample; read the
+    /// state with [`HitAndRun::current`]. This is the allocation-free
+    /// path the volume/union estimators use.
+    pub fn advance(&mut self, rng: &mut impl Rng, steps: usize) {
+        for _ in 0..steps {
             self.step(rng);
         }
+    }
+
+    /// Runs `burn_in` steps and returns a sample (clone of the state).
+    pub fn sample(&mut self, rng: &mut impl Rng, burn_in: usize) -> Vec<f64> {
+        self.advance(rng, burn_in);
         self.current.clone()
     }
 }

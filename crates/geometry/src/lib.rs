@@ -45,7 +45,10 @@ mod volume;
 pub use body::{ConvexBody, Halfspace};
 pub use error::GeometryError;
 pub use hitrun::HitAndRun;
-pub use sampler::{sample_unit_ball, sample_unit_sphere, standard_normal};
+pub use sampler::{
+    fill_unit_sphere_block, sample_unit_ball, sample_unit_ball_into, sample_unit_sphere,
+    sample_unit_sphere_into, standard_normal,
+};
 pub use union::{estimate_union_fraction, UnionBody};
 pub use vecmath::{dot, norm, scale_in_place};
 pub use volume::{estimate_volume_fraction, unit_ball_volume, VolumeOptions};

@@ -9,7 +9,7 @@
 
 use rand::Rng;
 
-use crate::vecmath::{norm, scale_in_place};
+use crate::vecmath::{norm, norm_strided, scale_in_place, scale_strided_in_place};
 
 /// One standard-normal variate via Box–Muller.
 ///
@@ -23,33 +23,94 @@ pub fn standard_normal(rng: &mut impl Rng) -> f64 {
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
+/// Fills `out` with a point uniform on the unit sphere `S^{n−1}` where
+/// `n = out.len()` (each coordinate Gaussian, then normalized).
+///
+/// Allocation-free twin of [`sample_unit_sphere`]: it consumes the RNG
+/// in exactly the same order (coordinates first, retry on a
+/// numerically-zero vector), so seeded streams — and therefore every
+/// checked-in certainty digest — are bit-identical whichever entry
+/// point a caller uses.
+pub fn sample_unit_sphere_into(rng: &mut impl Rng, out: &mut [f64]) {
+    if out.is_empty() {
+        return;
+    }
+    loop {
+        for x in out.iter_mut() {
+            *x = standard_normal(rng);
+        }
+        let len = norm(out);
+        // Astronomically unlikely, but a zero vector has no direction.
+        if len > 1e-12 {
+            scale_in_place(out, 1.0 / len);
+            return;
+        }
+    }
+}
+
 /// A point uniform on the unit sphere `S^{n−1}` (each coordinate Gaussian,
 /// then normalized). For `n = 0` returns the empty vector.
 pub fn sample_unit_sphere(rng: &mut impl Rng, n: usize) -> Vec<f64> {
-    if n == 0 {
-        return Vec::new();
+    let mut v = vec![0.0; n];
+    sample_unit_sphere_into(rng, &mut v);
+    v
+}
+
+/// Fills `out` with a point uniform in the unit ball `B^n` where
+/// `n = out.len()`. Allocation-free twin of [`sample_unit_ball`] with the
+/// identical RNG consumption order.
+pub fn sample_unit_ball_into(rng: &mut impl Rng, out: &mut [f64]) {
+    if out.is_empty() {
+        return;
     }
-    loop {
-        let mut v: Vec<f64> = (0..n).map(|_| standard_normal(rng)).collect();
-        let len = norm(&v);
-        // Astronomically unlikely, but a zero vector has no direction.
-        if len > 1e-12 {
-            scale_in_place(&mut v, 1.0 / len);
-            return v;
-        }
-    }
+    let n = out.len();
+    sample_unit_sphere_into(rng, out);
+    let r: f64 = rng.gen::<f64>().powf(1.0 / n as f64);
+    scale_in_place(out, r);
 }
 
 /// A point uniform in the unit ball `B^n` (sphere direction scaled by
 /// `U^{1/n}`).
 pub fn sample_unit_ball(rng: &mut impl Rng, n: usize) -> Vec<f64> {
-    if n == 0 {
-        return Vec::new();
-    }
-    let mut v = sample_unit_sphere(rng, n);
-    let r: f64 = rng.gen::<f64>().powf(1.0 / n as f64);
-    scale_in_place(&mut v, r);
+    let mut v = vec![0.0; n];
+    sample_unit_ball_into(rng, &mut v);
     v
+}
+
+/// Fills a structure-of-arrays block with `count` unit-sphere directions
+/// of dimension `rows`.
+///
+/// Layout: `out[c * count + j]` is coordinate `c` of direction `j`, so
+/// each *coordinate* occupies a contiguous `count`-wide row — the layout
+/// the blocked `CompiledFormula` evaluator in `qarith-constraints`
+/// consumes with unit-stride lane loops. `out.len()` must equal
+/// `rows * count`.
+///
+/// **Bit-pinning invariant:** the RNG is consumed direction-by-direction,
+/// and within a direction coordinate-by-coordinate (with the same
+/// zero-vector retry rule), exactly as `count` successive
+/// [`sample_unit_sphere`] calls would consume it. Memory layout is
+/// independent of draw *order*, so writing column `j` with stride
+/// `count` instead of into a contiguous `Vec` changes no bit of any
+/// seeded stream. The per-direction norm and scale reduce the strided
+/// lane left to right, matching [`norm`]/[`scale_in_place`] bit for bit.
+pub fn fill_unit_sphere_block(rng: &mut impl Rng, rows: usize, count: usize, out: &mut [f64]) {
+    assert_eq!(out.len(), rows * count, "SoA block shape mismatch");
+    if rows == 0 || count == 0 {
+        return;
+    }
+    for j in 0..count {
+        loop {
+            for slot in out.iter_mut().skip(j).step_by(count) {
+                *slot = standard_normal(rng);
+            }
+            let len = norm_strided(out, j, count);
+            if len > 1e-12 {
+                scale_strided_in_place(out, j, count, 1.0 / len);
+                break;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -126,5 +187,65 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         assert!(sample_unit_sphere(&mut rng, 0).is_empty());
         assert!(sample_unit_ball(&mut rng, 0).is_empty());
+    }
+
+    #[test]
+    fn into_variants_are_bit_identical_to_allocating_ones() {
+        for n in [1usize, 2, 5, 17] {
+            let mut a = StdRng::seed_from_u64(99 + n as u64);
+            let mut b = StdRng::seed_from_u64(99 + n as u64);
+            let mut buf = vec![0.0; n];
+            for _ in 0..25 {
+                let v = sample_unit_sphere(&mut a, n);
+                sample_unit_sphere_into(&mut b, &mut buf);
+                for (x, y) in v.iter().zip(&buf) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+                let w = sample_unit_ball(&mut a, n);
+                sample_unit_ball_into(&mut b, &mut buf);
+                for (x, y) in w.iter().zip(&buf) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_fill_is_bit_identical_to_sequential_draws() {
+        for (rows, count) in [(1usize, 1usize), (3, 4), (5, 7), (2, 64)] {
+            let seed = 1000 + (rows * 31 + count) as u64;
+            let mut scalar = StdRng::seed_from_u64(seed);
+            let mut block_rng = StdRng::seed_from_u64(seed);
+            let mut block = vec![0.0; rows * count];
+            fill_unit_sphere_block(&mut block_rng, rows, count, &mut block);
+            for j in 0..count {
+                let v = sample_unit_sphere(&mut scalar, rows);
+                for (c, x) in v.iter().enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        block[c * count + j].to_bits(),
+                        "rows={rows} count={count} dir={j} coord={c}"
+                    );
+                }
+            }
+            // Both RNGs must also be left in the same state: the next
+            // draw agrees.
+            assert_eq!(
+                scalar.gen::<u64>(),
+                block_rng.gen::<u64>(),
+                "RNG stream desynchronized at rows={rows} count={count}"
+            );
+        }
+    }
+
+    #[test]
+    fn block_fill_degenerate_shapes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut empty: Vec<f64> = Vec::new();
+        fill_unit_sphere_block(&mut rng, 0, 7, &mut empty);
+        fill_unit_sphere_block(&mut rng, 7, 0, &mut empty);
+        // Zero-row/zero-count fills consume no randomness.
+        let mut twin = StdRng::seed_from_u64(5);
+        assert_eq!(rng.gen::<u64>(), twin.gen::<u64>());
     }
 }

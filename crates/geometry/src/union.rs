@@ -57,8 +57,10 @@ pub fn estimate_union_fraction(
             }
             pick -= b.volume;
         }
-        let x = chains[idx].sample(rng, walk_steps);
-        let multiplicity = bodies.iter().filter(|b| b.body.contains(&x)).count();
+        // Advance + borrow instead of `sample` — no per-sample clone.
+        chains[idx].advance(rng, walk_steps);
+        let x = chains[idx].current();
+        let multiplicity = bodies.iter().filter(|b| b.body.contains(x)).count();
         // The drawn body contains x by construction; defensive max(1).
         acc += 1.0 / multiplicity.max(1) as f64;
     }

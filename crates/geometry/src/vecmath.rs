@@ -19,6 +19,23 @@ pub fn scale_in_place(a: &mut [f64], s: f64) {
     }
 }
 
+/// Euclidean norm of the strided lane `a[offset], a[offset+stride], …`.
+///
+/// Bit-compatible with [`norm`] over the same values in the same order:
+/// both reduce `Σ x·x` left to right from `0.0` before the `sqrt`.
+/// `stride` must be nonzero.
+pub fn norm_strided(a: &[f64], offset: usize, stride: usize) -> f64 {
+    a.iter().skip(offset).step_by(stride).map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Scales the strided lane `a[offset], a[offset+stride], …` in place.
+/// `stride` must be nonzero.
+pub fn scale_strided_in_place(a: &mut [f64], offset: usize, stride: usize, s: f64) {
+    for x in a.iter_mut().skip(offset).step_by(stride) {
+        *x *= s;
+    }
+}
+
 /// `out = p + t·d` (allocating helper for tests; hot paths write in
 /// place).
 #[allow(dead_code)]
@@ -44,5 +61,18 @@ mod tests {
     fn empty_vectors() {
         assert_eq!(dot(&[], &[]), 0.0);
         assert_eq!(norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn strided_lane_matches_contiguous() {
+        // Lane j of a 3-row × 2-column block (column-per-direction SoA)
+        // must reduce exactly like the contiguous vector of the same
+        // values.
+        let block = [1.0, 10.0, 2.0, 20.0, 3.0, 30.0];
+        assert_eq!(norm_strided(&block, 0, 2).to_bits(), norm(&[1.0, 2.0, 3.0]).to_bits());
+        assert_eq!(norm_strided(&block, 1, 2).to_bits(), norm(&[10.0, 20.0, 30.0]).to_bits());
+        let mut scaled = block;
+        scale_strided_in_place(&mut scaled, 1, 2, 0.5);
+        assert_eq!(scaled, [1.0, 5.0, 2.0, 10.0, 3.0, 15.0]);
     }
 }

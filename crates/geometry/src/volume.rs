@@ -3,7 +3,7 @@ use rand::Rng;
 use crate::body::ConvexBody;
 use crate::error::GeometryError;
 use crate::hitrun::HitAndRun;
-use crate::sampler::sample_unit_ball;
+use crate::sampler::sample_unit_ball_into;
 use crate::vecmath::scale_in_place;
 
 /// Exact volume of the unit ball `B^n(1)` (recursion
@@ -66,8 +66,11 @@ pub fn estimate_volume_fraction(
     // exactly the regime annealing is designed for).
     let direct_samples = opts.samples_per_phase * 4;
     let mut hits = 0usize;
+    // One point buffer for the whole rejection loop: `_into` sampling
+    // consumes the RNG identically to the allocating variant.
+    let mut p = vec![0.0; n];
     for _ in 0..direct_samples {
-        let mut p = sample_unit_ball(rng, n);
+        sample_unit_ball_into(rng, &mut p);
         scale_in_place(&mut p, outer_r);
         if body.contains(&p) {
             hits += 1;
@@ -97,7 +100,9 @@ pub fn estimate_volume_fraction(
         let mut chain = HitAndRun::from_point(&phase_body, center.clone())?;
         let mut hits = 0usize;
         for _ in 0..opts.samples_per_phase {
-            let p = chain.sample(rng, opts.walk_steps);
+            // Advance + borrow instead of `sample` — no per-sample clone.
+            chain.advance(rng, opts.walk_steps);
+            let p = chain.current();
             let d2: f64 = p.iter().zip(&center).map(|(a, b)| (a - b) * (a - b)).sum();
             if d2 <= r_small * r_small {
                 hits += 1;

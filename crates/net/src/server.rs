@@ -126,7 +126,8 @@ pub struct NetStats {
     pub connections_closed: u64,
     /// Well-framed request frames received.
     pub frames_in: u64,
-    /// Reply frames fully written.
+    /// Reply frames written (counted at write start, so any reply a
+    /// client has received is already included — see `write_frame`).
     pub frames_out: u64,
     /// Framing and protocol violations answered with `err
     /// kind=frame|proto` (malformed requests, oversized lengths,
@@ -478,14 +479,22 @@ fn write_all_ticking(shared: &Shared, stream: &mut TcpStream, bytes: &[u8]) -> R
 }
 
 /// Frames and writes one reply payload.
+///
+/// The counter bumps *before* the socket write: a client that has
+/// received a reply must observe `frames_out` already incremented
+/// (receipt happens-after the write, which happens-after the bump), so
+/// "every observed reply is counted" holds for external observers —
+/// the accounting assertion the wire-identity test makes after its
+/// clients join. The cost is counting a reply whose write then fails;
+/// that connection is torn down anyway, and the stat stays monotone.
 fn write_frame(shared: &Shared, stream: &mut TcpStream, payload: &str) -> Result<(), ()> {
     let bytes = payload.as_bytes();
     let Ok(len) = u32::try_from(bytes.len()) else { return Err(()) };
     let mut framed = Vec::with_capacity(frame::HEADER_LEN + bytes.len());
     framed.extend_from_slice(&len.to_be_bytes());
     framed.extend_from_slice(bytes);
-    write_all_ticking(shared, stream, &framed)?;
     shared.frames_out.fetch_add(1, Ordering::Relaxed);
+    write_all_ticking(shared, stream, &framed)?;
     Ok(())
 }
 

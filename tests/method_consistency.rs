@@ -88,7 +88,7 @@ fn candidates_from(formulas: Vec<QfFormula>) -> Vec<CandidateAnswer> {
         .enumerate()
         .map(|(i, formula)| CandidateAnswer {
             tuple: Tuple::new(vec![Value::int(i as i64)]),
-            formula,
+            formula: std::sync::Arc::new(formula),
             derivations: 1,
             certain: false,
             truncated: false,

@@ -200,7 +200,7 @@ proptest! {
         let candidates: Vec<CandidateAnswer> = formulas.iter().enumerate().map(|(i, f)| {
             CandidateAnswer {
                 tuple: Tuple::new(vec![Value::int(i as i64)]),
-                formula: f.clone(),
+                formula: std::sync::Arc::new(f.clone()),
                 derivations: 1,
                 certain: false,
                 truncated: false,
