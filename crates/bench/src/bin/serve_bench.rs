@@ -13,9 +13,16 @@
 //! kind becomes `"wire"` with a `net` counter block (the CI
 //! `net-smoke` step).
 //!
+//! With `--mutate` the bench exercises the *write* path instead: a
+//! deterministic stream of write batches is interleaved with template
+//! replays against the evolving epochs, the certainty digest is pinned
+//! on the epoch-0 reference pass, and the document kind becomes
+//! `"mutate"` (the CI `mutation-smoke` step; single-threaded driver,
+//! `--clients`/`--mode`/`--rate` are ignored).
+//!
 //! ```text
 //! cargo run --release -p qarith-bench --bin serve_bench -- \
-//!     [--wire] [--scale tiny|small|medium|paper] [--seed N] \
+//!     [--wire | --mutate] [--scale tiny|small|medium|paper] [--seed N] \
 //!     [--families sales,range,division] [--epsilon F] \
 //!     [--clients N] [--passes N] [--mode closed|open] [--rate QPS] \
 //!     [--reps N] [--cache-budget BYTES] [--cache-shards N] \
@@ -25,7 +32,8 @@
 //!
 //! `--check-baseline` loads the baseline JSON (default:
 //! `crates/bench/baselines/SERVE_<scale>.json`, or
-//! `SERVE_WIRE_<scale>.json` under `--wire`), re-verifies the
+//! `SERVE_WIRE_<scale>.json` under `--wire`, or
+//! `SERVE_MUTATE_<scale>.json` under `--mutate`), re-verifies the
 //! certainty digest bit for bit, and compares p95 latency with a
 //! relative tolerance (default 25 %); any failure exits non-zero. An
 //! intentional behavioral change must regenerate the baseline in the
@@ -36,6 +44,7 @@
 
 use std::process::ExitCode;
 
+use qarith_bench::mutate::run_mutate_bench;
 use qarith_bench::serve::{
     check_serve_baseline, run_serve_bench, LoadMode, ServeBenchConfig, ServeBenchReport,
 };
@@ -49,10 +58,13 @@ const DEFAULT_OUT: &str = "BENCH_5.json";
 /// Default output artifact name under `--wire` — the PR-7 slot.
 const DEFAULT_WIRE_OUT: &str = "BENCH_7.json";
 
+/// Default output artifact name under `--mutate` — the PR-10 slot.
+const DEFAULT_MUTATE_OUT: &str = "BENCH_10.json";
+
 fn usage(msg: &str) -> ExitCode {
     eprintln!("{msg}");
     eprintln!(
-        "usage: serve_bench [--wire] [--scale tiny|small|medium|paper] [--seed N] \
+        "usage: serve_bench [--wire | --mutate] [--scale tiny|small|medium|paper] [--seed N] \
          [--families LIST] [--epsilon F] [--clients N] [--passes N] \
          [--mode closed|open] [--rate QPS] [--reps N] [--cache-budget BYTES] \
          [--cache-shards N] [--max-in-flight N] [--out PATH] \
@@ -64,6 +76,7 @@ fn usage(msg: &str) -> ExitCode {
 fn main() -> ExitCode {
     let mut config = ServeBenchConfig::default_for(WorkloadScale::Tiny);
     let mut wire = false;
+    let mut mutate = false;
     let mut out_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
     let mut check_baseline = false;
@@ -79,6 +92,7 @@ fn main() -> ExitCode {
         };
         match flag {
             "--wire" => wire = true,
+            "--mutate" => mutate = true,
             "--scale" => match value().as_deref().and_then(WorkloadScale::parse) {
                 Some(s) => config.scale = s,
                 None => return usage("--scale expects tiny|small|medium|paper"),
@@ -151,10 +165,19 @@ fn main() -> ExitCode {
     if config.mode == LoadMode::Open && config.rate <= 0.0 {
         return usage("--mode open requires --rate");
     }
+    if wire && mutate {
+        return usage("--wire and --mutate are mutually exclusive");
+    }
 
     println!(
         "qarith serve_bench — serving load ({})",
-        if wire { "wire: framed protocol over loopback TCP" } else { "in-process" }
+        if wire {
+            "wire: framed protocol over loopback TCP"
+        } else if mutate {
+            "mutate: write batches interleaved with template replays"
+        } else {
+            "in-process"
+        }
     );
     println!(
         "scale {}  seed {}  families [{}]  ε {}  {} clients × {} passes ({}{})",
@@ -172,11 +195,25 @@ fn main() -> ExitCode {
         },
     );
 
-    let report = if wire { run_wire_bench(&config) } else { run_serve_bench(&config) };
+    let report = if wire {
+        run_wire_bench(&config)
+    } else if mutate {
+        run_mutate_bench(&config)
+    } else {
+        run_serve_bench(&config)
+    };
     print_summary(&report);
 
-    let out_path =
-        out_path.unwrap_or_else(|| if wire { DEFAULT_WIRE_OUT } else { DEFAULT_OUT }.to_string());
+    let out_path = out_path.unwrap_or_else(|| {
+        if wire {
+            DEFAULT_WIRE_OUT
+        } else if mutate {
+            DEFAULT_MUTATE_OUT
+        } else {
+            DEFAULT_OUT
+        }
+        .to_string()
+    });
     std::fs::write(&out_path, report.to_json()).expect("write BENCH json");
     println!("perf artifact written to {out_path}");
 
@@ -187,7 +224,13 @@ fn main() -> ExitCode {
         format!(
             "{}/baselines/SERVE_{}{}.json",
             env!("CARGO_MANIFEST_DIR"),
-            if wire { "WIRE_" } else { "" },
+            if wire {
+                "WIRE_"
+            } else if mutate {
+                "MUTATE_"
+            } else {
+                ""
+            },
             config.scale.name()
         )
     });
@@ -268,6 +311,18 @@ fn print_summary(report: &ServeBenchReport) {
                 s.p99 * 1e3,
             );
         }
+    }
+    if report.kind == "mutate" {
+        println!(
+            "writes: {} batches / {} ops → epoch {}; invalidation: {} ν-keys \
+             ({} entries), {} plans",
+            counter(&report.service, "writes"),
+            counter(&report.service, "write_ops"),
+            counter(&report.service, "epoch"),
+            counter(&report.cache, "invalidations"),
+            counter(&report.cache, "invalidated_entries"),
+            counter(&report.service, "plan_invalidations"),
+        );
     }
     if report.kind == "wire" {
         println!(

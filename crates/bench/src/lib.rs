@@ -36,6 +36,7 @@ use qarith_types::Database;
 
 pub mod json;
 pub mod kernel;
+pub mod mutate;
 pub mod promcheck;
 pub mod serve;
 pub mod suite;

@@ -171,8 +171,10 @@ impl LatencySummary {
 pub struct ServeBenchReport {
     /// Schema version ([`SCHEMA_VERSION`]).
     pub schema_version: u64,
-    /// Document kind: `"serve"` (in-process) or `"wire"` (through the
-    /// `qarith-net` framed protocol over loopback sockets).
+    /// Document kind: `"serve"` (in-process), `"wire"` (through the
+    /// `qarith-net` framed protocol over loopback sockets), or
+    /// `"mutate"` (write batches interleaved with template replays —
+    /// [`crate::mutate::run_mutate_bench`]).
     pub kind: String,
     /// Scale name.
     pub scale: String,
@@ -577,8 +579,8 @@ impl ServeBenchReport {
 
     /// Parses a document produced by [`ServeBenchReport::to_json`].
     /// Rejects unknown schema names, future versions, and kinds other
-    /// than `"serve"` / `"wire"`. The `net` block is optional on
-    /// parse (v2 serve documents predate it).
+    /// than `"serve"` / `"wire"` / `"mutate"`. The `net` block is
+    /// optional on parse (v2 serve documents predate it).
     pub fn from_json(text: &str) -> Result<ServeBenchReport, String> {
         let doc = parse(text).map_err(|e: JsonError| e.to_string())?;
         let schema = req_str(&doc, "schema")?;
@@ -592,7 +594,7 @@ impl ServeBenchReport {
             ));
         }
         let kind = req_str(&doc, "kind")?;
-        if kind != "serve" && kind != "wire" {
+        if kind != "serve" && kind != "wire" && kind != "mutate" {
             return Err(format!("document kind `{kind}` is not a serve report"));
         }
         let db = doc.get("db").ok_or("missing field `db`")?;

@@ -93,7 +93,9 @@ impl AfprasOptions {
         .max(1)
     }
 
-    fn validate(&self) -> Result<(), MeasureError> {
+    /// Checks the tolerances; every sampling entry point rejects a
+    /// configuration that fails this before drawing anything.
+    pub(crate) fn validate(&self) -> Result<(), MeasureError> {
         for v in [self.epsilon, self.delta] {
             if !(v > 0.0 && v < 1.0 + 1e-12) {
                 return Err(MeasureError::BadTolerance { value: v });

@@ -16,8 +16,10 @@
 use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use qarith_constraints::asymptotic::CompiledFormula;
 use qarith_constraints::canonical::{self, Canonical};
 use qarith_constraints::QfFormula;
 use qarith_engine::cq::{self, CandidateAnswer, CqOptions};
@@ -28,10 +30,10 @@ use qarith_rewrite::{ae_simplify, RewriteOptions, RewriteOutcome, Rewriter};
 use qarith_trace::{Stage, StageSink};
 use qarith_types::{Database, Sort, Tuple, Value};
 
-use crate::afpras::{afpras_estimate, AfprasOptions, SampleCount};
+use crate::afpras::{afpras_estimate, estimate_nu_compiled_many, AfprasOptions, SampleCount};
 use crate::decompose::{measure_prepared, measure_rewritten, RewriteStats, RewriteTrace};
 use crate::error::MeasureError;
-use crate::estimate::CertaintyEstimate;
+use crate::estimate::{CertaintyEstimate, Method};
 use crate::exact::{exact_applicable, try_exact};
 use crate::fpras::{fpras_estimate, FprasOptions};
 use crate::nucache::{CertaintyCache, NuCache};
@@ -323,17 +325,43 @@ impl BatchPlan {
     }
 }
 
+/// Accounting of the shared-sampling batch route (see
+/// [`CertaintyEngine::shared_sampling_stats`]). `Arc`-shared across
+/// engine clones, like the ν-cache, so a service's clones aggregate
+/// into one view.
+#[derive(Debug, Default)]
+struct SharedSamplingCounters {
+    /// `estimate_nu_compiled_many` calls issued by the batch path.
+    calls: AtomicU64,
+    /// Groups those calls covered (>&nbsp;`calls` means direction
+    /// generation was actually shared across groups).
+    groups: AtomicU64,
+}
+
 /// The measure-of-certainty engine.
 #[derive(Clone, Debug, Default)]
 pub struct CertaintyEngine {
     options: MeasureOptions,
     cache: Option<Arc<dyn CertaintyCache>>,
+    shared_sampling: Arc<SharedSamplingCounters>,
 }
 
 impl CertaintyEngine {
     /// An engine with the given options.
     pub fn new(options: MeasureOptions) -> CertaintyEngine {
-        CertaintyEngine { options, cache: None }
+        CertaintyEngine { options, cache: None, shared_sampling: Arc::default() }
+    }
+
+    /// `(calls, groups)` routed through the shared-sampling batch path:
+    /// how many `estimate_nu_compiled_many` fan-outs the single-worker
+    /// batch route issued, and how many formula groups they covered in
+    /// total. `groups > calls` is the signature of sharing — several
+    /// groups paid one direction-generation pass.
+    pub fn shared_sampling_stats(&self) -> (u64, u64) {
+        (
+            self.shared_sampling.calls.load(Ordering::Relaxed),
+            self.shared_sampling.groups.load(Ordering::Relaxed),
+        )
     }
 
     /// Attaches a persistent ν-cache, shared across batches (and across
@@ -526,6 +554,90 @@ impl CertaintyEngine {
             format!("s:{}", canon.structural_key)
         };
         (key, None)
+    }
+
+    /// The single-worker fan-out for sampling-routed plans: every
+    /// pending group headed for the AFPRAS sampler is measured through
+    /// **one** [`estimate_nu_compiled_many`] call, so direction
+    /// generation is shared across groups whose sampled dimensions
+    /// coincide (the blocked-kernel layout), instead of one
+    /// compile-and-sample pass per group. `Auto` groups that an exact
+    /// evaluator covers are resolved inline, exactly as
+    /// [`CertaintyEngine::nu`] would.
+    ///
+    /// Bit-pinning: `estimate_nu_compiled_many` is direction-for-
+    /// direction identical to independent per-formula calls (its own
+    /// contract), the inline exact route is the literal `Auto` arm of
+    /// [`CertaintyEngine::nu_traced`], and the estimate construction
+    /// matches [`afpras_estimate`] field for field — so this route
+    /// changes cost, never bits (pinned by
+    /// `shared_fanout_is_bit_identical_and_counted`).
+    ///
+    /// Returns `false` — leaving `results` untouched — when the route
+    /// does not apply: rewriting on (groups carry prepared
+    /// decompositions), a non-sampling method, or invalid AFPRAS
+    /// options (the per-group loop then surfaces the error with its
+    /// usual first-in-candidate-order semantics).
+    fn measure_pending_shared(
+        &self,
+        plan: &BatchPlan,
+        pending: &[usize],
+        results: &mut [Option<Result<CertaintyEstimate, MeasureError>>],
+    ) -> bool {
+        if self.options.rewrite.enabled
+            || !matches!(self.options.method, MethodChoice::Auto | MethodChoice::Afpras)
+            || self.options.afpras.validate().is_err()
+        {
+            return false;
+        }
+        let mut sampled: Vec<usize> = Vec::new();
+        let mut compiled: Vec<CompiledFormula> = Vec::new();
+        let mut inline: Vec<(usize, CertaintyEstimate)> = Vec::new();
+        for &gi in pending {
+            // With rewriting off every group is a bare formula, but the
+            // invariant lives in `prepare_group`, so stay defensive.
+            let Work::Formula(phi) = &plan.groups[gi].0 else { return false };
+            match self.options.method {
+                MethodChoice::Afpras => {
+                    sampled.push(gi);
+                    compiled.push(CompiledFormula::compile(phi));
+                }
+                MethodChoice::Auto => {
+                    let simplified = ae_simplify(phi);
+                    match try_exact(&simplified, self.options.exact_order_limit) {
+                        Some(exact) => inline.push((gi, exact)),
+                        None => {
+                            sampled.push(gi);
+                            compiled.push(CompiledFormula::compile(&simplified));
+                        }
+                    }
+                }
+                MethodChoice::Fpras | MethodChoice::ExactOnly => return false,
+            }
+        }
+        for (gi, exact) in inline {
+            results[gi] = Some(Ok(exact));
+        }
+        if !sampled.is_empty() {
+            let refs: Vec<&CompiledFormula> = compiled.iter().collect();
+            let outcomes = estimate_nu_compiled_many(&refs, &self.options.afpras);
+            self.shared_sampling.calls.fetch_add(1, Ordering::Relaxed);
+            self.shared_sampling.groups.fetch_add(sampled.len() as u64, Ordering::Relaxed);
+            for (&gi, out) in sampled.iter().zip(outcomes) {
+                results[gi] = Some(Ok(CertaintyEstimate {
+                    value: out.estimate,
+                    exact: None,
+                    method: Method::Afpras,
+                    epsilon: Some(self.options.afpras.epsilon),
+                    delta: Some(self.options.afpras.delta),
+                    samples: out.samples,
+                    dimension: out.dimension,
+                    cached: false,
+                    rewritten: false,
+                }));
+            }
+        }
+        true
     }
 
     /// One unit of batch work: bare formulas route through
@@ -764,18 +876,20 @@ impl CertaintyEngine {
         let threads = stats.threads.min(parallelism).min(pending.len().max(1));
         let mut traces: Vec<Option<RewriteTrace>> = vec![None; plan.groups.len()];
         if threads <= 1 {
-            for &gi in &pending {
-                let result = self.measure_work(&plan.groups[gi].0);
-                let failed = result.is_err();
-                results[gi] = Some(result.map(|(est, trace)| {
-                    traces[gi] = trace;
-                    est
-                }));
-                if failed {
-                    // Groups are in first-occurrence order, so this error
-                    // is the first one in candidate order: later groups
-                    // would be discarded anyway.
-                    break;
+            if !self.measure_pending_shared(plan, &pending, &mut results) {
+                for &gi in &pending {
+                    let result = self.measure_work(&plan.groups[gi].0);
+                    let failed = result.is_err();
+                    results[gi] = Some(result.map(|(est, trace)| {
+                        traces[gi] = trace;
+                        est
+                    }));
+                    if failed {
+                        // Groups are in first-occurrence order, so this error
+                        // is the first one in candidate order: later groups
+                        // would be discarded anyway.
+                        break;
+                    }
                 }
             }
         } else {
@@ -1107,6 +1221,52 @@ mod tests {
                     fingerprint_of(&y.certainty),
                     "{method:?}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_fanout_is_bit_identical_and_counted() {
+        use qarith_constraints::{Atom, ConstraintOp, Polynomial, Var};
+        let atom = |p: Polynomial| QfFormula::atom(Atom::new(p, ConstraintOp::Gt));
+        let z = |i: u32| Polynomial::var(Var(i));
+        // Four distinct canonical classes: one 1-D, one 2-D linear
+        // (exact-applicable under Auto), two 2-D nonlinear sharing a
+        // sampled dimension.
+        let candidates = vec![
+            uncertain_candidate(atom(z(0)), 1),
+            uncertain_candidate(atom(z(0) + z(1)), 2),
+            uncertain_candidate(atom(z(0) * z(1)), 3),
+            uncertain_candidate(atom(z(0) * z(1) + z(0)), 4),
+        ];
+
+        for method in [MethodChoice::Afpras, MethodChoice::Auto] {
+            let options = MeasureOptions { method, ..MeasureOptions::default() };
+            let shared = CertaintyEngine::new(MeasureOptions {
+                batch: BatchOptions { threads: 1, dedup: true },
+                ..options.clone()
+            });
+            // The reference: the plain single-formula route, which
+            // never touches the batch fan-out.
+            let reference = CertaintyEngine::new(options);
+            let s = shared.measure_batch(candidates.clone()).unwrap();
+            assert_eq!(s.stats.groups, 4, "{method:?}: four canonical classes");
+            for (x, cand) in s.answers.iter().zip(&candidates) {
+                let direct = reference.nu(&cand.formula).unwrap();
+                assert_eq!(
+                    fingerprint_of(&x.certainty),
+                    fingerprint_of(&direct),
+                    "{method:?}: shared fan-out must not change a bit"
+                );
+            }
+            // One many-call covered every sampled group; Auto resolved
+            // the 1-D and 2-D-linear classes exactly, inline.
+            let expected_groups = if method == MethodChoice::Afpras { 4 } else { 2 };
+            assert_eq!(shared.shared_sampling_stats(), (1, expected_groups), "{method:?}");
+            assert_eq!(reference.shared_sampling_stats(), (0, 0), "{method:?}: single route");
+            if method == MethodChoice::Auto {
+                assert!(s.answers[0].certainty.exact.is_some(), "1-D class routed exact");
+                assert!(s.answers[2].certainty.exact.is_none(), "nonlinear class sampled");
             }
         }
     }

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 mod generator;
+pub mod mutations;
 pub mod sales;
 pub mod workload;
 

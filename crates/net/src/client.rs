@@ -13,6 +13,8 @@ use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use qarith_types::WriteBatch;
+
 use crate::frame::{self, Decoded, Request, HEADER_LEN};
 
 /// Default socket read/write timeout of a client connection.
@@ -69,6 +71,22 @@ impl NetClient {
     /// Round-trips a bare SQL query (no options).
     pub fn query(&mut self, sql: &str) -> io::Result<Decoded> {
         self.roundtrip(&Request { epsilon: None, sql: sql.to_string() })
+    }
+
+    /// Round-trips one write batch. An unencodable batch (a string
+    /// value containing a field separator) is `InvalidInput`; the
+    /// reply is [`Decoded::Write`] on success or [`Decoded::Error`]
+    /// with the server's verdict.
+    pub fn write(&mut self, batch: &WriteBatch) -> io::Result<Decoded> {
+        let payload = frame::encode_write(batch)
+            .map_err(|msg| io::Error::new(io::ErrorKind::InvalidInput, msg))?;
+        let bytes = payload.as_bytes();
+        let len = u32::try_from(bytes.len()).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidInput, "write batch exceeds u32 bytes")
+        })?;
+        self.stream.write_all(&len.to_be_bytes())?;
+        self.stream.write_all(bytes)?;
+        self.receive()
     }
 }
 

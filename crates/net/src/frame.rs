@@ -35,12 +35,39 @@
 //! not implement must hear "no", not get defaults. (The deadline knob
 //! of ROADMAP item 5 will land as a new key here.)
 //!
+//! # Write payload
+//!
+//! A frame whose payload starts with `qarith-write/1` carries a
+//! [`WriteBatch`] instead of a query. Framing and error-recovery rules
+//! are identical — a malformed write payload is a survivable `proto`
+//! error, a framing violation closes the connection:
+//!
+//! ```text
+//! qarith-write/1 ops=<n>\n
+//! ins <relation>\t<value>...\n
+//! del <relation>\t<value>...\n
+//! upd <relation>\t<old value>...\t=>\t<new value>...\n
+//! ```
+//!
+//! Fields after the opcode are tab-separated (display forms of values
+//! contain spaces). Value tokens are sort-tagged: `z:<i64>` and
+//! `s:<text>` for base constants, `q:<numer>/<denom>` for exact
+//! numerical constants, `B:<id>`/`N:<id>` for base/numerical marked
+//! nulls — a write may introduce fresh nulls, which is how an
+//! incomplete database stays incomplete as it evolves. The ack is a
+//! header-only reply naming the epoch the batch published and what it
+//! invalidated:
+//!
+//! ```text
+//! qarith-reply/1 ok kind=write epoch=<n> db=<16 hex> applied=<n> noops=<n> inv_keys=<n> inv_entries=<n> inv_plans=<n> rid=<epoch-hex>-<seq>\n
+//! ```
+//!
 //! # Response payload
 //!
 //! Success:
 //!
 //! ```text
-//! qarith-reply/1 ok answers=<n> kind=point plan_cached=<0|1> rid=<epoch-hex>-<seq>\n
+//! qarith-reply/1 ok answers=<n> kind=point plan_cached=<0|1> epoch=<n> db=<16 hex> rid=<epoch-hex>-<seq>\n
 //! fp <template fingerprint>\n
 //! a nu=<decimal> bits=<16 hex> samples=<n> dim=<n> flags=<[c][r] or -> tuple=<display>\n   (× n)
 //! stats candidates=<n> groups=<n> measured=<n> dedup_hits=<n> cache_hits=<n>\n
@@ -50,8 +77,11 @@
 //! gets a whole line rather than a `key=value` slot in the header.
 //! `rid=` is the server-minted [`qarith_trace::RequestId`] of this
 //! request — quote it when reporting a slow query so the operator can
-//! find the matching [`/slow`](crate::metrics) record. The decoder
-//! tolerates its absence (pre-tracing servers never sent it).
+//! find the matching [`/slow`](crate::metrics) record. `epoch=`/`db=`
+//! name the database snapshot the answers are pinned to (the mutation
+//! torture suite matches `db` against published epoch digests). The
+//! decoder tolerates the absence of all three (pre-tracing and
+//! pre-write servers never sent them).
 //!
 //! `bits` is the IEEE-754 bit pattern of ν and is the authoritative
 //! value — the torture and bit-identity suites compare it against
@@ -65,25 +95,30 @@
 //! Error:
 //!
 //! ```text
-//! qarith-reply/1 err kind=<frame|proto|sql|measure|internal|shutdown>\n
+//! qarith-reply/1 err kind=<frame|proto|sql|measure|write|internal|shutdown>\n
 //! <human-readable message>
 //! ```
 //!
 //! The taxonomy: `frame` (framing violated; connection closes),
 //! `proto` (malformed request payload; connection survives),
-//! `sql`/`measure`/`internal` (the [`ServeError`] classes of
+//! `sql`/`measure`/`write`/`internal` (the [`ServeError`] classes of
 //! [`qarith_serve::ServeError::kind`]; connection survives), and
 //! `shutdown` (the server is draining; connection closes).
 //!
 //! [`ServeError`]: qarith_serve::ServeError
 
-use qarith_serve::QueryResponse;
+use qarith_numeric::Rational;
+use qarith_serve::{QueryResponse, WriteOutcome};
+use qarith_types::{Value, WriteBatch, WriteOp};
 
 /// Bytes of the frame length prefix.
 pub const HEADER_LEN: usize = 4;
 
 /// Magic leading the request header line.
 pub const REQUEST_MAGIC: &str = "qarith-query/1";
+
+/// Magic leading a write-batch payload.
+pub const WRITE_MAGIC: &str = "qarith-write/1";
 
 /// Magic leading the response header line.
 pub const REPLY_MAGIC: &str = "qarith-reply/1";
@@ -106,6 +141,9 @@ pub enum ErrorKind {
     Sql,
     /// Candidate generation or measurement failed.
     Measure,
+    /// A write batch was rejected (unknown relation, arity or sort
+    /// mismatch); nothing was applied.
+    Write,
     /// A serving-layer fault the client cannot fix.
     Internal,
     /// The server is draining; the connection closes after this reply.
@@ -120,6 +158,7 @@ impl ErrorKind {
             ErrorKind::Proto => "proto",
             ErrorKind::Sql => "sql",
             ErrorKind::Measure => "measure",
+            ErrorKind::Write => "write",
             ErrorKind::Internal => "internal",
             ErrorKind::Shutdown => "shutdown",
         }
@@ -132,6 +171,7 @@ impl ErrorKind {
             "proto" => Some(ErrorKind::Proto),
             "sql" => Some(ErrorKind::Sql),
             "measure" => Some(ErrorKind::Measure),
+            "write" => Some(ErrorKind::Write),
             "internal" => Some(ErrorKind::Internal),
             "shutdown" => Some(ErrorKind::Shutdown),
             _ => None,
@@ -144,6 +184,7 @@ impl ErrorKind {
         match kind {
             "sql" => ErrorKind::Sql,
             "measure" => ErrorKind::Measure,
+            "write" => ErrorKind::Write,
             _ => ErrorKind::Internal,
         }
     }
@@ -199,6 +240,204 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, String> {
     Ok(Request { epsilon, sql: sql.to_string() })
 }
 
+/// One sort-tagged value token (see the module docs' write grammar).
+/// Fails on strings containing tab or newline — the op-line field
+/// separators — rather than inventing an escape syntax.
+fn encode_value(value: &Value) -> Result<String, String> {
+    Ok(match value {
+        Value::Base(qarith_types::BaseValue::Int(i)) => format!("z:{i}"),
+        Value::Base(qarith_types::BaseValue::Str(s)) => {
+            if s.contains('\t') || s.contains('\n') {
+                return Err(format!("string value {s:?} contains a field separator"));
+            }
+            format!("s:{s}")
+        }
+        Value::Num(q) => format!("q:{}/{}", q.numer(), q.denom()),
+        Value::BaseNull(id) => format!("B:{}", id.0),
+        Value::NumNull(id) => format!("N:{}", id.0),
+    })
+}
+
+fn decode_value(token: &str) -> Result<Value, String> {
+    let (tag, rest) =
+        token.split_once(':').ok_or_else(|| format!("value token `{token}` without a sort tag"))?;
+    match tag {
+        "z" => {
+            rest.parse::<i64>().map(Value::int).map_err(|_| format!("malformed integer `{rest}`"))
+        }
+        "s" => Ok(Value::str(rest)),
+        "q" => {
+            let (num, den) = rest
+                .split_once('/')
+                .ok_or_else(|| format!("rational `{rest}` must be numer/denom"))?;
+            let num = num.parse::<i128>().map_err(|_| format!("malformed numerator `{num}`"))?;
+            let den = den.parse::<i128>().map_err(|_| format!("malformed denominator `{den}`"))?;
+            Rational::checked_new(num, den)
+                .map(Value::Num)
+                .map_err(|e| format!("invalid rational `{rest}`: {e}"))
+        }
+        "B" => rest
+            .parse::<u32>()
+            .map(|id| Value::BaseNull(qarith_types::BaseNullId(id)))
+            .map_err(|_| format!("malformed base-null id `{rest}`")),
+        "N" => rest
+            .parse::<u32>()
+            .map(|id| Value::NumNull(qarith_types::NumNullId(id)))
+            .map_err(|_| format!("malformed num-null id `{rest}`")),
+        other => Err(format!("unknown sort tag `{other}`")),
+    }
+}
+
+fn encode_values(values: &[Value]) -> Result<String, String> {
+    let tokens: Result<Vec<String>, String> = values.iter().map(encode_value).collect();
+    Ok(tokens?.join("\t"))
+}
+
+/// Encodes a write-batch payload (the client half). Fails only on
+/// values the grammar cannot carry (strings containing tab/newline).
+pub fn encode_write(batch: &WriteBatch) -> Result<String, String> {
+    let mut out = format!("{WRITE_MAGIC} ops={}\n", batch.ops.len());
+    for op in &batch.ops {
+        match op {
+            WriteOp::Insert { relation, values } => {
+                out.push_str(&format!("ins {relation}\t{}\n", encode_values(values)?));
+            }
+            WriteOp::Delete { relation, values } => {
+                out.push_str(&format!("del {relation}\t{}\n", encode_values(values)?));
+            }
+            WriteOp::Update { relation, old, new } => {
+                out.push_str(&format!(
+                    "upd {relation}\t{}\t=>\t{}\n",
+                    encode_values(old)?,
+                    encode_values(new)?,
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Decodes a write-batch payload. Every failure is an
+/// [`ErrorKind::Proto`] message, exactly like [`decode_request`] — the
+/// framing was fine, only the payload is malformed; type errors
+/// against the actual schemas surface later as [`ErrorKind::Write`].
+pub fn decode_write(payload: &[u8]) -> Result<WriteBatch, String> {
+    let text = std::str::from_utf8(payload).map_err(|e| format!("payload is not UTF-8: {e}"))?;
+    let (header, body) = match text.split_once('\n') {
+        Some(split) => split,
+        None => (text, ""),
+    };
+    let mut words = header.split_ascii_whitespace();
+    if words.next() != Some(WRITE_MAGIC) {
+        return Err(format!("write header must start with `{WRITE_MAGIC}`"));
+    }
+    let mut declared = None;
+    for option in words {
+        let Some((key, value)) = option.split_once('=') else {
+            return Err(format!("malformed option `{option}` (expected key=value)"));
+        };
+        match key {
+            "ops" => {
+                declared = Some(
+                    value.parse::<usize>().map_err(|_| format!("malformed ops count `{value}`"))?,
+                );
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let declared = declared.ok_or("write header without ops=")?;
+    let mut batch = WriteBatch::new();
+    for line in body.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (opcode, rest) =
+            line.split_once(' ').ok_or_else(|| format!("op line without an opcode: `{line}`"))?;
+        let mut fields = rest.split('\t');
+        let relation = fields.next().unwrap_or("");
+        if relation.is_empty() {
+            return Err(format!("op line without a relation: `{line}`"));
+        }
+        match opcode {
+            "ins" | "del" => {
+                let values: Result<Vec<Value>, String> = fields.map(decode_value).collect();
+                let values = values?;
+                if values.is_empty() {
+                    return Err(format!("`{opcode}` op without values: `{line}`"));
+                }
+                if opcode == "ins" {
+                    batch.insert(relation, values);
+                } else {
+                    batch.delete(relation, values);
+                }
+            }
+            "upd" => {
+                let mut old = Vec::new();
+                let mut new = Vec::new();
+                let mut after_arrow = false;
+                for field in fields {
+                    if field == "=>" {
+                        if after_arrow {
+                            return Err(format!("`upd` op with two `=>`: `{line}`"));
+                        }
+                        after_arrow = true;
+                    } else if after_arrow {
+                        new.push(decode_value(field)?);
+                    } else {
+                        old.push(decode_value(field)?);
+                    }
+                }
+                if !after_arrow || old.is_empty() || new.is_empty() {
+                    return Err(format!("`upd` op must be old\\t=>\\tnew: `{line}`"));
+                }
+                batch.update(relation, old, new);
+            }
+            other => return Err(format!("unknown write opcode `{other}`")),
+        }
+    }
+    if batch.ops.len() != declared {
+        return Err(format!("write declared {declared} ops but carried {}", batch.ops.len()));
+    }
+    Ok(batch)
+}
+
+/// A decoded write acknowledgement — the wire form of
+/// [`WriteOutcome`], plus the server-minted request id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WriteAck {
+    /// The epoch the batch published.
+    pub epoch: u64,
+    /// Content digest of the published database.
+    pub db_digest: u64,
+    /// Ops that changed the database.
+    pub applied: u64,
+    /// Well-typed no-op ops.
+    pub noops: u64,
+    /// Distinct ν-cache group keys invalidated.
+    pub invalidated_keys: u64,
+    /// ν-cache entries dropped.
+    pub invalidated_entries: u64,
+    /// Cached plans dropped.
+    pub plans_invalidated: u64,
+    /// The server-minted request id, absent from pre-tracing servers.
+    pub request_id: Option<qarith_trace::RequestId>,
+}
+
+/// Encodes a write acknowledgement from a committed [`WriteOutcome`].
+pub fn encode_write_ack(outcome: &WriteOutcome, request_id: qarith_trace::RequestId) -> String {
+    format!(
+        "{REPLY_MAGIC} ok kind=write epoch={} db={:016x} applied={} noops={} inv_keys={} \
+         inv_entries={} inv_plans={} rid={request_id}\n",
+        outcome.epoch,
+        outcome.db_digest,
+        outcome.applied,
+        outcome.noops,
+        outcome.invalidated_keys,
+        outcome.invalidated_entries,
+        outcome.plans_invalidated,
+    )
+}
+
 /// One answer line of a success reply — the μ-relevant bits the
 /// bit-identity suites compare, plus provenance.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -232,14 +471,22 @@ pub struct Reply {
     /// The server-minted request id (`rid=`), absent when talking to a
     /// pre-tracing server.
     pub request_id: Option<qarith_trace::RequestId>,
+    /// The epoch the answers were computed against (`epoch=`), absent
+    /// when talking to a pre-write-path server.
+    pub epoch: Option<u64>,
+    /// Content digest of that epoch's database (`db=`), absent when
+    /// talking to a pre-write-path server.
+    pub db_digest: Option<u64>,
 }
 
 /// Encodes a success reply from a served [`QueryResponse`].
 pub fn encode_reply(response: &QueryResponse) -> String {
     let mut out = format!(
-        "{REPLY_MAGIC} ok answers={} kind=point plan_cached={} rid={}\nfp {}\n",
+        "{REPLY_MAGIC} ok answers={} kind=point plan_cached={} epoch={} db={:016x} rid={}\nfp {}\n",
         response.answers.len(),
         u8::from(response.plan_cached),
+        response.epoch,
+        response.db_digest,
         response.request_id,
         response.fingerprint,
     );
@@ -284,6 +531,8 @@ pub fn encode_error(kind: ErrorKind, message: &str) -> String {
 pub enum Decoded {
     /// `ok` reply.
     Reply(Reply),
+    /// `ok kind=write` acknowledgement.
+    Write(WriteAck),
     /// `err` reply.
     Error {
         /// The taxonomy class.
@@ -318,25 +567,64 @@ pub fn decode_reply(payload: &[u8]) -> Result<Decoded, String> {
         }
         other => return Err(format!("reply status must be ok|err, got {other:?}")),
     }
-    let mut expected_answers = None;
-    let mut plan_cached = None;
-    let mut request_id = None;
+    let mut options = Vec::new();
     for option in words {
         let Some((key, value)) = option.split_once('=') else {
             return Err(format!("malformed reply option `{option}`"));
         };
+        options.push((key, value));
+    }
+    let kind = options.iter().find(|(k, _)| *k == "kind").map_or("point", |(_, v)| *v);
+    let request_id = match options.iter().find(|(k, _)| *k == "rid") {
+        Some((_, value)) => Some(
+            qarith_trace::RequestId::parse(value)
+                .ok_or_else(|| format!("malformed rid `{value}`"))?,
+        ),
+        None => None,
+    };
+    if kind == "write" {
+        // Header-only: every field is a header option.
+        let get = |name: &str| -> Result<u64, String> {
+            let (_, value) = options
+                .iter()
+                .find(|(k, _)| *k == name)
+                .ok_or_else(|| format!("write ack without {name}="))?;
+            let radix = if name == "db" { 16 } else { 10 };
+            u64::from_str_radix(value, radix).map_err(|_| format!("malformed {name}=`{value}`"))
+        };
+        if !body.trim().is_empty() {
+            return Err("write ack must be header-only".to_string());
+        }
+        return Ok(Decoded::Write(WriteAck {
+            epoch: get("epoch")?,
+            db_digest: get("db")?,
+            applied: get("applied")?,
+            noops: get("noops")?,
+            invalidated_keys: get("inv_keys")?,
+            invalidated_entries: get("inv_entries")?,
+            plans_invalidated: get("inv_plans")?,
+            request_id,
+        }));
+    }
+    if kind != "point" {
+        return Err(format!("unsupported answer kind `{kind}`"));
+    }
+    let mut expected_answers = None;
+    let mut plan_cached = None;
+    let mut epoch = None;
+    let mut db_digest = None;
+    for (key, value) in options {
         match key {
             "answers" => expected_answers = value.parse::<u64>().ok(),
-            "kind" => {
-                if value != "point" {
-                    return Err(format!("unsupported answer kind `{value}`"));
-                }
-            }
+            "kind" | "rid" => {} // resolved above
             "plan_cached" => plan_cached = Some(value == "1"),
-            "rid" => {
-                request_id = Some(
-                    qarith_trace::RequestId::parse(value)
-                        .ok_or_else(|| format!("malformed rid `{value}`"))?,
+            "epoch" => {
+                epoch = Some(value.parse().map_err(|_| format!("malformed epoch `{value}`"))?);
+            }
+            "db" => {
+                db_digest = Some(
+                    u64::from_str_radix(value, 16)
+                        .map_err(|_| format!("malformed db `{value}`"))?,
                 );
             }
             other => return Err(format!("unknown reply option `{other}`")),
@@ -364,7 +652,15 @@ pub fn decode_reply(payload: &[u8]) -> Result<Decoded, String> {
         return Err(format!("reply declared {expected} answers but carried {}", answers.len()));
     }
     let stats = stats.ok_or("ok reply without a stats line")?;
-    Ok(Decoded::Reply(Reply { answers, fingerprint, plan_cached, stats, request_id }))
+    Ok(Decoded::Reply(Reply {
+        answers,
+        fingerprint,
+        plan_cached,
+        stats,
+        request_id,
+        epoch,
+        db_digest,
+    }))
 }
 
 fn decode_answer_line(rest: &str) -> Result<WireAnswer, String> {
@@ -464,6 +760,7 @@ mod tests {
             ErrorKind::Proto,
             ErrorKind::Sql,
             ErrorKind::Measure,
+            ErrorKind::Write,
             ErrorKind::Internal,
             ErrorKind::Shutdown,
         ] {
@@ -472,7 +769,94 @@ mod tests {
         assert_eq!(ErrorKind::parse("timeout"), None);
         assert_eq!(ErrorKind::of_serve_kind("sql"), ErrorKind::Sql);
         assert_eq!(ErrorKind::of_serve_kind("measure"), ErrorKind::Measure);
+        assert_eq!(ErrorKind::of_serve_kind("write"), ErrorKind::Write);
         assert_eq!(ErrorKind::of_serve_kind("anything-else"), ErrorKind::Internal);
+    }
+
+    #[test]
+    fn write_payload_round_trips_every_value_sort() {
+        let mut batch = WriteBatch::new();
+        batch
+            .insert(
+                "Products",
+                vec![
+                    Value::int(7),
+                    Value::str("north region"),
+                    Value::Num(Rational::checked_new(1, 3).unwrap()),
+                    Value::NumNull(qarith_types::NumNullId(42)),
+                ],
+            )
+            .delete("Orders", vec![Value::BaseNull(qarith_types::BaseNullId(9)), Value::num(-5)])
+            .update(
+                "Market",
+                vec![Value::int(1), Value::num(10)],
+                vec![Value::int(1), Value::Num(Rational::checked_new(-7, 2).unwrap())],
+            );
+        let encoded = encode_write(&batch).expect("encodes");
+        assert!(encoded.starts_with("qarith-write/1 ops=3\n"));
+        assert_eq!(decode_write(encoded.as_bytes()).expect("round trip"), batch);
+    }
+
+    #[test]
+    fn strings_with_separators_are_encode_errors() {
+        let mut batch = WriteBatch::new();
+        batch.insert("R", vec![Value::str("has\ttab")]);
+        assert!(encode_write(&batch).unwrap_err().contains("separator"));
+    }
+
+    #[test]
+    fn malformed_write_payloads_are_rejected() {
+        assert!(decode_write(b"\xff\xfe").unwrap_err().contains("UTF-8"));
+        assert!(decode_write(b"not-the-magic\nins R\tz:1").unwrap_err().contains("header"));
+        assert!(decode_write(b"qarith-write/1\nins R\tz:1").unwrap_err().contains("ops="));
+        assert!(decode_write(b"qarith-write/1 ops=2\nins R\tz:1\n")
+            .unwrap_err()
+            .contains("declared 2"));
+        assert!(decode_write(b"qarith-write/1 ops=1\nfrob R\tz:1\n")
+            .unwrap_err()
+            .contains("unknown write opcode"));
+        assert!(decode_write(b"qarith-write/1 ops=1\nins R\tz:nope\n")
+            .unwrap_err()
+            .contains("malformed integer"));
+        assert!(decode_write(b"qarith-write/1 ops=1\nins R\tq:1/0\n")
+            .unwrap_err()
+            .contains("invalid rational"));
+        assert!(decode_write(b"qarith-write/1 ops=1\nins R\twat:1\n")
+            .unwrap_err()
+            .contains("unknown sort tag"));
+        assert!(decode_write(b"qarith-write/1 ops=1\nins R\n").unwrap_err().contains("without"));
+        assert!(decode_write(b"qarith-write/1 ops=1\nupd R\tz:1\tz:2\n")
+            .unwrap_err()
+            .contains("=>"));
+    }
+
+    #[test]
+    fn write_ack_round_trips() {
+        let outcome = WriteOutcome {
+            epoch: 4,
+            db_digest: 0xdead_beef_0123_4567,
+            applied: 3,
+            noops: 1,
+            invalidated_keys: 2,
+            invalidated_entries: 5,
+            plans_invalidated: 1,
+        };
+        let rid = qarith_trace::RequestId::parse("68959c1f-7").expect("rid");
+        let encoded = encode_write_ack(&outcome, rid);
+        match decode_reply(encoded.as_bytes()).expect("decodes") {
+            Decoded::Write(ack) => {
+                assert_eq!(ack.epoch, 4);
+                assert_eq!(ack.db_digest, 0xdead_beef_0123_4567);
+                assert_eq!((ack.applied, ack.noops), (3, 1));
+                assert_eq!((ack.invalidated_keys, ack.invalidated_entries), (2, 5));
+                assert_eq!(ack.plans_invalidated, 1);
+                assert_eq!(ack.request_id, Some(rid));
+            }
+            other => panic!("expected a write ack, got {other:?}"),
+        }
+        // A truncated ack is a grammar break, not a zero-filled struct.
+        let truncated = encoded.replace(" applied=3", "");
+        assert!(decode_reply(truncated.as_bytes()).unwrap_err().contains("applied"));
     }
 
     #[test]
@@ -519,6 +903,32 @@ mod tests {
         // A malformed rid is a grammar break, not a silent None.
         let broken = with.replace("rid=68959c1f-42", "rid=what");
         assert!(decode_reply(broken.as_bytes()).unwrap_err().contains("malformed rid"));
+    }
+
+    #[test]
+    fn reply_epoch_and_db_are_parsed_when_present_and_tolerated_when_absent() {
+        let with = "qarith-reply/1 ok answers=0 plan_cached=1 epoch=3 db=00000000deadbeef\n\
+                    fp select x from y\n\
+                    stats candidates=0 groups=0 measured=0 dedup_hits=0 cache_hits=0\n";
+        match decode_reply(with.as_bytes()).expect("decodes") {
+            Decoded::Reply(reply) => {
+                assert_eq!(reply.epoch, Some(3));
+                assert_eq!(reply.db_digest, Some(0xdead_beef));
+            }
+            other => panic!("expected ok reply, got {other:?}"),
+        }
+        // A pre-write-path server never sends them; the decoder shrugs.
+        let without = with.replace(" epoch=3 db=00000000deadbeef", "");
+        match decode_reply(without.as_bytes()).expect("decodes") {
+            Decoded::Reply(reply) => {
+                assert_eq!(reply.epoch, None);
+                assert_eq!(reply.db_digest, None);
+            }
+            other => panic!("expected ok reply, got {other:?}"),
+        }
+        assert!(decode_reply(with.replace("epoch=3", "epoch=x").as_bytes())
+            .unwrap_err()
+            .contains("malformed epoch"));
     }
 
     #[test]

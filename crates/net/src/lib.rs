@@ -26,6 +26,11 @@
 //! * **`GET /metrics`** ([`metrics`]) — an HTTP/1.0-subset carve-out
 //!   on the same port exporting every `as_pairs` counter block in
 //!   Prometheus text format, including this crate's [`NetStats`].
+//! * **Writes on the wire** — `qarith-write/1` payloads ([`frame`])
+//!   carry `INSERT`/`DELETE`/`UPDATE` batches through the same frame
+//!   layer into the serving layer's epoch-snapshot write path; the
+//!   header-only ack names the epoch and database digest the batch
+//!   published, and every query reply names the epoch it read.
 //! * [`NetClient`] ([`client`]) — the obviously-correct blocking
 //!   client the tests and the wire bench drive.
 //! * `netd` (`src/bin/netd.rs`) — a standalone daemon serving a
@@ -57,5 +62,5 @@ pub mod metrics;
 pub mod server;
 
 pub use client::{scrape_metrics, NetClient};
-pub use frame::{Decoded, ErrorKind, Reply, Request, WireAnswer};
+pub use frame::{Decoded, ErrorKind, Reply, Request, WireAnswer, WriteAck};
 pub use server::{DrainOutcome, NetConfig, NetServer, NetStats};

@@ -54,12 +54,13 @@ use qarith_trace::HistogramSnapshot;
 use crate::server::NetStats;
 
 /// Counter names that are levels, not monotone sums.
-const GAUGES: [&str; 8] = [
+const GAUGES: [&str; 9] = [
     "threads",
     "entries",
     "resident_bytes",
     "shards",
     "plans",
+    "epoch",
     "in_flight",
     "max_in_flight",
     "connections_active",
@@ -162,7 +163,7 @@ mod tests {
 
     /// Every name in the exposition is well-formed and typed, and the
     /// block count covers the whole EXPERIMENTS table (7 batch + 6
-    /// rewrite + 3 nucache + 6 sharded + 5 service + 4 admission)
+    /// rewrite + 3 nucache + 8 sharded + 9 service + 4 admission)
     /// plus the 7 net counters.
     #[test]
     fn exposition_is_complete_and_well_formed() {
@@ -178,7 +179,7 @@ mod tests {
             .lines()
             .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
             .partition(|l| l.starts_with("qarith_stage_"));
-        assert_eq!(counter_samples.len(), 7 + 6 + 3 + 6 + 5 + 4 + 7, "one sample per counter");
+        assert_eq!(counter_samples.len(), 7 + 6 + 3 + 8 + 9 + 4 + 7, "one sample per counter");
         for line in &counter_samples {
             let mut words = line.split_ascii_whitespace();
             let name = words.next().expect("metric name");
@@ -206,6 +207,8 @@ mod tests {
         // Spot-check semantics: the query above measured something.
         assert!(text.contains("qarith_service_queries 1"));
         assert!(text.contains("# TYPE qarith_admission_in_flight gauge"));
+        assert!(text.contains("# TYPE qarith_service_epoch gauge"));
+        assert!(text.contains("# TYPE qarith_sharded_cache_invalidations counter"));
         assert!(text.contains("# TYPE qarith_net_frames_in counter"));
         assert!(text.contains("qarith_nucache_hits 0"));
     }

@@ -594,6 +594,35 @@ fn respond(
     payload: &[u8],
     trace: &mut qarith_trace::RequestTrace,
 ) -> (String, String) {
+    // Writes are dispatched by payload magic, before query decoding:
+    // the two grammars share the frame layer and the error taxonomy
+    // but nothing else. Writes skip the ε check (they carry no ε) and
+    // the admission gate (they serialize on the service's epoch-writer
+    // lock; a full gate must not starve the write path).
+    if payload.starts_with(frame::WRITE_MAGIC.as_bytes()) {
+        let decoded = {
+            let _span = trace.span(qarith_trace::Stage::FrameDecode);
+            frame::decode_write(payload)
+        };
+        let batch = match decoded {
+            Ok(batch) => batch,
+            Err(msg) => {
+                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return (frame::encode_error(frame::ErrorKind::Proto, &msg), String::new());
+            }
+        };
+        return match shared.service.apply_with_trace(&batch, trace) {
+            Ok(outcome) => {
+                let rid = trace.id();
+                let _span = trace.span(qarith_trace::Stage::FrameEncode);
+                (frame::encode_write_ack(&outcome, rid), String::new())
+            }
+            Err(e) => {
+                let kind = frame::ErrorKind::of_serve_kind(e.kind());
+                (frame::encode_error(kind, &e.to_string()), String::new())
+            }
+        };
+    }
     let decoded = {
         let _span = trace.span(qarith_trace::Stage::FrameDecode);
         frame::decode_request(payload)

@@ -145,6 +145,7 @@ fn graceful_drain_finishes_in_flight_work() {
                             assert_eq!(kind, ErrorKind::Shutdown);
                             return completed;
                         }
+                        Ok(other) => panic!("query answered with {other:?}"),
                         Err(_) => return completed,
                     }
                 }

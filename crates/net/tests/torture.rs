@@ -85,7 +85,7 @@ fn read_raw_reply(stream: &mut TcpStream) -> Vec<u8> {
 fn expect_error(payload: &[u8], want: ErrorKind) {
     match frame::decode_reply(payload).expect("structured reply") {
         Decoded::Error { kind, .. } => assert_eq!(kind, want),
-        Decoded::Reply(r) => panic!("expected {want:?} error, got ok reply {r:?}"),
+        other => panic!("expected {want:?} error, got ok reply {other:?}"),
     }
 }
 

@@ -2,8 +2,9 @@
 
 use qarith_core::MeasureError;
 use qarith_sql::SqlError;
+use qarith_types::TypeError;
 
-/// Anything that can go wrong serving one query.
+/// Anything that can go wrong serving one query or write.
 #[derive(Debug)]
 pub enum ServeError {
     /// The SQL text failed to parse or lower against the service's
@@ -11,6 +12,10 @@ pub enum ServeError {
     Sql(SqlError),
     /// Candidate generation or measurement failed.
     Measure(MeasureError),
+    /// A write batch was rejected (unknown relation, arity or sort
+    /// mismatch). The batch is atomic, so nothing was applied and no
+    /// epoch was published.
+    Write(TypeError),
     /// A serving-layer lock was poisoned: some earlier request
     /// panicked while holding it, so its protected state can no longer
     /// be trusted. The current request fails cleanly instead of
@@ -24,13 +29,15 @@ impl ServeError {
     /// errors across process boundaries (the wire protocol's
     /// `err kind=<kind>` taxonomy in `qarith-net`): `"sql"` for
     /// rejected query text, `"measure"` for candidate-generation or
-    /// measurement failures, `"internal"` for serving-layer faults the
-    /// client cannot fix (poisoned locks). Part of the wire contract —
-    /// renaming a kind is a protocol-breaking change.
+    /// measurement failures, `"write"` for rejected write batches,
+    /// `"internal"` for serving-layer faults the client cannot fix
+    /// (poisoned locks). Part of the wire contract — renaming a kind
+    /// is a protocol-breaking change.
     pub fn kind(&self) -> &'static str {
         match self {
             ServeError::Sql(_) => "sql",
             ServeError::Measure(_) => "measure",
+            ServeError::Write(_) => "write",
             ServeError::LockPoisoned(_) => "internal",
         }
     }
@@ -41,6 +48,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Sql(e) => write!(f, "SQL error: {e}"),
             ServeError::Measure(e) => write!(f, "measurement error: {e}"),
+            ServeError::Write(e) => write!(f, "write error: {e}"),
             ServeError::LockPoisoned(what) => {
                 write!(f, "internal error: {what} lock poisoned by an earlier panic")
             }
@@ -53,6 +61,7 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Sql(e) => Some(e),
             ServeError::Measure(e) => Some(e),
+            ServeError::Write(e) => Some(e),
             ServeError::LockPoisoned(_) => None,
         }
     }

@@ -30,6 +30,13 @@
 //!   cost recomputation, never change a certainty — see [`shard`].
 //! * **Admission control** ([`admission`]) — a max-in-flight gate, so
 //!   overload degrades to queueing instead of collapse.
+//! * **A live write path** ([`epoch`]) — `INSERT`/`DELETE`/`UPDATE`
+//!   batches ([`qarith_types::WriteBatch`]) applied through an
+//!   epoch-versioned snapshot store: writers build epoch N+1 aside
+//!   while readers keep epoch N, a committed batch invalidates only
+//!   the ν-cache keys and plans whose grounding touched the changed
+//!   relations, and every response names the epoch digest its answers
+//!   are pinned to.
 //!
 //! Every layer exports counters through the workspace's `as_pairs`
 //! convention; `serve_bench` (crate `qarith-bench`) serializes them
@@ -70,11 +77,13 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod epoch;
 mod error;
 pub mod service;
 pub mod shard;
 
 pub use admission::{AdmissionGate, AdmissionPermit, AdmissionStats};
+pub use epoch::{database_digest, Snapshot, WriteOutcome};
 pub use error::ServeError;
 pub use service::{QueryResponse, QueryService, ServeConfig, ServiceStats};
 pub use shard::{ShardedCacheConfig, ShardedCacheStats, ShardedNuCache};

@@ -20,6 +20,18 @@
 //!   through the workspace's `as_pairs` convention
 //!   ([`ShardedCacheStats::as_pairs`]), like every other stats block in
 //!   `BENCH_*.json`.
+//! * **Delta-aware invalidation** — a relation → group-key index
+//!   ([`ShardedNuCache::register`]), fed by the service at plan-build
+//!   time, lets a committed write drop exactly the keys whose
+//!   grounding consulted a touched relation
+//!   ([`ShardedNuCache::invalidate_relations`]) instead of nuking the
+//!   cache. Like eviction, this is *hygiene, not correctness*: keys
+//!   are content-addressed canonical formulas, so an entry a write
+//!   logically supersedes is simply never looked up again by the new
+//!   grounding — invalidation reclaims its memory and keeps the
+//!   counters honest. Over-registration (a key filed under a relation
+//!   whose change doesn't affect it) is therefore sound too: it can
+//!   only cost recomputation.
 //!
 //! **Why eviction cannot change answers.** Every estimate is a
 //! deterministic function of its `(group key, options fingerprint)` —
@@ -32,7 +44,7 @@
 //!
 //! [`NuCache`]: qarith_core::NuCache
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -78,6 +90,13 @@ pub struct ShardedCacheStats {
     /// Number of shards (constant; exported so one stats block is
     /// self-describing).
     pub shards: u64,
+    /// Distinct group keys dropped by delta-aware invalidation since
+    /// creation (only keys that actually held entries count — draining
+    /// an already-evicted key is not an invalidation).
+    pub invalidations: u64,
+    /// Entries dropped by invalidation (≥ `invalidations`: one key may
+    /// hold several fingerprints).
+    pub invalidated_entries: u64,
 }
 
 impl ShardedCacheStats {
@@ -95,7 +114,7 @@ impl ShardedCacheStats {
     /// order — the machine-readable export `serve_bench` serializes
     /// into `BENCH_*.json`. Names are part of the JSON schema: renaming
     /// one is a baseline-breaking change.
-    pub fn as_pairs(&self) -> [(&'static str, u64); 6] {
+    pub fn as_pairs(&self) -> [(&'static str, u64); 8] {
         [
             ("hits", self.hits),
             ("misses", self.misses),
@@ -103,6 +122,8 @@ impl ShardedCacheStats {
             ("evictions", self.evictions),
             ("resident_bytes", self.resident_bytes),
             ("shards", self.shards),
+            ("invalidations", self.invalidations),
+            ("invalidated_entries", self.invalidated_entries),
         ]
     }
 }
@@ -145,6 +166,20 @@ impl ShardInner {
         self.recency.insert(tick, (key.clone(), fingerprint));
     }
 
+    /// Drops every fingerprint stored under `key`, returning how many
+    /// entries that was (0 when the key is absent — evicted, or never
+    /// resident in this shard).
+    fn remove_key(&mut self, key: &str) -> usize {
+        let Some(by_fp) = self.map.remove(key) else { return 0 };
+        let mut removed = 0;
+        for entry in by_fp.values() {
+            self.recency.remove(&entry.tick);
+            self.resident_bytes -= entry.bytes;
+            removed += 1;
+        }
+        removed
+    }
+
     fn evict_to(&mut self, budget: usize) {
         while self.resident_bytes > budget {
             let Some((_, (key, fingerprint))) = self.recency.pop_first() else { break };
@@ -170,6 +205,18 @@ pub struct ShardedNuCache {
     config: ShardedCacheConfig,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// The delta index: relation name → group keys whose grounding
+    /// consulted it (`NuCacheDeltaIndex` in the declared lock
+    /// hierarchy — above the shard locks, so invalidation may walk
+    /// from the index into the shards). Keys are `Arc<str>` shared
+    /// across relations. The index is registration-only between
+    /// writes; [`ShardedNuCache::invalidate_relations`] drains the
+    /// touched relations' sets, and plan rebuilds re-register, so
+    /// under write traffic the index tracks the live template
+    /// population rather than growing without bound.
+    delta: Mutex<HashMap<String, HashSet<Arc<str>>>>,
+    invalidations: AtomicU64,
+    invalidated_entries: AtomicU64,
 }
 
 // ShardInner has no Debug (Arc<str> maps are noise); summarize instead.
@@ -193,7 +240,67 @@ impl ShardedNuCache {
             config,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            delta: Mutex::new(HashMap::new()),
+            invalidations: AtomicU64::new(0),
+            invalidated_entries: AtomicU64::new(0),
         }
+    }
+
+    /// Files `group_keys` under each of `relations` in the delta
+    /// index. The service calls this at plan-build time, when both the
+    /// plan's relation footprint and its group keys are in hand.
+    /// Over-registration is sound (see the module docs); a poisoned
+    /// index degrades to whole-relation over-invalidation never
+    /// happening, which is also sound — stale entries are unreachable
+    /// by construction.
+    pub fn register<'k>(&self, relations: &[String], group_keys: impl Iterator<Item = &'k str>) {
+        if relations.is_empty() {
+            return;
+        }
+        let keys: Vec<Arc<str>> = group_keys.map(Arc::from).collect();
+        if keys.is_empty() {
+            return;
+        }
+        let Ok(mut delta) = self.delta.lock() else { return };
+        for relation in relations {
+            let set = delta.entry(relation.clone()).or_default();
+            for key in &keys {
+                set.insert(key.clone());
+            }
+        }
+    }
+
+    /// Drops every entry whose group key is registered under any of
+    /// `touched`, returning `(distinct keys dropped, entries
+    /// dropped)`. The drained keys leave the index; survivors (keys
+    /// registered only under untouched relations) keep their entries
+    /// *and* their index membership — the invalidation-selectivity
+    /// test counts them.
+    pub fn invalidate_relations(&self, touched: &[String]) -> (u64, u64) {
+        if touched.is_empty() {
+            return (0, 0);
+        }
+        // Collect under the index lock, mutate shards after it is
+        // released (the hierarchy permits holding it, but the drain
+        // doesn't need to).
+        let keys: BTreeSet<Arc<str>> = {
+            let Ok(mut delta) = self.delta.lock() else { return (0, 0) };
+            touched.iter().filter_map(|rel| delta.remove(rel)).flatten().collect()
+        };
+        let mut dropped_keys = 0u64;
+        let mut dropped_entries = 0u64;
+        for key in keys {
+            let Ok(mut inner) = self.shard_of(&key).lock() else { continue };
+            let removed = inner.remove_key(&key);
+            drop(inner);
+            if removed > 0 {
+                dropped_keys += 1;
+                dropped_entries += removed as u64;
+            }
+        }
+        self.invalidations.fetch_add(dropped_keys, Ordering::Relaxed);
+        self.invalidated_entries.fetch_add(dropped_entries, Ordering::Relaxed);
+        (dropped_keys, dropped_entries)
     }
 
     /// The configuration the cache was built with.
@@ -217,6 +324,8 @@ impl ShardedNuCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             shards: self.shards.len() as u64,
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            invalidated_entries: self.invalidated_entries.load(Ordering::Relaxed),
             ..ShardedCacheStats::default()
         };
         for shard in &self.shards {
@@ -241,8 +350,13 @@ impl ShardedNuCache {
                 *inner = ShardInner::default();
             }
         }
+        if let Ok(mut delta) = self.delta.lock() {
+            delta.clear();
+        }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.invalidations.store(0, Ordering::Relaxed);
+        self.invalidated_entries.store(0, Ordering::Relaxed);
     }
 
     fn entry_bytes(key: &str) -> usize {
@@ -403,5 +517,42 @@ mod tests {
             }
         });
         assert_eq!(cache.stats().entries, 200);
+    }
+
+    #[test]
+    fn invalidation_is_selective_and_survivors_hit() {
+        let cache = ShardedNuCache::new(ShardedCacheConfig::default());
+        for i in 0..4 {
+            cache.insert(key(i), 1, est(1, i as i128 + 1));
+        }
+        cache.register(&["Orders".to_string()], [key(0), key(1)].iter().map(String::as_str));
+        cache.register(&["Market".to_string()], [key(1), key(2)].iter().map(String::as_str));
+        // key(3) is unregistered: writes can never touch it.
+
+        let (keys, entries) = cache.invalidate_relations(&["Orders".to_string()]);
+        assert_eq!((keys, entries), (2, 2), "both Orders keys drop, nothing else");
+        assert!(cache.get(&key(0), 1).is_none());
+        assert!(cache.get(&key(1), 1).is_none(), "shared key drops with either relation");
+        assert!(cache.get(&key(2), 1).is_some(), "Market-only key survives");
+        assert!(cache.get(&key(3), 1).is_some(), "unregistered key survives");
+        let stats = cache.stats();
+        assert_eq!((stats.invalidations, stats.invalidated_entries), (2, 2));
+        assert_eq!(stats.entries, 2);
+
+        // Draining Market again only drops what is still resident:
+        // key(1) is gone, so only key(2) counts.
+        let (keys, entries) = cache.invalidate_relations(&["Market".to_string()]);
+        assert_eq!((keys, entries), (1, 1));
+        assert!(cache.get(&key(2), 1).is_none());
+        assert!(cache.get(&key(3), 1).is_some());
+    }
+
+    #[test]
+    fn invalidating_unregistered_relations_is_a_noop() {
+        let cache = ShardedNuCache::new(ShardedCacheConfig::default());
+        cache.insert(key(0), 1, est(1, 2));
+        assert_eq!(cache.invalidate_relations(&["Nothing".to_string()]), (0, 0));
+        assert_eq!(cache.invalidate_relations(&[]), (0, 0));
+        assert!(cache.get(&key(0), 1).is_some());
     }
 }

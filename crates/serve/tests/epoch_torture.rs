@@ -1,0 +1,150 @@
+//! Epoch-visibility torture: N reader threads hammer one shared
+//! service while a writer publishes a stream of epochs.
+//!
+//! The invariants (ISSUE-10):
+//!
+//! * **published states only** — every response's `(epoch, db_digest)`
+//!   pair is exactly one the writer published (or the load-time epoch
+//!   0): a reader can never observe a torn or intermediate database;
+//! * **monotone visibility** — epochs observed by one reader never go
+//!   backwards (the snapshot pointer only moves forward);
+//! * **post-drain convergence** — once the writer is done, every
+//!   reader's next request executes against the final epoch.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use qarith_core::afpras::{AfprasOptions, SampleCount};
+use qarith_core::{BatchOptions, MeasureOptions, MethodChoice};
+use qarith_datagen::WorkloadScale;
+use qarith_serve::{QueryService, ServeConfig};
+use qarith_types::{NumNullId, Value, WriteBatch};
+
+const EPOCHS: u64 = 10;
+const READERS: usize = 4;
+const SQL: &str = "SELECT O.id FROM Orders O WHERE O.q >= 51 LIMIT 25";
+
+fn test_service() -> QueryService {
+    let db = qarith_datagen::sales::sales_database(&WorkloadScale::Tiny.params(), 2020);
+    let options = MeasureOptions {
+        method: MethodChoice::Afpras,
+        afpras: AfprasOptions {
+            epsilon: 0.25,
+            samples: SampleCount::Paper,
+            seed: 77,
+            ..AfprasOptions::default()
+        },
+        batch: BatchOptions { threads: 1, dedup: true },
+        ..MeasureOptions::default()
+    };
+    QueryService::new(db, ServeConfig { options, ..ServeConfig::default() })
+}
+
+/// The writer's i-th batch: one fresh Orders tuple whose `q` is a
+/// fresh marked null (ids far above anything the generator minted), so
+/// every batch both changes the digest and adds an uncertain candidate
+/// for the readers' template.
+fn write_batch(i: u64) -> WriteBatch {
+    let mut batch = WriteBatch::new();
+    batch.insert(
+        "Orders",
+        vec![
+            Value::int((1 << 20) + i as i64),
+            Value::int(i as i64),
+            Value::NumNull(NumNullId((1 << 20) + i as u32)),
+            Value::num(1),
+        ],
+    );
+    batch
+}
+
+#[test]
+fn readers_only_ever_observe_published_epochs() {
+    let service = Arc::new(test_service());
+    let epoch0 = service.snapshot().expect("initial snapshot");
+    let done = AtomicBool::new(false);
+
+    let (published, observed) = std::thread::scope(|scope| {
+        let writer = scope.spawn({
+            let service = service.clone();
+            let done = &done;
+            move || {
+                let mut outcomes = Vec::new();
+                for i in 0..EPOCHS {
+                    outcomes.push(service.apply(&write_batch(i)).expect("committed batch"));
+                    // Give readers a window to actually pin this epoch
+                    // before the next one supersedes it.
+                    std::thread::sleep(Duration::from_millis(15));
+                }
+                done.store(true, Ordering::Release);
+                outcomes
+            }
+        });
+
+        let readers: Vec<_> = (0..READERS)
+            .map(|reader| {
+                let service = service.clone();
+                let done = &done;
+                scope.spawn(move || {
+                    let mut seen = Vec::new();
+                    let mut last_epoch = 0u64;
+                    loop {
+                        let finished = done.load(Ordering::Acquire);
+                        let response = service.query(SQL).expect("read under write load");
+                        assert!(
+                            response.epoch >= last_epoch,
+                            "reader {reader}: epoch went backwards \
+                             ({last_epoch} then {})",
+                            response.epoch
+                        );
+                        last_epoch = response.epoch;
+                        seen.push((response.epoch, response.db_digest));
+                        if finished {
+                            // This request started after the writer's
+                            // final publish: post-drain convergence.
+                            assert_eq!(
+                                response.epoch, EPOCHS,
+                                "reader {reader}: a post-drain request must see the final epoch"
+                            );
+                            return seen;
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let published = writer.join().expect("writer");
+        let observed: Vec<_> =
+            readers.into_iter().flat_map(|r| r.join().expect("reader")).collect();
+        (published, observed)
+    });
+
+    // Every batch applied (fresh tuples, never no-ops) and published a
+    // consecutive epoch.
+    let mut digest_of: HashMap<u64, u64> = HashMap::from([(0, epoch0.digest)]);
+    for (i, outcome) in published.iter().enumerate() {
+        assert_eq!(outcome.epoch, i as u64 + 1, "epochs are consecutive");
+        assert_eq!((outcome.applied, outcome.noops), (1, 0));
+        digest_of.insert(outcome.epoch, outcome.db_digest);
+    }
+
+    // The core invariant: every observed (epoch, digest) pair is a
+    // published one — never a torn in-between state.
+    assert!(!observed.is_empty());
+    for (epoch, digest) in &observed {
+        let want = digest_of
+            .get(epoch)
+            .unwrap_or_else(|| panic!("observed epoch {epoch} was never published"));
+        assert_eq!(
+            digest, want,
+            "epoch {epoch}: response digest must match the published snapshot"
+        );
+    }
+
+    let stats = service.stats();
+    assert_eq!(stats.epoch, EPOCHS);
+    assert_eq!(stats.writes, EPOCHS);
+    assert_eq!(stats.write_ops, EPOCHS);
+}

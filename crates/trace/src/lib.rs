@@ -78,13 +78,19 @@ pub enum Stage {
     FrameDecode,
     /// Wire path only: encoding the reply frame payload.
     FrameEncode,
+    /// Write path only: building and publishing the next epoch
+    /// snapshot (clone, op application, digest, pointer swap).
+    WriteApply,
+    /// Write path only: delta-aware ν-cache and plan invalidation
+    /// after an epoch swap.
+    Invalidate,
     /// End-to-end request time from `begin` to `finish`.
     Total,
 }
 
 impl Stage {
     /// Number of stages ([`Stage::ALL`] length).
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 12;
 
     /// Every stage, in pipeline order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -97,6 +103,8 @@ impl Stage {
         Stage::Rehydrate,
         Stage::FrameDecode,
         Stage::FrameEncode,
+        Stage::WriteApply,
+        Stage::Invalidate,
         Stage::Total,
     ];
 
@@ -113,6 +121,8 @@ impl Stage {
             Stage::Rehydrate => "rehydrate",
             Stage::FrameDecode => "frame_decode",
             Stage::FrameEncode => "frame_encode",
+            Stage::WriteApply => "write_apply",
+            Stage::Invalidate => "invalidate",
             Stage::Total => "total",
         }
     }
@@ -130,6 +140,8 @@ impl Stage {
             Stage::Rehydrate => "rehydrating measured groups onto per-candidate answers",
             Stage::FrameDecode => "wire request frame decode",
             Stage::FrameEncode => "wire reply frame encode",
+            Stage::WriteApply => "building and publishing the next epoch snapshot",
+            Stage::Invalidate => "delta-aware nu-cache and plan invalidation after an epoch swap",
             Stage::Total => "end-to-end request time",
         }
     }

@@ -26,7 +26,9 @@
 //!   the complete database `v(D)`;
 //! * [`Database::bijective_base_valuation`] — the "nulls as fresh
 //!   distinct constants" reading used by naive evaluation and by the
-//!   bijective base valuations of Proposition 5.2.
+//!   bijective base valuations of Proposition 5.2;
+//! * [`WriteOp`], [`WriteBatch`] — tuple-level mutations (the serving
+//!   layer's epoch store applies these to evolve a live database).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +40,7 @@ mod schema;
 mod tuple;
 mod valuation;
 mod value;
+mod write;
 
 pub use database::{Database, DatabaseStats};
 pub use error::TypeError;
@@ -46,3 +49,4 @@ pub use schema::{Catalog, Column, RelationSchema, Sort};
 pub use tuple::Tuple;
 pub use valuation::Valuation;
 pub use value::{BaseNullId, BaseValue, NumNullId, Value};
+pub use write::{WriteBatch, WriteOp, WriteSummary};

@@ -66,6 +66,23 @@ impl Relation {
         self.seen.contains(tuple)
     }
 
+    /// Removes a tuple, preserving the relative insertion order of the
+    /// survivors (digests hash tuples in stored order, so removal must
+    /// not shuffle). Returns whether the tuple was present.
+    pub fn remove(&mut self, tuple: &Tuple) -> bool {
+        if !self.seen.remove(tuple) {
+            return false;
+        }
+        self.tuples.retain(|t| t != tuple);
+        true
+    }
+
+    /// Type-checks a tuple against the schema without storing it (the
+    /// write path validates replacements before mutating).
+    pub fn check_tuple(&self, tuple: &Tuple) -> Result<(), TypeError> {
+        self.check(tuple)
+    }
+
     fn check(&self, tuple: &Tuple) -> Result<(), TypeError> {
         if tuple.arity() != self.schema.arity() {
             return Err(TypeError::ArityMismatch {

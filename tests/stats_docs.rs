@@ -150,6 +150,6 @@ fn every_block_has_a_meaning_column() {
         assert!(!cells[3].is_empty() && !cells[4].is_empty(), "empty cells in: {line}");
         rows += 1;
     }
-    // 7 + 6 + 3 + 6 + 5 + 4 + 7 counters across the seven blocks.
-    assert_eq!(rows, 38, "expected one row per exported counter");
+    // 7 + 6 + 3 + 8 + 9 + 4 + 7 counters across the seven blocks.
+    assert_eq!(rows, 44, "expected one row per exported counter");
 }
